@@ -1,0 +1,12 @@
+"""Reporting helper shared by the benchmark harness.
+
+Every benchmark regenerates one paper artefact (figure or case-study claim)
+and prints the regenerated rows/series with a stable ``[Fx]`` prefix so the
+output can be compared against EXPERIMENTS.md.
+"""
+
+
+def report(experiment_id: str, text: str) -> None:
+    """Print one experiment's regenerated artefact with a stable prefix."""
+    print(f"\n===== [{experiment_id}] =====")
+    print(text)

@@ -1,0 +1,50 @@
+"""[CS1] Sec. 5 -- reengineering case-study metrics.
+
+Regenerates the qualitative claims of the case study as measured numbers:
+the original ASCET model hides its operation modes in If-Then-Else control
+flow and a central flag component, while the reengineered AutoMoDe model
+makes them explicit as MTDs -- with unchanged behaviour on the driving
+scenario.
+"""
+
+from repro.analysis.metrics import measure_component
+from repro.casestudy import (ENGINE_MODE_NAMES, build_engine_ascet_project,
+                             build_reengineered_fda, compare_behaviour)
+from repro.io.render import render_table
+
+from _bench_utils import report
+
+
+def test_cs1_before_after_metrics(benchmark):
+    project = build_engine_ascet_project()
+    fda = benchmark(build_reengineered_fda)
+
+    metrics = measure_component(fda)
+    central_flags = project.module("CentralState").flag_count()
+    rows = [
+        ["If-Then-Else operators (implicit modes)",
+         project.total_if_then_else(), metrics.if_then_else_operators],
+        ["explicit modes (MTD modes)", 0, metrics.explicit_modes],
+        ["components with explicit mode structure (MTDs)", 0,
+         metrics.mtd_count],
+        ["global-state flags emitted by the central component",
+         central_flags, central_flags],
+        ["software components / modules", len(project.module_list()),
+         len(fda.subcomponents())],
+    ]
+    table = render_table(["metric", "ASCET original", "AutoMoDe reengineered"],
+                         rows)
+    report("CS1", table)
+
+    assert project.total_if_then_else() == 4
+    assert metrics.if_then_else_operators == 0
+    assert metrics.explicit_modes == 8
+    assert metrics.mtd_count == 4
+
+
+def test_cs1_behaviour_preserved(benchmark):
+    deviations = benchmark(lambda: compare_behaviour(ticks=120))
+    table = render_table(["signal", "max |ASCET - AutoMoDe|"],
+                         [[name, value] for name, value in deviations.items()])
+    report("CS1b", table)
+    assert max(deviations.values()) == 0.0

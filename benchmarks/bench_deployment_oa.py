@@ -1,0 +1,90 @@
+"""[T2] Sec. 3.3/3.4 -- deployment and Operational Architecture generation.
+
+Regenerates the deployment of the engine CCD onto a two-ECU OSEK/CAN
+platform: cluster-to-task mapping, schedulability, CAN frame packing and
+latency, end-to-end timing against the deadlines implied by the logical
+delays, and the generated per-ECU ASCET-style projects.
+"""
+
+from repro.analysis.well_definedness import repair_rate_transitions
+from repro.casestudy import build_engine_ccd
+from repro.io.render import render_table
+from repro.levels.oa import OperationalArchitecture
+from repro.platform.osek import response_time_analysis, simulate_schedule
+from repro.platform.timing import analyze_chain
+from repro.transformations.deployment import deploy
+
+from _bench_utils import report
+
+ALLOCATION = {"SensorProcessing": "ECU_Powertrain",
+              "FuelAndIgnition": "ECU_Powertrain",
+              "IdleSpeed": "ECU_Aux",
+              "Monitoring": "ECU_Aux"}
+
+
+def _deployed_ccd():
+    ccd = build_engine_ccd()
+    repair_rate_transitions(ccd)
+    return ccd, deploy(ccd, ["ECU_Powertrain", "ECU_Aux"],
+                       allocation=ALLOCATION, bus_bits_per_tick=200.0)
+
+
+def test_t2_deployment_and_schedulability(benchmark):
+    ccd, result = benchmark(_deployed_ccd)
+
+    rows = []
+    for cluster in ccd.clusters():
+        rows.append([cluster.name, cluster.period,
+                     result.ecu_of_cluster[cluster.name],
+                     result.task_of_cluster[cluster.name]])
+    lines = [render_table(["cluster", "rate", "ECU", "task"], rows), ""]
+    for ecu in result.architecture.ecu_list():
+        analysis = response_time_analysis(ecu)
+        schedule = simulate_schedule(ecu)
+        lines.append(f"{ecu.name}: utilization {ecu.utilization():.1%}, "
+                     f"WCRTs {[(r.task, round(r.wcrt, 2)) for r in analysis]}, "
+                     f"deadline misses {len(schedule.deadline_misses())}")
+    lines.append(f"CAN frames: {len(result.bus.frames)}, bus utilization "
+                 f"{result.bus.utilization():.1%}")
+    for entry in result.bus.latency_report():
+        lines.append(f"  {entry['frame']}: id={entry['can_id']:#x} "
+                     f"period={entry['period']} "
+                     f"latency={entry['worst_case_latency']:.2f} ticks")
+    report("T2", "\n".join(lines))
+
+    assert set(result.ecu_of_cluster.values()) == {"ECU_Powertrain", "ECU_Aux"}
+    assert all(simulate_schedule(ecu).is_schedulable()
+               for ecu in result.architecture.ecu_list())
+    assert result.remote_signals() >= 1
+    assert result.bus.utilization() < 0.5
+
+
+def test_t2_end_to_end_latency_meets_logical_deadline(benchmark):
+    ccd, result = _deployed_ccd()
+    analysis = benchmark(lambda: analyze_chain(
+        ["Monitoring", "FuelAndIgnition"], result.architecture, result.bus,
+        frame_of_signal=result.frame_of_signal,
+        logical_delays=1, base_period=20))
+    report("T2b", analysis.describe())
+    assert analysis.meets_deadline
+
+
+def test_t2_generated_projects(benchmark):
+    ccd, result = _deployed_ccd()
+    oa = OperationalArchitecture("EngineOA", ccd, result)
+    projects = benchmark(oa.generate)
+
+    lines = []
+    for ecu_name, project in sorted(projects.items()):
+        lines.append(f"{ecu_name}: {len(project.files)} files, "
+                     f"{project.total_lines()} lines "
+                     f"({', '.join(project.file_names())})")
+    lines.append(f"communication matrix entries: {len(oa.communication_matrix())}")
+    report("T2c", "\n".join(lines))
+
+    assert set(projects) == {"ECU_Powertrain", "ECU_Aux"}
+    assert oa.validate().is_valid()
+    powertrain = projects["ECU_Powertrain"]
+    assert "FuelAndIgnition_process" in powertrain.file(
+        "modules/FuelAndIgnition.c")
+    assert "TASK" in powertrain.file("os/osek_config.oil")

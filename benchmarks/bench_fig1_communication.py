@@ -1,0 +1,39 @@
+"""[F1] Fig. 1 -- message-based, time-synchronous communication.
+
+Regenerates the DoorLockControl observation of Fig. 1: per channel and tick
+either a value or "-" (absence), with the board-net voltage carrying 20 at
+``t``, nothing at ``t+1`` and 23 at ``t+2``.
+"""
+
+from repro.casestudy import build_door_lock_control, fig1_stimuli
+from repro.core.values import is_absent
+from repro.simulation.engine import simulate
+
+from _bench_utils import report
+
+
+def _run_fig1():
+    control = build_door_lock_control()
+    return simulate(control, fig1_stimuli(), ticks=3)
+
+
+def test_fig1_trace_table(benchmark):
+    trace = benchmark(_run_fig1)
+    table = trace.format_table(["FZG_V", "T4S", "CRSH", "T1C", "T2C"])
+    report("F1", table)
+
+    voltage = trace.input("FZG_V")
+    assert voltage[0] == 20.0
+    assert is_absent(voltage[1])
+    assert voltage[2] == 23.0
+    # the lock command channels carry a message at every tick of this run
+    assert trace.output("T1C").presence_count() == 3
+
+
+def test_fig1_event_triggered_reaction(benchmark):
+    """Event-triggered behaviour: the component reacts to message presence."""
+    control = build_door_lock_control()
+    stimuli = dict(fig1_stimuli())
+    trace = benchmark(lambda: simulate(control, stimuli, ticks=3))
+    # the mode stays Unlocked because no speed/crash event arrives
+    assert set(trace.output("mode").values()) == {"Unlocked"}

@@ -1,0 +1,55 @@
+"""[F2] Fig. 2 -- explicit signal sampling with a ``when`` operator.
+
+Regenerates the down-sampling of a stream ``a`` by the Boolean clock
+``every(2, true)``: the sampled stream a' carries a value on every second
+tick of the base clock and absence otherwise.
+"""
+
+from repro.core.values import ABSENT, Stream, is_absent
+from repro.notations.blocks import Every, When
+from repro.notations.dfd import DataFlowDiagram
+from repro.simulation.engine import simulate
+from repro.simulation.multirate import resample
+from repro.core.clocks import every
+
+from _bench_utils import report
+
+
+def _build_fig2_dfd():
+    dfd = DataFlowDiagram("Fig2Sampling")
+    dfd.add_input("a")
+    dfd.add_output("a_prime")
+    dfd.add(When("WHEN"), Every("EVERY2", 2))
+    dfd.connect("a", "WHEN.in1")
+    dfd.connect("EVERY2.out", "WHEN.clock")
+    dfd.connect("WHEN.out", "a_prime")
+    return dfd
+
+
+def test_fig2_when_operator_downsamples(benchmark):
+    dfd = _build_fig2_dfd()
+    ticks = 12
+    stimulus = list(range(ticks))
+    trace = benchmark(lambda: simulate(dfd, {"a": stimulus}, ticks=ticks))
+    sampled = trace.output("a_prime")
+    rows = ["tick : " + "  ".join(f"{t:>3}" for t in range(ticks)),
+            "a    : " + "  ".join(f"{v:>3}" for v in stimulus),
+            "a'   : " + "  ".join(("  -" if is_absent(v) else f"{v:>3}")
+                                  for v in sampled.values())]
+    report("F2", "\n".join(rows))
+
+    assert sampled.presence_count() == ticks // 2
+    for tick in range(ticks):
+        if tick % 2 == 0:
+            assert sampled[tick] == tick
+        else:
+            assert is_absent(sampled[tick])
+
+
+def test_fig2_stream_level_when_equals_block_level(benchmark):
+    ticks = 200
+    stream = Stream.present(range(ticks))
+    sampled = benchmark(lambda: resample(stream, every(2), hold_last=False))
+    dfd = _build_fig2_dfd()
+    block_level = simulate(dfd, {"a": list(range(ticks))}, ticks=ticks)
+    assert sampled.values() == block_level.output("a_prime").values()

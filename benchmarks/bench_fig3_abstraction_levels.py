@@ -1,0 +1,81 @@
+"""[F3] Fig. 3 -- the AutoMoDe abstraction levels (FAA/FDA/LA/TA/OA).
+
+Regenerates the level stack for the engine-control model: every level is
+instantiated from its predecessor by the corresponding transformation, the
+cross-level consistency report is produced and the coherent model records
+the full derivation.
+"""
+
+from repro.casestudy import ENGINE_MODE_NAMES, build_engine_ascet_project
+from repro.core.model import AbstractionLevel, AutoModeModel, LEVEL_ORDER
+from repro.levels.fda import FunctionalDesignArchitecture
+from repro.levels.la import LogicalArchitecture
+from repro.levels.oa import OperationalArchitecture
+from repro.levels.ta import TechnicalArchitectureLevel
+from repro.analysis.well_definedness import repair_rate_transitions
+from repro.transformations.deployment import deploy
+from repro.transformations.dissolve import dissolve_to_ccd
+from repro.transformations.reengineering import reengineer_project
+
+from _bench_utils import report
+
+
+def _build_level_stack():
+    model = AutoModeModel("GasolineEngineControl")
+    project = build_engine_ascet_project()
+    fda_ssd = reengineer_project(project, ENGINE_MODE_NAMES)
+    model.record("white-box-reengineering", "reengineering",
+                 AbstractionLevel.OA, AbstractionLevel.FDA)
+    fda = FunctionalDesignArchitecture("EngineFDA", fda_ssd)
+    model.set_level(AbstractionLevel.FDA, fda)
+
+    ccd = dissolve_to_ccd(fda_ssd, rates={"IgnitionTiming": 2,
+                                          "IdleSpeedControl": 10})
+    repair_rate_transitions(ccd)
+    la = LogicalArchitecture("EngineLA", ccd)
+    model.set_level(AbstractionLevel.LA, la)
+    model.record("dissolve-ssd-to-ccd", "refinement",
+                 AbstractionLevel.FDA, AbstractionLevel.LA)
+
+    deployment = deploy(ccd, ["ECU_Powertrain", "ECU_Aux"])
+    ta = TechnicalArchitectureLevel("EngineTA", deployment)
+    model.set_level(AbstractionLevel.TA, ta)
+    model.record("cluster-deployment", "refinement",
+                 AbstractionLevel.LA, AbstractionLevel.TA)
+
+    oa = OperationalArchitecture("EngineOA", ccd, deployment)
+    oa.generate()
+    model.set_level(AbstractionLevel.OA, oa)
+    model.record("oa-generation", "refinement",
+                 AbstractionLevel.TA, AbstractionLevel.OA)
+    return model
+
+
+def test_fig3_level_stack(benchmark):
+    model = benchmark(_build_level_stack)
+
+    lines = []
+    for level in LEVEL_ORDER:
+        if level is AbstractionLevel.FAA:
+            lines.append(f"{level.short_name:>4}: (entered via black-box "
+                         "reengineering, see F4)")
+            continue
+        view = model.level(level)
+        lines.append(f"{level.short_name:>4}: {view.describe()}")
+    lines.append("derivation: " + " -> ".join(
+        record.name for record in model.history))
+    report("F3", "\n".join(lines))
+
+    assert model.defined_levels() == [AbstractionLevel.FDA,
+                                      AbstractionLevel.LA,
+                                      AbstractionLevel.TA,
+                                      AbstractionLevel.OA]
+    fda = model.level(AbstractionLevel.FDA)
+    la = model.level(AbstractionLevel.LA)
+    ta = model.level(AbstractionLevel.TA)
+    oa = model.level(AbstractionLevel.OA)
+    assert fda.is_behaviorally_complete()
+    assert la.is_well_defined()
+    assert ta.is_schedulable()
+    assert oa.validate().is_valid()
+    assert len(model.history) == 4

@@ -1,0 +1,71 @@
+"""[F4] Fig. 4 -- SSD on the FAA level (DoorLockControl network).
+
+Regenerates the FAA-level functional network around the door-lock control:
+its structure, the rule-based actuator-conflict analysis (two vehicle
+functions driving the same door-lock actuators) and the coordinator
+countermeasure, plus the black-box reengineering route into the FAA.
+"""
+
+from repro.analysis.conflicts import analyze_conflicts
+from repro.ascet.comm_matrix import CommunicationMatrix
+from repro.casestudy import build_door_lock_faa, crash_scenario
+from repro.levels.faa import FunctionalAnalysisArchitecture
+from repro.io.render import render_structure
+from repro.simulation.engine import simulate
+from repro.transformations.reengineering import blackbox_reengineer
+from repro.transformations.refactoring import introduce_coordinator
+
+from _bench_utils import report
+
+
+def test_fig4_faa_network_and_conflict_rules(benchmark):
+    def build_and_analyze():
+        network = build_door_lock_faa()
+        return network, analyze_conflicts(network)
+
+    network, analysis = benchmark(build_and_analyze)
+    faa = FunctionalAnalysisArchitecture("DoorLockFAA", network)
+
+    lines = [faa.describe(), "", render_structure(network), "",
+             "conflict analysis:"]
+    for conflict in analysis.conflicts:
+        lines.append(f"  {conflict.actuator}: used by "
+                     f"{', '.join(conflict.functions)}")
+        lines.append(f"    -> {conflict.suggestion()}")
+    report("F4", "\n".join(lines))
+
+    assert analysis.has_conflicts()
+    assert set(analysis.conflicting_actuators()) == {"DoorLock1", "DoorLock2"}
+
+    # apply the suggested countermeasure and confirm the conflict disappears
+    introduce_coordinator(network, "DoorLock1")
+    introduce_coordinator(network, "DoorLock2")
+    resolved = analyze_conflicts(network)
+    structural_conflicts = [conflict for conflict in resolved.conflicts
+                            if "Coordinator" not in "".join(conflict.functions)]
+    assert all(len(conflict.functions) <= 2
+               for conflict in structural_conflicts)
+
+
+def test_fig4_prototype_simulation(benchmark):
+    """FAA validation by simulation of the prototypical behaviours."""
+    network = build_door_lock_faa()
+    control = network.subcomponent("DoorLockControl")
+    trace = benchmark(lambda: simulate(control, crash_scenario(8), ticks=8))
+    assert trace.output("mode").values()[-1] == "CrashUnlocked"
+
+
+def test_fig4_blackbox_reengineering_to_partial_faa(benchmark):
+    matrix = CommunicationMatrix("BodyDomain")
+    matrix.add("door_status", "DoorModule", ["CentralLocking"], period=20)
+    matrix.add("crash", "AirbagECU", ["CentralLocking", "HazardLights"],
+               period=10)
+    matrix.add("speed", "ESP", ["CentralLocking", "Wipers"], period=10)
+    matrix.add("lock_command", "CentralLocking", ["DoorActuators"], period=20)
+
+    partial_faa = benchmark(lambda: blackbox_reengineer(matrix))
+    lines = [f"functions recovered: {len(partial_faa.subcomponents())}",
+             f"dependencies recovered: {len(partial_faa.internal_channels())}"]
+    report("F4b", "\n".join(lines))
+    assert len(partial_faa.subcomponents()) == len(matrix.functions())
+    assert len(partial_faa.internal_channels()) == len(matrix.dependency_pairs())

@@ -1,0 +1,56 @@
+"""[F6] Fig. 6 -- MTD specifying the engine operation modes.
+
+Regenerates the engine-operation-mode MTD, its reachability analysis and the
+mode trajectory over the driving scenario (start -> cranking -> idle ->
+part/full load -> overrun -> idle -> off).
+"""
+
+from collections import Counter
+
+from repro.casestudy import build_engine_modes_mtd
+from repro.io.render import render_mtd
+from repro.simulation.engine import simulate
+
+from _bench_utils import report
+
+
+def test_fig6_engine_mode_mtd(benchmark, engine_scenario):
+    mtd = build_engine_modes_mtd()
+    stimuli = {"n": engine_scenario["n"], "ped": engine_scenario["ped"],
+               "t_eng": engine_scenario["t_eng"]}
+
+    trace = benchmark(lambda: simulate(mtd, stimuli, ticks=120))
+    modes = trace.output("mode").values()
+    occupancy = Counter(modes)
+
+    lines = [render_mtd(mtd), "",
+             "mode occupancy over the 120-tick driving scenario:"]
+    for mode, ticks in occupancy.most_common():
+        lines.append(f"  {mode:<10} {ticks:>4} ticks")
+    transitions_taken = sum(1 for first, second in zip(modes, modes[1:])
+                            if first != second)
+    lines.append(f"mode changes observed: {transitions_taken}")
+    report("F6", "\n".join(lines))
+
+    assert mtd.validate().is_valid()
+    assert mtd.reachable_modes() == set(mtd.mode_names())
+    # the scenario visits the characteristic operating regions
+    for expected in ("Off", "Cranking", "Idle", "PartLoad", "Overrun"):
+        assert expected in occupancy
+    assert transitions_taken >= 5
+    # fuel factor is zero while the engine is off or in overrun fuel cut
+    fuel = trace.output("fuel_factor").values()
+    assert all(fuel[tick] == 0 for tick, mode in enumerate(modes)
+               if mode in ("Off", "Overrun"))
+
+
+def test_fig6_global_mode_system_is_correct_by_construction(benchmark):
+    """The global mode transition system derived from the MTD (Sec. 5)."""
+    from repro.analysis.mode_analysis import build_global_mode_system
+
+    mtd = build_engine_modes_mtd()
+    system = benchmark(lambda: build_global_mode_system(mtd,
+                                                        scenario_limit=2048))
+    assert system.mode_count() >= 5
+    assert system.transition_count() >= 6
+    assert not system.unreachable_modes()

@@ -1,0 +1,81 @@
+"""[F7] Fig. 7 -- CCD of a simplified engine controller.
+
+Regenerates the LA-level cluster network with explicit rates, the
+OSEK-specific well-definedness findings (a slow-to-fast rate transition
+missing its delay operator), the repair, and the clock-based clustering
+refinement that produces such CCDs from an FDA model.
+"""
+
+from repro.analysis.well_definedness import (OSEK_FIXED_PRIORITY,
+                                             TIME_TRIGGERED,
+                                             check_rate_transitions,
+                                             missing_delays,
+                                             repair_rate_transitions)
+from repro.casestudy import build_engine_ccd, driving_scenario
+from repro.io.render import render_ccd
+from repro.levels.la import LogicalArchitecture
+from repro.simulation.engine import simulate_ccd
+
+from _bench_utils import report
+
+
+def test_fig7_ccd_structure_and_well_definedness(benchmark):
+    def build_and_check():
+        ccd = build_engine_ccd()
+        return ccd, check_rate_transitions(ccd, OSEK_FIXED_PRIORITY)
+
+    ccd, findings = benchmark(build_and_check)
+
+    lines = [render_ccd(ccd), "", "OSEK well-definedness findings:"]
+    lines.extend("  " + finding.describe() for finding in findings)
+    violations = missing_delays(ccd)
+    lines.append(f"missing delay operators: {violations}")
+    repaired = repair_rate_transitions(ccd)
+    lines.append(f"after repair (delay inserted on {repaired}): "
+                 f"{missing_delays(ccd)} missing")
+    report("F7", "\n".join(lines))
+
+    assert ccd.rates() == {"SensorProcessing": 1, "FuelAndIgnition": 1,
+                           "IdleSpeed": 10, "Monitoring": 20}
+    directions = {(f.source, f.destination): f.direction for f in findings}
+    assert directions[("Monitoring", "FuelAndIgnition")] == "slow-to-fast"
+    assert directions[("SensorProcessing", "FuelAndIgnition")] == "same-rate"
+    assert violations == [f.channel for f in findings
+                          if f.direction == "slow-to-fast"]
+    assert missing_delays(ccd) == []
+    # the stricter time-triggered profile demands more delays than OSEK
+    assert len(missing_delays(build_engine_ccd(), TIME_TRIGGERED)) > 1
+
+
+def test_fig7_rate_gated_simulation(benchmark):
+    ccd = build_engine_ccd()
+    repair_rate_transitions(ccd)
+    scenario = driving_scenario(60)
+    la = LogicalArchitecture("EngineLA", ccd)
+    stimuli = {"n": scenario["n"], "ped": scenario["ped"],
+               "throttle_angle": scenario["throttle_angle"]}
+    trace = benchmark(lambda: la.simulate(stimuli, ticks=60))
+    # each output is present exactly at the rate of its producing cluster
+    assert trace.output("ti").presence_count() == 60
+    assert trace.output("idle_correction").presence_count() == 6
+    report("F7b", "presence counts over 60 ticks: "
+                  f"ti={trace.output('ti').presence_count()}, "
+                  f"ignition={trace.output('ignition_angle').presence_count()}, "
+                  f"idle={trace.output('idle_correction').presence_count()}")
+
+
+def test_fig7_clock_based_clustering(benchmark):
+    """The clustering refinement that produces CCDs from an FDA model."""
+    from repro.casestudy import ENGINE_MODE_NAMES, build_engine_ascet_project
+    from repro.transformations.clustering import cluster_by_clock
+    from repro.transformations.reengineering import reengineer_project
+
+    fda = reengineer_project(build_engine_ascet_project(), ENGINE_MODE_NAMES)
+    periods = {"IgnitionTiming": 2, "IdleSpeedControl": 10}
+    ccd, partition = benchmark(lambda: cluster_by_clock(fda, periods))
+    report("F7c", "clock-based clustering partition: "
+                  + ", ".join(f"T{period}:{names}"
+                              for period, names in sorted(partition.items())))
+    assert set(partition) == {1, 2, 10}
+    assert len(ccd.clusters()) == 3
+    assert ccd.validate().is_valid()

@@ -1,0 +1,74 @@
+"""[F8] Fig. 8 -- component with an embedded MTD (FuelEnabled / CrankingOverrun).
+
+Regenerates the ThrottleRateOfChange reengineering example: the original
+ASCET process with its If-Then-Else control flow, the reengineered component
+whose MTD makes the two implicit modes explicit, and the simulation-based
+equivalence check between the two.
+"""
+
+from repro.ascet.importer import analyze_module
+from repro.ascet.model import AscetInterpreter
+from repro.casestudy import build_engine_ascet_project, driving_scenario
+from repro.io.render import render_mtd
+from repro.simulation.engine import simulate
+from repro.transformations.reengineering import reengineer_process
+
+from _bench_utils import report
+
+
+def _throttle_module():
+    return build_engine_ascet_project().module("ThrottleRateOfChange")
+
+
+def test_fig8_throttle_rate_of_change_reengineering(benchmark):
+    module = _throttle_module()
+    process = module.process("calc_rate")
+
+    mtd = benchmark(lambda: reengineer_process(
+        module, process, ["FuelEnabled", "CrankingOverrun"]))
+
+    analysis = analyze_module(module,
+                              {"calc_rate": ["FuelEnabled", "CrankingOverrun"]})
+    lines = ["original ASCET process:", process.to_pseudocode(), "",
+             analysis.describe(), "", "reengineered AutoMoDe component:",
+             render_mtd(mtd)]
+    report("F8", "\n".join(lines))
+
+    assert mtd.mode_names() == ["FuelEnabled", "CrankingOverrun"]
+    assert len(mtd.transitions()) == 2
+    assert mtd.validate().is_valid()
+    # the If-Then-Else disappeared from the reengineered representation
+    from repro.analysis.metrics import measure_component
+    assert measure_component(mtd).if_then_else_operators == 0
+    assert process.if_then_else_count() == 1
+
+
+def test_fig8_behavioural_equivalence(benchmark):
+    module = _throttle_module()
+    process = module.process("calc_rate")
+    mtd = reengineer_process(module, process,
+                             ["FuelEnabled", "CrankingOverrun"])
+
+    scenario = driving_scenario(120)
+    fuel_flags = [not (ped <= 0 and n > 3000) and n >= 400
+                  for n, ped in zip(scenario["n"], scenario["ped"])]
+    interpreter = AscetInterpreter(module)
+    ascet_inputs = [{"n": scenario["n"][t], "b_fuel": fuel_flags[t],
+                     "pos": scenario["pos"][t],
+                     "pos_des": scenario["pos_des"][t]}
+                    for t in range(120)]
+    expected = [out["throttle_rate"] for out in interpreter.run(ascet_inputs)]
+
+    stimuli = {"n": scenario["n"], "b_fuel": fuel_flags,
+               "pos": scenario["pos"], "pos_des": scenario["pos_des"]}
+    trace = benchmark(lambda: simulate(mtd, stimuli, ticks=120))
+
+    observed = trace.output("throttle_rate").values()
+    worst = max(abs(a - b) for a, b in zip(expected, observed))
+    modes = trace.output("mode").values()
+    report("F8b", f"max deviation ASCET vs AutoMoDe over 120 ticks: {worst}\n"
+                  f"ticks in FuelEnabled: {modes.count('FuelEnabled')}, "
+                  f"in CrankingOverrun: {modes.count('CrankingOverrun')}")
+    assert worst == 0.0
+    assert modes.count("FuelEnabled") > 0
+    assert modes.count("CrankingOverrun") > 0

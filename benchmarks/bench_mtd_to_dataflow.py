@@ -1,0 +1,42 @@
+"""[T1] Sec. 3.3 -- MTD to partitionable data-flow transformation.
+
+Regenerates the tool-prototype algorithm that turns an MTD into a
+semantically equivalent, partitionable data-flow model, and verifies the
+equivalence by simulation on the driving scenario.
+"""
+
+from repro.casestudy import build_engine_modes_mtd
+from repro.transformations.mtd_to_dataflow import (transform_mtd_to_dataflow,
+                                                   verify_equivalence)
+
+from _bench_utils import report
+
+
+def test_t1_transformation_structure(benchmark):
+    mtd = build_engine_modes_mtd()
+    dataflow = benchmark(lambda: transform_mtd_to_dataflow(mtd))
+
+    lines = [f"source MTD: {len(mtd.modes())} modes, "
+             f"{len(mtd.transitions())} transitions, monolithic",
+             f"generated data-flow: {len(dataflow.subcomponents())} blocks, "
+             f"{len(dataflow.channels())} channels, "
+             f"{len(dataflow.evaluation_order())}-step evaluation order",
+             "blocks: " + ", ".join(sorted(dataflow.subcomponent_names()))]
+    report("T1", "\n".join(lines))
+
+    # one controller + one activated behaviour per mode + one merge per output
+    assert len(dataflow.subcomponents()) == 1 + len(mtd.modes()) + 1
+    assert dataflow.validate().is_valid()
+
+
+def test_t1_equivalence_on_driving_scenario(benchmark, engine_scenario):
+    mtd = build_engine_modes_mtd()
+    dataflow = transform_mtd_to_dataflow(mtd)
+    stimuli = {"n": engine_scenario["n"], "ped": engine_scenario["ped"],
+               "t_eng": engine_scenario["t_eng"]}
+
+    equivalent, difference = benchmark(
+        lambda: verify_equivalence(mtd, dataflow, stimuli, ticks=120))
+    report("T1b", f"trace equivalence over 120 ticks: {equivalent} "
+                  f"(first difference: {difference})")
+    assert equivalent

@@ -1,0 +1,65 @@
+"""[P1] Scalability of the tool-prototype algorithms (sanity benchmark).
+
+Not a paper figure: measures how the causality check, the clock-based
+clustering and the simulation engine scale with model size, so regressions
+in the algorithmic core are visible.
+"""
+
+import pytest
+
+from repro.core.components import ExpressionComponent
+from repro.notations.blocks import UnitDelay
+from repro.notations.dfd import DataFlowDiagram
+from repro.simulation.causality import analyze_causality
+from repro.simulation.engine import simulate
+from repro.transformations.clustering import cluster_by_clock
+
+from _bench_utils import report
+
+
+def _chain_dfd(length: int) -> DataFlowDiagram:
+    """A chain of *length* expression blocks with a delayed feedback edge."""
+    dfd = DataFlowDiagram(f"Chain{length}")
+    dfd.add_input("u")
+    dfd.add_output("y")
+    previous = None
+    for index in range(length):
+        block = ExpressionComponent(f"B{index}", {"out": "in1 + 1"})
+        block.declare_interface_from_expressions()
+        block.annotate("rate", 1 if index % 2 == 0 else 10)
+        dfd.add_subcomponent(block)
+        if previous is None:
+            dfd.connect("u", f"B{index}.in1")
+        else:
+            dfd.connect(f"{previous}.out", f"B{index}.in1")
+        previous = f"B{index}"
+    delay = UnitDelay("Z")
+    dfd.add_subcomponent(delay)
+    dfd.connect(f"{previous}.out", "Z.in1")
+    dfd.connect(f"{previous}.out", "y")
+    return dfd
+
+
+@pytest.mark.parametrize("size", [20, 80, 200])
+def test_p1_causality_check_scales(benchmark, size):
+    dfd = _chain_dfd(size)
+    analysis = benchmark(lambda: analyze_causality(dfd))
+    assert analysis.is_causal
+    report("P1", f"causality check over {size + 1} blocks: "
+                 f"{analysis.composite_count()} composite(s) analysed")
+
+
+@pytest.mark.parametrize("size", [20, 80])
+def test_p1_clustering_scales(benchmark, size):
+    dfd = _chain_dfd(size)
+    ccd, partition = benchmark(lambda: cluster_by_clock(dfd))
+    assert len(ccd.clusters()) == 2
+    assert sum(len(names) for names in partition.values()) == size + 1
+
+
+@pytest.mark.parametrize("size,ticks", [(20, 200), (80, 100)])
+def test_p1_simulation_throughput(benchmark, size, ticks):
+    dfd = _chain_dfd(size)
+    trace = benchmark(lambda: simulate(dfd, {"u": [1.0] * ticks}, ticks=ticks))
+    assert trace.output("y").presence_count() == ticks
+    assert trace.output("y")[0] == 1.0 + size

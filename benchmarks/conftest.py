@@ -1,0 +1,9 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def engine_scenario():
+    from repro.casestudy import driving_scenario
+    return driving_scenario(120)

@@ -1,0 +1,22 @@
+"""AutoMoDe reproduction: model-based development of automotive software.
+
+This package reproduces the system described in "AutoMoDe -- Model-Based
+Development of Automotive Software" (DATE 2005): a modelling framework with
+
+* a message-based, discrete-time operational model with abstract clocks,
+* graphical notations (SSD, DFD, MTD, STD, CCD) as views of one metamodel,
+* abstraction levels FAA, FDA, LA/TA and OA,
+* formalised transformation steps (reengineering, refactoring, refinement),
+* a simulated ASCET-SD / OSEK / CAN substrate for deployment and code
+  generation,
+* the gasoline-engine-control reengineering case study.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the mapping of
+paper figures to benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,35 @@
+"""Analyses over AutoMoDe models.
+
+* :mod:`repro.analysis.conflicts` -- FAA rule-based actuator conflict detection
+* :mod:`repro.analysis.metrics` -- model complexity metrics (case study)
+* :mod:`repro.analysis.mode_analysis` -- global mode transition system
+* :mod:`repro.analysis.well_definedness` -- LA/CCD target-specific conditions
+* :mod:`repro.analysis.consistency` -- cross-level consistency checks
+"""
+
+from .conflicts import (ActuatorConflict, ConflictAnalysis, analyze_conflicts,
+                        suggest_coordinator_name)
+from .consistency import (check_faa_fda_coverage, check_fda_la_allocation,
+                          check_interface_refinement, check_la_ta_deployment)
+from .metrics import (ModelMetrics, compare_metrics, format_comparison,
+                      measure_component)
+from .mode_analysis import (GlobalModeSystem, GlobalTransition,
+                            build_global_mode_system, find_mtds,
+                            mode_explicitness_summary)
+from .well_definedness import (OSEK_FIXED_PRIORITY, PROFILES, TIME_TRIGGERED,
+                               RateTransitionFinding, TargetProfile,
+                               check_rate_transitions, check_well_definedness,
+                               missing_delays, repair_rate_transitions)
+
+__all__ = [
+    "ActuatorConflict", "ConflictAnalysis", "GlobalModeSystem",
+    "GlobalTransition", "ModelMetrics", "OSEK_FIXED_PRIORITY", "PROFILES",
+    "RateTransitionFinding", "TIME_TRIGGERED", "TargetProfile",
+    "analyze_conflicts", "build_global_mode_system", "check_faa_fda_coverage",
+    "check_fda_la_allocation", "check_interface_refinement",
+    "check_la_ta_deployment", "check_rate_transitions",
+    "check_well_definedness", "compare_metrics", "find_mtds",
+    "format_comparison", "measure_component", "missing_delays",
+    "mode_explicitness_summary", "repair_rate_transitions",
+    "suggest_coordinator_name",
+]

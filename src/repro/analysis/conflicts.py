@@ -1,0 +1,140 @@
+"""FAA-level rule-based conflict analysis (paper Sec. 3.1).
+
+"Based on the functional structure and dependencies, rules identify possible
+conflicts (e.g. two vehicle functions access the same actuator) and suggest
+suitable countermeasures to resolve them (e.g. introduce a coordinating
+functionality)."
+
+Vehicle functions declare the sensors and actuators they use through
+component annotations (``annotate("actuators", [...])`` /
+``annotate("sensors", [...])``) or, structurally, through channels to
+components annotated as ``role="actuator"`` / ``role="sensor"``.  The
+analysis reports
+
+* **actuator conflicts** -- two or more functions driving the same actuator,
+* **shared sensors** (informational) -- relevant for failure analysis,
+* **coordination suggestions** -- the countermeasure the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.components import Component, CompositeComponent
+from ..core.validation import Severity, ValidationReport
+
+
+ACTUATOR_ANNOTATION = "actuators"
+SENSOR_ANNOTATION = "sensors"
+ROLE_ANNOTATION = "role"
+
+
+@dataclass
+class ActuatorConflict:
+    """Two or more vehicle functions competing for the same actuator."""
+
+    actuator: str
+    functions: List[str]
+
+    def suggestion(self) -> str:
+        joined = ", ".join(self.functions)
+        return (f"introduce a coordinating functionality arbitrating access of "
+                f"{joined} to actuator {self.actuator!r}")
+
+
+@dataclass
+class ConflictAnalysis:
+    """Result of the FAA conflict rules for one functional network."""
+
+    network: str
+    actuator_usage: Dict[str, List[str]] = field(default_factory=dict)
+    sensor_usage: Dict[str, List[str]] = field(default_factory=dict)
+    conflicts: List[ActuatorConflict] = field(default_factory=list)
+
+    def has_conflicts(self) -> bool:
+        return bool(self.conflicts)
+
+    def conflicting_actuators(self) -> List[str]:
+        return [conflict.actuator for conflict in self.conflicts]
+
+    def to_report(self) -> ValidationReport:
+        report = ValidationReport(f"FAA conflict analysis of {self.network!r}")
+        for conflict in self.conflicts:
+            report.warning(
+                "faa-actuator-conflict",
+                f"functions {', '.join(conflict.functions)} all access "
+                f"actuator {conflict.actuator!r}",
+                element=conflict.actuator,
+                suggestion=conflict.suggestion())
+        for sensor, users in sorted(self.sensor_usage.items()):
+            if len(users) > 1:
+                report.info("faa-shared-sensor",
+                            f"sensor {sensor!r} is read by {', '.join(users)}",
+                            element=sensor)
+        return report
+
+
+def _declared(component: Component, annotation: str) -> Set[str]:
+    value = component.annotations.get(annotation, ())
+    if isinstance(value, str):
+        return {value}
+    return set(value)
+
+
+def _structural_resources(network: CompositeComponent,
+                          role: str) -> Dict[str, Set[str]]:
+    """Resources used via channels to components annotated with *role*.
+
+    Returns ``resource component name -> set of function names`` using it.
+    For actuators the using function is the channel *source*; for sensors it
+    is the channel *destination*.
+    """
+    resource_names = {component.name for component in network.subcomponents()
+                      if component.annotations.get(ROLE_ANNOTATION) == role}
+    usage: Dict[str, Set[str]] = {name: set() for name in resource_names}
+    for channel in network.internal_channels():
+        source = channel.source.component
+        destination = channel.destination.component
+        if role == "actuator" and destination in resource_names and source:
+            usage[destination].add(source)
+        if role == "sensor" and source in resource_names and destination:
+            usage[source].add(destination)
+    return usage
+
+
+def analyze_conflicts(network: CompositeComponent) -> ConflictAnalysis:
+    """Run the FAA conflict rules over a functional network (SSD)."""
+    analysis = ConflictAnalysis(network=network.name)
+
+    actuator_usage: Dict[str, Set[str]] = {}
+    sensor_usage: Dict[str, Set[str]] = {}
+
+    functions = [component for component in network.subcomponents()
+                 if component.annotations.get(ROLE_ANNOTATION)
+                 not in ("actuator", "sensor")]
+    for component in functions:
+        for actuator in _declared(component, ACTUATOR_ANNOTATION):
+            actuator_usage.setdefault(actuator, set()).add(component.name)
+        for sensor in _declared(component, SENSOR_ANNOTATION):
+            sensor_usage.setdefault(sensor, set()).add(component.name)
+
+    for actuator, users in _structural_resources(network, "actuator").items():
+        actuator_usage.setdefault(actuator, set()).update(users)
+    for sensor, users in _structural_resources(network, "sensor").items():
+        sensor_usage.setdefault(sensor, set()).update(users)
+
+    analysis.actuator_usage = {name: sorted(users)
+                               for name, users in sorted(actuator_usage.items())}
+    analysis.sensor_usage = {name: sorted(users)
+                             for name, users in sorted(sensor_usage.items())}
+
+    for actuator, users in analysis.actuator_usage.items():
+        if len(users) > 1:
+            analysis.conflicts.append(ActuatorConflict(actuator, users))
+    return analysis
+
+
+def suggest_coordinator_name(conflict: ActuatorConflict) -> str:
+    """Conventional name for the coordinating functionality to introduce."""
+    return f"{conflict.actuator}Coordinator"

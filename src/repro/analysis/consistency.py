@@ -1,0 +1,146 @@
+"""Cross-level consistency checks (paper Sec. 1 and 3).
+
+"Notations and underlying models have to be well-integrated to ensure
+consistency between different abstractions which is crucial for a design
+process typically spanning several companies."  Because all views in this
+reproduction are built over one metamodel, many consistency properties hold
+by construction; the checks here verify the properties that refinement steps
+could still break:
+
+* every FAA functionality is covered by at least one FDA component
+  (traced through the ``realizes`` annotation),
+* every FDA component is allocated to exactly one LA cluster,
+* cluster interfaces preserve the types of the FDA signals they expose
+  (modulo implementation-type refinement),
+* every LA cluster is deployed to exactly one task of the TA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.components import Component, CompositeComponent
+from ..core.impl_types import ImplementationType
+from ..core.types import Type, is_assignable
+from ..core.validation import ValidationReport
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+
+REALIZES_ANNOTATION = "realizes"
+ALLOCATED_TO_ANNOTATION = "allocated_to"
+
+
+def check_faa_fda_coverage(faa: CompositeComponent,
+                           fda: CompositeComponent) -> ValidationReport:
+    """Every FAA functionality must be realized by some FDA component."""
+    report = ValidationReport(
+        f"FAA/FDA coverage: {faa.name!r} vs {fda.name!r}")
+    realized: Set[str] = set()
+    for component in fda.subcomponents():
+        value = component.annotations.get(REALIZES_ANNOTATION, ())
+        if isinstance(value, str):
+            realized.add(value)
+        else:
+            realized.update(value)
+    for functionality in faa.subcomponents():
+        if functionality.annotations.get("role") in ("sensor", "actuator"):
+            continue
+        if functionality.name in realized:
+            report.info("faa-fda-coverage",
+                        f"functionality {functionality.name!r} is realized",
+                        element=functionality.name)
+        else:
+            report.error("faa-fda-coverage",
+                         f"functionality {functionality.name!r} has no "
+                         "realizing FDA component",
+                         element=functionality.name,
+                         suggestion="annotate the realizing FDA component "
+                                    f"with realizes={functionality.name!r}")
+    return report
+
+
+def check_fda_la_allocation(fda: CompositeComponent,
+                            ccd: ClusterCommunicationDiagram) -> ValidationReport:
+    """Every FDA component must be grouped into exactly one LA cluster."""
+    report = ValidationReport(
+        f"FDA/LA allocation: {fda.name!r} vs {ccd.name!r}")
+    allocation: Dict[str, List[str]] = {}
+    for cluster in ccd.clusters():
+        members = cluster.annotations.get("members", [])
+        if isinstance(members, str):
+            members = [members]
+        for member in members:
+            allocation.setdefault(member, []).append(cluster.name)
+        for sub in cluster.subcomponents():
+            allocation.setdefault(sub.name, []).append(cluster.name)
+    for component in fda.subcomponents():
+        clusters = sorted(set(allocation.get(component.name, [])))
+        if not clusters:
+            report.error("fda-la-allocation",
+                         f"FDA component {component.name!r} is not allocated "
+                         "to any cluster",
+                         element=component.name)
+        elif len(clusters) > 1:
+            report.error("fda-la-allocation",
+                         f"FDA component {component.name!r} is allocated to "
+                         f"several clusters: {', '.join(clusters)} (a cluster "
+                         "is the smallest deployable unit)",
+                         element=component.name)
+        else:
+            report.info("fda-la-allocation",
+                        f"{component.name!r} -> cluster {clusters[0]!r}",
+                        element=component.name)
+    return report
+
+
+def check_interface_refinement(abstract: Component,
+                               concrete: Component) -> ValidationReport:
+    """Port-wise type compatibility between an FDA component and its cluster.
+
+    A concrete (LA) port may carry an implementation type; the check then
+    only requires the port to exist with the same direction.  For abstract
+    types the usual assignability must hold.
+    """
+    report = ValidationReport(
+        f"interface refinement: {abstract.name!r} -> {concrete.name!r}")
+    for port in abstract.ports():
+        if not concrete.has_port(port.name):
+            report.error("interface-refinement",
+                         f"port {port.name!r} of {abstract.name!r} is missing "
+                         f"on {concrete.name!r}",
+                         element=port.name)
+            continue
+        concrete_port = concrete.port(port.name)
+        if concrete_port.direction is not port.direction:
+            report.error("interface-refinement",
+                         f"port {port.name!r} changed direction during "
+                         "refinement",
+                         element=port.name)
+            continue
+        if isinstance(concrete_port.port_type, ImplementationType):
+            report.info("interface-refinement",
+                        f"port {port.name!r}: {port.port_type!r} refined to "
+                        f"{concrete_port.port_type.name}",
+                        element=port.name)
+        elif not is_assignable(port.port_type, concrete_port.port_type):
+            report.error("interface-refinement",
+                         f"port {port.name!r}: {port.port_type!r} is not "
+                         f"assignable to {concrete_port.port_type!r}",
+                         element=port.name)
+    return report
+
+
+def check_la_ta_deployment(ccd: ClusterCommunicationDiagram,
+                           task_of_cluster: Dict[str, str]) -> ValidationReport:
+    """Every cluster must be mapped to exactly one task (clusters never split)."""
+    report = ValidationReport(f"LA/TA deployment of {ccd.name!r}")
+    for cluster in ccd.clusters():
+        task = task_of_cluster.get(cluster.name)
+        if task is None:
+            report.error("la-ta-deployment",
+                         f"cluster {cluster.name!r} is not deployed to any task",
+                         element=cluster.name)
+        else:
+            report.info("la-ta-deployment",
+                        f"cluster {cluster.name!r} -> task {task!r}",
+                        element=cluster.name)
+    return report

@@ -1,0 +1,155 @@
+"""Model complexity metrics used by the reengineering case study (Sec. 5).
+
+The case study argues qualitatively: implicit modes buried in If-Then-Else
+control flow and in a "large number of flags" make the original ASCET model
+hard to understand, whereas MTDs make the orthogonal modes explicit.  To turn
+this into a reproducible comparison, this module measures models:
+
+* structural size (components, blocks, channels, hierarchy depth),
+* control-flow complexity (number of If-Then-Else operators in expressions),
+* mode explicitness (number of MTD/STD modes/states, number of mode ports),
+* flag count (boolean outputs of components, the "flag explosion" symptom).
+
+The same metrics work on AutoMoDe components and (via duck typing on the
+relevant collections) on the ASCET substrate's modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.components import (Component, CompositeComponent,
+                               ExpressionComponent)
+from ..core.expressions import conditional_count, operator_count
+from ..core.types import BoolType
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
+
+
+@dataclass
+class ModelMetrics:
+    """Collected size/complexity numbers for one model."""
+
+    name: str
+    components: int = 0
+    atomic_blocks: int = 0
+    composite_components: int = 0
+    channels: int = 0
+    delayed_channels: int = 0
+    ports: int = 0
+    boolean_outputs: int = 0
+    hierarchy_depth: int = 0
+    expression_operators: int = 0
+    if_then_else_operators: int = 0
+    explicit_modes: int = 0
+    mode_transitions: int = 0
+    mtd_count: int = 0
+    std_states: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        result = {
+            "name": self.name,
+            "components": self.components,
+            "atomic_blocks": self.atomic_blocks,
+            "composite_components": self.composite_components,
+            "channels": self.channels,
+            "delayed_channels": self.delayed_channels,
+            "ports": self.ports,
+            "boolean_outputs": self.boolean_outputs,
+            "hierarchy_depth": self.hierarchy_depth,
+            "expression_operators": self.expression_operators,
+            "if_then_else_operators": self.if_then_else_operators,
+            "explicit_modes": self.explicit_modes,
+            "mode_transitions": self.mode_transitions,
+            "mtd_count": self.mtd_count,
+            "std_states": self.std_states,
+        }
+        result.update(self.extra)
+        return result
+
+    def describe(self) -> str:
+        lines = [f"metrics for {self.name!r}:"]
+        for key, value in self.as_dict().items():
+            if key == "name":
+                continue
+            lines.append(f"  {key.replace('_', ' ')}: {value}")
+        return "\n".join(lines)
+
+
+def measure_component(root: Component) -> ModelMetrics:
+    """Measure an AutoMoDe component hierarchy."""
+    metrics = ModelMetrics(name=root.name)
+    components: List[Component]
+    if isinstance(root, CompositeComponent):
+        components = [component for _, component in root.walk()]
+        metrics.hierarchy_depth = root.hierarchy_depth()
+    else:
+        components = [root]
+        metrics.hierarchy_depth = 1
+
+    metrics.components = len(components)
+    for component in components:
+        if isinstance(component, CompositeComponent):
+            metrics.composite_components += 1
+            metrics.channels += len(component.channels())
+            metrics.delayed_channels += sum(
+                1 for channel in component.channels() if channel.delayed)
+        else:
+            metrics.atomic_blocks += 1
+        metrics.ports += len(component.ports())
+        metrics.boolean_outputs += sum(
+            1 for port in component.output_ports()
+            if isinstance(port.port_type, BoolType))
+        if isinstance(component, ExpressionComponent):
+            for expression in component.output_expressions.values():
+                metrics.expression_operators += operator_count(expression)
+                metrics.if_then_else_operators += conditional_count(expression)
+        if isinstance(component, ModeTransitionDiagram):
+            metrics.mtd_count += 1
+            metrics.explicit_modes += len(component.modes())
+            metrics.mode_transitions += len(component.transitions())
+            for mode in component.modes():
+                if mode.behavior is not None:
+                    nested = measure_component(mode.behavior)
+                    metrics.atomic_blocks += nested.atomic_blocks
+                    metrics.expression_operators += nested.expression_operators
+                    metrics.if_then_else_operators += nested.if_then_else_operators
+        if isinstance(component, StateTransitionDiagram):
+            metrics.std_states += len(component.states())
+            metrics.mode_transitions += len(component.transitions())
+            for transition in component.transitions():
+                metrics.expression_operators += operator_count(transition.guard)
+                for action in transition.actions.values():
+                    metrics.expression_operators += operator_count(action)
+    return metrics
+
+
+def compare_metrics(before: ModelMetrics, after: ModelMetrics) -> Dict[str, Any]:
+    """Tabulate a before/after comparison (the case-study headline table)."""
+    rows = {}
+    before_dict = before.as_dict()
+    after_dict = after.as_dict()
+    for key in before_dict:
+        if key == "name":
+            continue
+        rows[key] = {
+            "before": before_dict[key],
+            "after": after_dict.get(key, 0),
+            "delta": after_dict.get(key, 0) - before_dict[key],
+        }
+    return rows
+
+
+def format_comparison(before: ModelMetrics, after: ModelMetrics,
+                      before_label: str = "before",
+                      after_label: str = "after") -> str:
+    """Render the comparison as an aligned text table."""
+    rows = compare_metrics(before, after)
+    header = f"{'metric':32} {before_label:>10} {after_label:>10} {'delta':>8}"
+    lines = [header, "-" * len(header)]
+    for key, entry in rows.items():
+        lines.append(f"{key.replace('_', ' '):32} {entry['before']:>10} "
+                     f"{entry['after']:>10} {entry['delta']:>+8}")
+    return "\n".join(lines)

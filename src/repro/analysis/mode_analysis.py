@@ -1,0 +1,224 @@
+"""Global mode analysis (paper Sec. 5).
+
+"The different modes in MTDs can be used in order to determine a global mode
+transition system which is then correct by construction."  This module
+builds that global mode transition system as the synchronous product of all
+MTDs found in a component hierarchy:
+
+* a global mode is a tuple of local modes (one per MTD),
+* a global transition exists when, for some combination of local transitions
+  (or local stuttering), the conjunction of guards is satisfiable on at least
+  one input valuation drawn from a finite test vocabulary.
+
+Because guards range over unbounded value domains, exact satisfiability is
+undecidable in general; the product here is computed relative to a finite
+*scenario vocabulary* of input valuations (explicitly supplied or sampled
+from the guards' constants), which is both sound for the models in this
+repository and mirrors what a tool prototype validating against simulation
+scenarios would do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.components import Component, CompositeComponent
+from ..core.expr_eval import ExpressionEvaluator
+from ..core.expressions import BinaryOp, Literal, walk
+from ..core.values import ABSENT, is_present
+from ..notations.mtd import ModeTransitionDiagram
+
+
+GlobalMode = Tuple[str, ...]
+
+
+@dataclass
+class GlobalTransition:
+    """One transition of the global mode transition system."""
+
+    source: GlobalMode
+    target: GlobalMode
+    witnesses: List[Dict[str, Any]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"{'/'.join(self.source)} -> {'/'.join(self.target)}"
+
+
+@dataclass
+class GlobalModeSystem:
+    """The product automaton over all component MTDs."""
+
+    mtd_names: List[str]
+    initial: GlobalMode
+    modes: Set[GlobalMode] = field(default_factory=set)
+    transitions: List[GlobalTransition] = field(default_factory=list)
+
+    def mode_count(self) -> int:
+        return len(self.modes)
+
+    def transition_count(self) -> int:
+        return len(self.transitions)
+
+    def reachable_from_initial(self) -> Set[GlobalMode]:
+        adjacency: Dict[GlobalMode, Set[GlobalMode]] = {}
+        for transition in self.transitions:
+            adjacency.setdefault(transition.source, set()).add(transition.target)
+        reachable = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            current = frontier.pop()
+            for successor in adjacency.get(current, ()):  # type: ignore[arg-type]
+                if successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+        return reachable
+
+    def unreachable_modes(self) -> Set[GlobalMode]:
+        return self.modes - self.reachable_from_initial()
+
+    def describe(self) -> str:
+        lines = [f"global mode transition system over {', '.join(self.mtd_names)}:",
+                 f"  initial: {'/'.join(self.initial)}",
+                 f"  modes ({self.mode_count()}):"]
+        for mode in sorted(self.modes):
+            marker = "*" if mode == self.initial else " "
+            lines.append(f"   {marker} {'/'.join(mode)}")
+        lines.append(f"  transitions ({self.transition_count()}):")
+        for transition in self.transitions:
+            lines.append(f"    {transition.describe()}")
+        return "\n".join(lines)
+
+
+def find_mtds(root: Component) -> List[ModeTransitionDiagram]:
+    """All MTDs in the hierarchy below *root* (including *root* itself)."""
+    mtds: List[ModeTransitionDiagram] = []
+    if isinstance(root, ModeTransitionDiagram):
+        mtds.append(root)
+    if isinstance(root, CompositeComponent):
+        for _, component in root.walk():
+            if isinstance(component, ModeTransitionDiagram) and component not in mtds:
+                mtds.append(component)
+    return mtds
+
+
+def _guard_constants(mtd: ModeTransitionDiagram) -> Dict[str, Set[Any]]:
+    """Sample values per input name from the constants appearing in guards.
+
+    For every comparison ``x <op> c`` the values ``c - 1``, ``c`` and ``c + 1``
+    are added for numeric constants, plus the constant itself for booleans and
+    enumeration literals.  This vocabulary is sufficient to distinguish all
+    guard outcomes for the threshold-style guards used in automotive mode
+    logic.
+    """
+    vocabulary: Dict[str, Set[Any]] = {name: set() for name in mtd.input_names()}
+    for transition in mtd.transitions():
+        for node in walk(transition.guard):
+            if isinstance(node, BinaryOp):
+                sides = [(node.left, node.right), (node.right, node.left)]
+                for variable_side, literal_side in sides:
+                    if hasattr(variable_side, "name") and isinstance(literal_side, Literal):
+                        name = variable_side.name  # type: ignore[attr-defined]
+                        if name not in vocabulary:
+                            continue
+                        value = literal_side.value
+                        if isinstance(value, bool) or isinstance(value, str):
+                            vocabulary[name].add(value)
+                        elif isinstance(value, (int, float)):
+                            vocabulary[name].update({value - 1, value, value + 1})
+    for name, values in vocabulary.items():
+        if not values:
+            values.update({True, False, 0, 1})
+        if any(isinstance(v, bool) for v in values):
+            values.update({True, False})
+    return vocabulary
+
+
+def _merge_vocabularies(mtds: Iterable[ModeTransitionDiagram]) -> Dict[str, List[Any]]:
+    merged: Dict[str, Set[Any]] = {}
+    for mtd in mtds:
+        for name, values in _guard_constants(mtd).items():
+            merged.setdefault(name, set()).update(values)
+    return {name: sorted(values, key=repr) for name, values in merged.items()}
+
+
+def _scenario_valuations(vocabulary: Mapping[str, List[Any]],
+                         limit: int = 4096) -> List[Dict[str, Any]]:
+    """Cartesian scenarios over the vocabulary, capped at *limit* entries."""
+    names = sorted(vocabulary)
+    if not names:
+        return [{}]
+    pools = [vocabulary[name] for name in names]
+    scenarios: List[Dict[str, Any]] = []
+    for combination in itertools.product(*pools):
+        scenarios.append(dict(zip(names, combination)))
+        if len(scenarios) >= limit:
+            break
+    return scenarios
+
+
+def build_global_mode_system(root: Component,
+                             scenarios: Optional[List[Dict[str, Any]]] = None,
+                             scenario_limit: int = 4096) -> GlobalModeSystem:
+    """Build the global mode transition system of all MTDs below *root*."""
+    mtds = find_mtds(root)
+    if not mtds:
+        return GlobalModeSystem(mtd_names=[], initial=(), modes={()})
+    evaluator = ExpressionEvaluator()
+    if scenarios is None:
+        scenarios = _scenario_valuations(_merge_vocabularies(mtds), scenario_limit)
+
+    initial: GlobalMode = tuple(mtd.initial_mode or "" for mtd in mtds)
+    system = GlobalModeSystem(mtd_names=[mtd.name for mtd in mtds], initial=initial)
+    system.modes.add(initial)
+
+    transition_index: Dict[Tuple[GlobalMode, GlobalMode], GlobalTransition] = {}
+    frontier: List[GlobalMode] = [initial]
+    explored: Set[GlobalMode] = set()
+
+    while frontier:
+        current = frontier.pop()
+        if current in explored:
+            continue
+        explored.add(current)
+        for scenario in scenarios:
+            successor: List[str] = []
+            for index, mtd in enumerate(mtds):
+                local_mode = current[index]
+                next_mode = local_mode
+                for transition in mtd.transitions_from(local_mode):
+                    environment = {name: scenario.get(name, ABSENT)
+                                   for name in mtd.input_names()}
+                    value = evaluator.evaluate(transition.guard, environment)
+                    if is_present(value) and bool(value):
+                        next_mode = transition.target
+                        break
+                successor.append(next_mode)
+            target: GlobalMode = tuple(successor)
+            if target == current:
+                continue
+            system.modes.add(target)
+            key = (current, target)
+            if key not in transition_index:
+                entry = GlobalTransition(source=current, target=target)
+                transition_index[key] = entry
+                system.transitions.append(entry)
+            if len(transition_index[key].witnesses) < 3:
+                transition_index[key].witnesses.append(dict(scenario))
+            if target not in explored:
+                frontier.append(target)
+    return system
+
+
+def mode_explicitness_summary(root: Component) -> Dict[str, Any]:
+    """Summary used by the case-study benchmark: how explicit are the modes."""
+    mtds = find_mtds(root)
+    total_modes = sum(len(mtd.modes()) for mtd in mtds)
+    total_transitions = sum(len(mtd.transitions()) for mtd in mtds)
+    return {
+        "mtd_count": len(mtds),
+        "explicit_modes": total_modes,
+        "mode_transitions": total_transitions,
+        "mtd_names": [mtd.name for mtd in mtds],
+    }

@@ -1,0 +1,27 @@
+"""Simulated ASCET-SD substrate: source models, analysis and OA generation.
+
+* :mod:`repro.ascet.model` -- ASCET-like modules, processes, If-Then-Else
+  statements, projects and an interpreter (white-box reengineering source)
+* :mod:`repro.ascet.importer` -- implicit-mode and flag analysis
+* :mod:`repro.ascet.comm_matrix` -- communication matrices (black-box source)
+* :mod:`repro.ascet.codegen` -- per-ECU ASCET-style project generation (OA)
+"""
+
+from .codegen import (AscetProjectGenerator, GeneratedProject, c_type_of,
+                      expression_to_c)
+from .comm_matrix import CommunicationMatrix, MatrixEntry
+from .importer import (ImplicitMode, ModuleAnalysis, analyze_module,
+                       find_flags, find_implicit_modes, find_mode_conditions,
+                       module_interface)
+from .model import (AscetInterpreter, AscetModule, AscetProcess, AscetProject,
+                    AscetTask, Assignment, IfThenElse, Statement, assign,
+                    if_then_else)
+
+__all__ = [
+    "AscetInterpreter", "AscetModule", "AscetProcess", "AscetProject",
+    "AscetProjectGenerator", "AscetTask", "Assignment", "CommunicationMatrix",
+    "GeneratedProject", "IfThenElse", "ImplicitMode", "MatrixEntry",
+    "ModuleAnalysis", "Statement", "analyze_module", "assign", "c_type_of",
+    "expression_to_c", "find_flags", "find_implicit_modes",
+    "find_mode_conditions", "if_then_else", "module_interface",
+]

@@ -1,0 +1,138 @@
+"""Communication matrices (black-box reengineering source, paper Sec. 4).
+
+"'Black-box' reengineering transforms E/E architecture representations like
+communication-matrices, which capture dependencies between functions, to
+partial FAA level representations."  A communication matrix is the standard
+OEM artefact listing, per signal, the sending function/ECU and all receiving
+functions/ECUs, usually together with the carrying bus frame.
+
+This module provides the data structure plus loading/derivation helpers; the
+transformation to a partial FAA model lives in
+:mod:`repro.transformations.reengineering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ModelError
+
+
+@dataclass
+class MatrixEntry:
+    """One signal row of a communication matrix."""
+
+    signal: str
+    sender: str
+    receivers: List[str]
+    frame: Optional[str] = None
+    period: Optional[int] = None
+    length_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ModelError(f"signal {self.signal!r} has no receivers")
+        if self.sender in self.receivers:
+            raise ModelError(
+                f"signal {self.signal!r}: sender {self.sender!r} also listed "
+                "as receiver")
+
+
+class CommunicationMatrix:
+    """A set of signal rows with sender/receiver functions."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._entries: Dict[str, MatrixEntry] = {}
+
+    def add(self, signal: str, sender: str, receivers: Sequence[str],
+            frame: Optional[str] = None, period: Optional[int] = None,
+            length_bits: int = 8) -> MatrixEntry:
+        if signal in self._entries:
+            raise ModelError(f"matrix {self.name!r} already has signal {signal!r}")
+        entry = MatrixEntry(signal, sender, list(receivers), frame, period,
+                            length_bits)
+        self._entries[signal] = entry
+        return entry
+
+    def entry(self, signal: str) -> MatrixEntry:
+        try:
+            return self._entries[signal]
+        except KeyError as exc:
+            raise ModelError(f"matrix {self.name!r} has no signal {signal!r}") from exc
+
+    def entries(self) -> List[MatrixEntry]:
+        return [self._entries[name] for name in sorted(self._entries)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- derived views ------------------------------------------------------------
+    def functions(self) -> List[str]:
+        """All function names appearing as sender or receiver."""
+        names: Set[str] = set()
+        for entry in self._entries.values():
+            names.add(entry.sender)
+            names.update(entry.receivers)
+        return sorted(names)
+
+    def signals_sent_by(self, function: str) -> List[MatrixEntry]:
+        return [entry for entry in self.entries() if entry.sender == function]
+
+    def signals_received_by(self, function: str) -> List[MatrixEntry]:
+        return [entry for entry in self.entries() if function in entry.receivers]
+
+    def dependency_pairs(self) -> List[Tuple[str, str, str]]:
+        """``(sender, receiver, signal)`` triples -- the functional dependencies."""
+        pairs = []
+        for entry in self.entries():
+            for receiver in entry.receivers:
+                pairs.append((entry.sender, receiver, entry.signal))
+        return pairs
+
+    def fan_out(self) -> Dict[str, int]:
+        """Number of distinct receivers per sending function."""
+        result: Dict[str, Set[str]] = {}
+        for entry in self.entries():
+            result.setdefault(entry.sender, set()).update(entry.receivers)
+        return {name: len(receivers) for name, receivers in sorted(result.items())}
+
+    def frames(self) -> List[str]:
+        return sorted({entry.frame for entry in self._entries.values()
+                       if entry.frame is not None})
+
+    def signals_in_frame(self, frame: str) -> List[MatrixEntry]:
+        return [entry for entry in self.entries() if entry.frame == frame]
+
+    # -- serialization -------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [{
+            "signal": entry.signal,
+            "sender": entry.sender,
+            "receivers": list(entry.receivers),
+            "frame": entry.frame,
+            "period": entry.period,
+            "length_bits": entry.length_bits,
+        } for entry in self.entries()]
+
+    @classmethod
+    def from_rows(cls, name: str, rows: Iterable[Dict[str, object]]
+                  ) -> "CommunicationMatrix":
+        matrix = cls(name)
+        for row in rows:
+            matrix.add(str(row["signal"]), str(row["sender"]),
+                       list(row["receivers"]),  # type: ignore[arg-type]
+                       frame=row.get("frame"),  # type: ignore[arg-type]
+                       period=row.get("period"),  # type: ignore[arg-type]
+                       length_bits=int(row.get("length_bits", 8)))  # type: ignore[arg-type]
+        return matrix
+
+    def describe(self) -> str:
+        lines = [f"communication matrix {self.name!r} "
+                 f"({len(self)} signals, {len(self.functions())} functions):"]
+        for entry in self.entries():
+            frame = f" [{entry.frame}]" if entry.frame else ""
+            lines.append(f"  {entry.signal}: {entry.sender} -> "
+                         f"{', '.join(entry.receivers)}{frame}")
+        return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Analysis of ASCET models in preparation of white-box reengineering.
+
+The case study (paper Sec. 5) observes that ASCET processes hide operation
+modes inside If-Then-Else control flow and flag variables: "implicit modes of
+ASCET processes can be made explicit to the developer by using MTDs, rather
+than control flow operators such as If-Then-Else."  The importer analyses a
+module's processes and recovers the *implicit mode structure*:
+
+* :func:`find_mode_conditions` -- the distinct top-level branch conditions,
+* :func:`find_implicit_modes` -- candidate modes: one per top-level branch of
+  the outermost If-Then-Else statements (e.g. ``FuelEnabled`` vs.
+  ``CrankingOverrun`` for the ThrottleRateOfChange process),
+* :func:`find_flags` -- boolean sent messages ("flags") that encode state,
+* :func:`module_interface` -- the port interface the reengineered component
+  will carry.
+
+The actual construction of the AutoMoDe component (MTD + per-mode DFDs) is
+performed by :mod:`repro.transformations.reengineering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.expressions import Expression, UnaryOp
+from .model import AscetModule, AscetProcess, Assignment, IfThenElse, Statement
+
+
+@dataclass
+class ImplicitMode:
+    """One recovered implicit mode of an ASCET process."""
+
+    name: str
+    condition: Optional[Expression]
+    statements: List[Statement] = field(default_factory=list)
+    process: str = ""
+
+    def assigned_messages(self) -> List[str]:
+        names: List[str] = []
+        for statement in self.statements:
+            names.extend(statement.targets())
+        return sorted(set(names))
+
+    def describe(self) -> str:
+        guard = self.condition.to_source() if self.condition is not None else "otherwise"
+        return f"{self.name}: when {guard} (assigns {', '.join(self.assigned_messages())})"
+
+
+@dataclass
+class ModuleAnalysis:
+    """Aggregate result of analysing one ASCET module."""
+
+    module: str
+    implicit_modes: List[ImplicitMode] = field(default_factory=list)
+    mode_conditions: List[Expression] = field(default_factory=list)
+    flags: List[str] = field(default_factory=list)
+    if_then_else_count: int = 0
+    max_if_depth: int = 0
+
+    def mode_count(self) -> int:
+        return len(self.implicit_modes)
+
+    def describe(self) -> str:
+        lines = [f"analysis of ASCET module {self.module!r}:",
+                 f"  If-Then-Else operators: {self.if_then_else_count} "
+                 f"(max nesting depth {self.max_if_depth})",
+                 f"  state flags: {', '.join(self.flags) if self.flags else '(none)'}",
+                 f"  implicit modes ({self.mode_count()}):"]
+        lines.extend("    " + mode.describe() for mode in self.implicit_modes)
+        return "\n".join(lines)
+
+
+def find_mode_conditions(process: AscetProcess) -> List[Expression]:
+    """Distinct branch conditions of the process, outermost first."""
+    seen: List[Expression] = []
+    for condition in process.conditions():
+        if condition not in seen:
+            seen.append(condition)
+    return seen
+
+
+def find_implicit_modes(process: AscetProcess,
+                        mode_names: Optional[Sequence[str]] = None
+                        ) -> List[ImplicitMode]:
+    """Recover candidate modes from the outermost If-Then-Else statements.
+
+    Every top-level ``IfThenElse`` contributes two candidate modes: one for
+    the then-branch (guarded by the condition) and one for the else-branch
+    (guarded by its negation).  Straight-line statements surrounding the
+    conditional are shared by both modes and are kept in each candidate so
+    the reengineered mode behaviours stay self-contained.
+    """
+    top_level_ifs = [statement for statement in process.statements
+                     if isinstance(statement, IfThenElse)]
+    shared = [statement for statement in process.statements
+              if not isinstance(statement, IfThenElse)]
+    modes: List[ImplicitMode] = []
+    for index, conditional in enumerate(top_level_ifs):
+        base = index * 2
+        then_name = _mode_name(mode_names, base, f"{process.name}_Mode{base + 1}")
+        else_name = _mode_name(mode_names, base + 1, f"{process.name}_Mode{base + 2}")
+        modes.append(ImplicitMode(
+            name=then_name,
+            condition=conditional.condition,
+            statements=shared + list(conditional.then_branch),
+            process=process.name))
+        modes.append(ImplicitMode(
+            name=else_name,
+            condition=UnaryOp("not", conditional.condition),
+            statements=shared + list(conditional.else_branch),
+            process=process.name))
+    if not top_level_ifs and process.statements:
+        modes.append(ImplicitMode(
+            name=_mode_name(mode_names, 0, f"{process.name}_Default"),
+            condition=None,
+            statements=list(process.statements),
+            process=process.name))
+    return modes
+
+
+def _mode_name(names: Optional[Sequence[str]], index: int, default: str) -> str:
+    if names is not None and index < len(names):
+        return names[index]
+    return default
+
+
+def find_flags(module: AscetModule) -> List[str]:
+    """Boolean sent messages -- the 'large number of flags' of the case study."""
+    return sorted(name for name, value in module.send_messages.items()
+                  if isinstance(value, bool))
+
+
+def module_interface(module: AscetModule) -> Tuple[List[str], List[str]]:
+    """Input and output message names of the module (its future port list)."""
+    return (sorted(module.receive_messages), sorted(module.send_messages))
+
+
+def analyze_module(module: AscetModule,
+                   mode_names: Optional[Dict[str, Sequence[str]]] = None
+                   ) -> ModuleAnalysis:
+    """Full implicit-mode analysis of one module.
+
+    *mode_names* optionally maps a process name to the human-chosen names of
+    its recovered modes (e.g. ``{"calc_rate": ["FuelEnabled",
+    "CrankingOverrun"]}`` for the paper's Fig. 8).
+    """
+    analysis = ModuleAnalysis(module=module.name)
+    analysis.flags = find_flags(module)
+    for process in module.process_list():
+        analysis.if_then_else_count += process.if_then_else_count()
+        analysis.max_if_depth = max(analysis.max_if_depth, process.max_if_depth())
+        names = (mode_names or {}).get(process.name)
+        analysis.implicit_modes.extend(find_implicit_modes(process, names))
+        for condition in find_mode_conditions(process):
+            if condition not in analysis.mode_conditions:
+                analysis.mode_conditions.append(condition)
+    return analysis

@@ -1,0 +1,389 @@
+"""A simplified ASCET-SD-like model (simulated substrate).
+
+The paper uses ASCET-SD in two roles: the *source* of the white-box
+reengineering case study ("this case study was provided in terms of a
+detailed ASCET-SD model", Sec. 5) and the *target* of OA generation
+("the AutoMoDe tool prototype will generate ASCET-SD projects for each ECU",
+Sec. 3.4).  The commercial tool is not available, so this module implements
+the subset of its concepts needed for both roles:
+
+* :class:`AscetModule` -- a software module with inputs (received messages),
+  outputs (sent messages), parameters (calibration values) and processes,
+* :class:`AscetProcess` -- a runnable entity containing sequential statements,
+* statements -- :class:`Assignment` and :class:`IfThenElse` (the implicit
+  control flow the case study makes explicit as modes),
+* :class:`AscetProject` -- modules plus OSEK-style task mapping,
+* an **interpreter** so the original model is executable and can be compared
+  against its reengineered AutoMoDe counterpart.
+
+Expressions within statements reuse the AutoMoDe base language, which keeps
+the reengineering transformation purely structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..core.errors import ModelError, UnknownElementError
+from ..core.expr_eval import ExpressionEvaluator
+from ..core.expr_parser import parse_expression
+from ..core.expressions import Expression, conditional_count, operator_count
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+class Statement:
+    """Base class of ASCET process statements."""
+
+    def targets(self) -> List[str]:
+        """Names assigned to by this statement (recursively)."""
+        raise NotImplementedError
+
+    def conditions(self) -> List[Expression]:
+        """All branch conditions occurring in this statement (recursively)."""
+        return []
+
+    def if_depth(self) -> int:
+        """Maximal nesting depth of If-Then-Else constructs."""
+        return 0
+
+    def to_pseudocode(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class Assignment(Statement):
+    """``target := expression``."""
+
+    target: str
+    expression: Expression
+
+    def __post_init__(self) -> None:
+        if isinstance(self.expression, str):
+            self.expression = parse_expression(self.expression)
+
+    def targets(self) -> List[str]:
+        return [self.target]
+
+    def to_pseudocode(self, indent: int = 0) -> str:
+        return " " * indent + f"{self.target} := {self.expression.to_source()};"
+
+
+@dataclass
+class IfThenElse(Statement):
+    """The conditional control flow the case study replaces by modes."""
+
+    condition: Expression
+    then_branch: List[Statement] = field(default_factory=list)
+    else_branch: List[Statement] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.condition, str):
+            self.condition = parse_expression(self.condition)
+
+    def targets(self) -> List[str]:
+        names: List[str] = []
+        for statement in list(self.then_branch) + list(self.else_branch):
+            names.extend(statement.targets())
+        return names
+
+    def conditions(self) -> List[Expression]:
+        found = [self.condition]
+        for statement in list(self.then_branch) + list(self.else_branch):
+            found.extend(statement.conditions())
+        return found
+
+    def if_depth(self) -> int:
+        inner = [statement.if_depth()
+                 for statement in list(self.then_branch) + list(self.else_branch)]
+        return 1 + (max(inner) if inner else 0)
+
+    def to_pseudocode(self, indent: int = 0) -> str:
+        pad = " " * indent
+        lines = [pad + f"if ({self.condition.to_source()}) {{"]
+        for statement in self.then_branch:
+            lines.append(statement.to_pseudocode(indent + 2))
+        if self.else_branch:
+            lines.append(pad + "} else {")
+            for statement in self.else_branch:
+                lines.append(statement.to_pseudocode(indent + 2))
+        lines.append(pad + "}")
+        return "\n".join(lines)
+
+
+def assign(target: str, expression: Union[str, Expression]) -> Assignment:
+    """Convenience constructor for an assignment statement."""
+    if isinstance(expression, str):
+        expression = parse_expression(expression)
+    return Assignment(target, expression)
+
+
+def if_then_else(condition: Union[str, Expression],
+                 then_branch: Sequence[Statement],
+                 else_branch: Sequence[Statement] = ()) -> IfThenElse:
+    """Convenience constructor for an If-Then-Else statement."""
+    if isinstance(condition, str):
+        condition = parse_expression(condition)
+    return IfThenElse(condition, list(then_branch), list(else_branch))
+
+
+# --------------------------------------------------------------------------
+# processes and modules
+# --------------------------------------------------------------------------
+
+@dataclass
+class AscetProcess:
+    """A runnable entity of an ASCET module, activated by a task."""
+
+    name: str
+    statements: List[Statement] = field(default_factory=list)
+    #: activation period in base ticks (taken from the activating task)
+    period: int = 1
+
+    def add(self, statement: Statement) -> Statement:
+        self.statements.append(statement)
+        return statement
+
+    def targets(self) -> List[str]:
+        names: List[str] = []
+        for statement in self.statements:
+            names.extend(statement.targets())
+        return names
+
+    def conditions(self) -> List[Expression]:
+        found: List[Expression] = []
+        for statement in self.statements:
+            found.extend(statement.conditions())
+        return found
+
+    def if_then_else_count(self) -> int:
+        return sum(1 for statement in self._walk()
+                   if isinstance(statement, IfThenElse))
+
+    def max_if_depth(self) -> int:
+        return max((statement.if_depth() for statement in self.statements),
+                   default=0)
+
+    def operator_count(self) -> int:
+        total = 0
+        for statement in self._walk():
+            if isinstance(statement, Assignment):
+                total += operator_count(statement.expression)
+            elif isinstance(statement, IfThenElse):
+                total += operator_count(statement.condition)
+        return total
+
+    def _walk(self) -> Iterable[Statement]:
+        def walk_list(statements: Sequence[Statement]):
+            for statement in statements:
+                yield statement
+                if isinstance(statement, IfThenElse):
+                    yield from walk_list(statement.then_branch)
+                    yield from walk_list(statement.else_branch)
+        return walk_list(self.statements)
+
+    def to_pseudocode(self) -> str:
+        lines = [f"process {self.name} {{"]
+        for statement in self.statements:
+            lines.append(statement.to_pseudocode(2))
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class AscetModule:
+    """An ASCET software module: messages, parameters, processes."""
+
+    def __init__(self, name: str, description: str = ""):
+        if not name:
+            raise ModelError("ASCET module needs a name")
+        self.name = name
+        self.description = description
+        #: messages received by this module: name -> default value
+        self.receive_messages: Dict[str, Any] = {}
+        #: messages sent by this module: name -> initial value
+        self.send_messages: Dict[str, Any] = {}
+        #: calibration parameters: name -> value
+        self.parameters: Dict[str, Any] = {}
+        #: module-local state variables: name -> initial value
+        self.variables: Dict[str, Any] = {}
+        self.processes: Dict[str, AscetProcess] = {}
+
+    # -- declaration ------------------------------------------------------------
+    def receive(self, name: str, default: Any = 0) -> None:
+        self.receive_messages[name] = default
+
+    def send(self, name: str, initial: Any = 0) -> None:
+        self.send_messages[name] = initial
+
+    def parameter(self, name: str, value: Any) -> None:
+        self.parameters[name] = value
+
+    def variable(self, name: str, initial: Any = 0) -> None:
+        self.variables[name] = initial
+
+    def add_process(self, process: AscetProcess) -> AscetProcess:
+        if process.name in self.processes:
+            raise ModelError(
+                f"module {self.name!r} already has a process {process.name!r}")
+        self.processes[process.name] = process
+        return process
+
+    def new_process(self, name: str, period: int = 1) -> AscetProcess:
+        return self.add_process(AscetProcess(name, period=period))
+
+    def process(self, name: str) -> AscetProcess:
+        try:
+            return self.processes[name]
+        except KeyError as exc:
+            raise UnknownElementError(
+                f"module {self.name!r} has no process {name!r}") from exc
+
+    def process_list(self) -> List[AscetProcess]:
+        return list(self.processes.values())
+
+    # -- metrics -----------------------------------------------------------------
+    def if_then_else_count(self) -> int:
+        return sum(process.if_then_else_count()
+                   for process in self.processes.values())
+
+    def flag_count(self) -> int:
+        """Boolean-valued sent messages -- the case study's 'flag explosion'."""
+        return sum(1 for value in self.send_messages.values()
+                   if isinstance(value, bool))
+
+    def to_pseudocode(self) -> str:
+        lines = [f"module {self.name} {{"]
+        for name, default in self.receive_messages.items():
+            lines.append(f"  receive {name} = {default!r};")
+        for name, initial in self.send_messages.items():
+            lines.append(f"  send {name} = {initial!r};")
+        for name, value in self.parameters.items():
+            lines.append(f"  parameter {name} = {value!r};")
+        for name, value in self.variables.items():
+            lines.append(f"  variable {name} = {value!r};")
+        for process in self.processes.values():
+            lines.append("")
+            lines.extend("  " + line for line in process.to_pseudocode().splitlines())
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# project and interpreter
+# --------------------------------------------------------------------------
+
+@dataclass
+class AscetTask:
+    """An OSEK task of an ASCET project, activating processes periodically."""
+
+    name: str
+    period: int
+    priority: int
+    #: (module name, process name) pairs in activation order
+    processes: List[tuple] = field(default_factory=list)
+
+
+class AscetProject:
+    """A complete ASCET project: modules plus the OS/task configuration."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.modules: Dict[str, AscetModule] = {}
+        self.tasks: Dict[str, AscetTask] = {}
+
+    def add_module(self, module: AscetModule) -> AscetModule:
+        if module.name in self.modules:
+            raise ModelError(f"project {self.name!r} already has module "
+                             f"{module.name!r}")
+        self.modules[module.name] = module
+        return module
+
+    def module(self, name: str) -> AscetModule:
+        try:
+            return self.modules[name]
+        except KeyError as exc:
+            raise UnknownElementError(
+                f"project {self.name!r} has no module {name!r}") from exc
+
+    def module_list(self) -> List[AscetModule]:
+        return list(self.modules.values())
+
+    def add_task(self, task: AscetTask) -> AscetTask:
+        if task.name in self.tasks:
+            raise ModelError(f"project {self.name!r} already has task {task.name!r}")
+        self.tasks[task.name] = task
+        return task
+
+    def task_list(self) -> List[AscetTask]:
+        return sorted(self.tasks.values(), key=lambda t: t.priority)
+
+    def total_if_then_else(self) -> int:
+        return sum(module.if_then_else_count() for module in self.modules.values())
+
+    def total_flags(self) -> int:
+        return sum(module.flag_count() for module in self.modules.values())
+
+
+class AscetInterpreter:
+    """Executes an ASCET module's processes tick by tick.
+
+    The interpreter keeps one environment per module holding received
+    messages, sent messages, parameters and local variables.  On every tick,
+    processes whose period divides the tick index run in declaration order;
+    received messages are overwritten by the supplied inputs beforehand.
+    The values of sent messages after the tick are the observable outputs --
+    the same observation point used for the reengineered AutoMoDe model, so
+    traces can be compared directly.
+    """
+
+    def __init__(self, module: AscetModule,
+                 evaluator: Optional[ExpressionEvaluator] = None):
+        self.module = module
+        self._evaluator = evaluator or ExpressionEvaluator()
+        self.environment: Dict[str, Any] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.environment = {}
+        self.environment.update(self.module.parameters)
+        self.environment.update(self.module.variables)
+        self.environment.update(self.module.receive_messages)
+        self.environment.update(self.module.send_messages)
+
+    def step(self, inputs: Mapping[str, Any], tick: int = 0) -> Dict[str, Any]:
+        """Run one tick: update received messages, execute due processes."""
+        for name, value in inputs.items():
+            if name not in self.module.receive_messages:
+                raise UnknownElementError(
+                    f"module {self.module.name!r} does not receive {name!r}")
+            self.environment[name] = value
+        for process in self.module.process_list():
+            if tick % max(1, process.period) == 0:
+                self._run_statements(process.statements)
+        return {name: self.environment[name]
+                for name in self.module.send_messages}
+
+    def run(self, input_trace: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+        """Execute a whole input trace and return the per-tick outputs."""
+        outputs = []
+        for tick, inputs in enumerate(input_trace):
+            outputs.append(dict(self.step(inputs, tick)))
+        return outputs
+
+    def _run_statements(self, statements: Sequence[Statement]) -> None:
+        for statement in statements:
+            if isinstance(statement, Assignment):
+                value = self._evaluator.evaluate(statement.expression,
+                                                 self.environment)
+                self.environment[statement.target] = value
+            elif isinstance(statement, IfThenElse):
+                condition = self._evaluator.evaluate(statement.condition,
+                                                     self.environment)
+                branch = statement.then_branch if condition else statement.else_branch
+                self._run_statements(branch)
+            else:  # pragma: no cover - only two statement kinds exist
+                raise ModelError(f"unknown statement type {type(statement).__name__}")

@@ -1,0 +1,157 @@
+"""Door-lock control example (paper Figs. 1 and 4).
+
+Fig. 1 shows the message-based, time-synchronous communication of a
+``DoorLockControl`` component with inputs ``T4S:LockStatus``,
+``CRSH:CrashStatus`` and ``FZG_V:Voltage`` and outputs ``T1C..T4C:
+LockCommand``; Fig. 4 shows the surrounding SSD on the FAA level.
+
+This module builds
+
+* the typed ``DoorLockControl`` FDA component (an MTD with ``Locked`` /
+  ``Unlocked`` / ``CrashUnlocked`` modes driving the four door actuators),
+* the FAA-level SSD around it: door-status sensors, the crash sensor, the
+  board-net voltage, the four door-lock actuators, plus a second vehicle
+  function (``ComfortClosing``) that also accesses the door-lock actuators --
+  the actuator conflict the FAA rules are meant to find,
+* the stimulus of Fig. 1 (a lock-status message at ``t`` and ``t+2``, absence
+  at ``t+1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.components import Component, ExpressionComponent
+from ..core.types import BOOL, EnumType, FloatType, IntType
+from ..core.values import ABSENT, Stream
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.ssd import SSDComponent
+
+#: Enumeration types of the door-lock example (Fig. 1 port types).
+LOCK_STATUS = EnumType("LockStatus", ["unlocked", "locked"])
+LOCK_COMMAND = EnumType("LockCommand", ["none", "lock", "unlock"])
+CRASH_STATUS = EnumType("CrashStatus", ["no_crash", "crash"])
+VOLTAGE = FloatType(0.0, 48.0)
+SPEED = FloatType(0.0, 300.0)
+
+DOOR_COMMANDS = ["T1C", "T2C", "T3C", "T4C"]
+
+
+def build_door_lock_control(name: str = "DoorLockControl") -> ModeTransitionDiagram:
+    """The central locking controller as an MTD with explicit modes."""
+    mtd = ModeTransitionDiagram(name,
+                                description="central door locking control "
+                                            "(paper Fig. 1 / Fig. 4)")
+    mtd.add_input("T4S", LOCK_STATUS, description="lock status from door 4")
+    mtd.add_input("CRSH", CRASH_STATUS, description="crash sensor status")
+    mtd.add_input("FZG_V", VOLTAGE, description="board net voltage")
+    mtd.add_input("V_SPEED", SPEED, description="vehicle speed")
+    for command in DOOR_COMMANDS:
+        mtd.add_output(command, LOCK_COMMAND, description="door lock command")
+    mtd.add_output("mode")
+
+    def command_behavior(suffix: str, command: str) -> Component:
+        behavior = ExpressionComponent(
+            f"{name}_{suffix}",
+            {door: f"'{command}'" for door in DOOR_COMMANDS})
+        for door in DOOR_COMMANDS:
+            behavior.add_output(door, LOCK_COMMAND)
+        return behavior
+
+    mtd.add_mode("Unlocked", command_behavior("unlocked", "none"), initial=True)
+    mtd.add_mode("Locked", command_behavior("locked", "lock"))
+    mtd.add_mode("CrashUnlocked", command_behavior("crash", "unlock"))
+
+    mtd.add_transition("Unlocked", "Locked",
+                       "present(V_SPEED) and V_SPEED > 10 and FZG_V > 9",
+                       description="auto-lock above walking speed")
+    mtd.add_transition("Locked", "Unlocked",
+                       "present(V_SPEED) and V_SPEED < 1 and FZG_V > 9",
+                       description="unlock at standstill")
+    mtd.add_transition("Unlocked", "CrashUnlocked", "CRSH == 'crash'",
+                       priority=10, description="crash overrides everything")
+    mtd.add_transition("Locked", "CrashUnlocked", "CRSH == 'crash'",
+                       priority=10, description="crash overrides everything")
+    return mtd
+
+
+def build_comfort_closing(name: str = "ComfortClosing") -> ExpressionComponent:
+    """A second vehicle function that also drives the door-lock actuators."""
+    component = ExpressionComponent(
+        name,
+        {"T1C": "if remote_request == 1 then 'lock' else 'none'",
+         "T2C": "if remote_request == 1 then 'lock' else 'none'"},
+        description="remote-key comfort closing, competing for the door locks")
+    component.add_input("remote_request", IntType(0, 1))
+    component.add_output("T1C", LOCK_COMMAND)
+    component.add_output("T2C", LOCK_COMMAND)
+    component.annotate("actuators", ["DoorLock1", "DoorLock2"])
+    return component
+
+
+def build_door_lock_faa(name: str = "DoorLockFAA") -> SSDComponent:
+    """The FAA-level SSD of Fig. 4 with an intentional actuator conflict."""
+    ssd = SSDComponent(name, description="FAA functional network around the "
+                                         "door lock control (Fig. 4)")
+    ssd.add_typed_input("door4_status", LOCK_STATUS)
+    ssd.add_typed_input("crash_status", CRASH_STATUS)
+    ssd.add_typed_input("board_voltage", VOLTAGE)
+    ssd.add_typed_input("vehicle_speed", SPEED)
+    ssd.add_typed_input("remote_request", IntType(0, 1))
+
+    control = build_door_lock_control()
+    control.annotate("actuators", ["DoorLock1", "DoorLock2", "DoorLock3",
+                                   "DoorLock4"])
+    control.annotate("sensors", ["DoorStatus4", "CrashSensor", "BoardNet"])
+    comfort = build_comfort_closing()
+    comfort.annotate("sensors", ["RemoteKey"])
+    ssd.add(control, comfort)
+
+    for door_index, door in enumerate(DOOR_COMMANDS, start=1):
+        actuator = Component(f"DoorLock{door_index}",
+                             description=f"door lock actuator {door_index}")
+        actuator.annotate("role", "actuator")
+        actuator.add_input("command", LOCK_COMMAND)
+        if door_index <= 2:
+            # front doors are additionally driven by the comfort-closing
+            # function -- the actuator conflict the FAA rules must find
+            actuator.add_input("comfort_command", LOCK_COMMAND)
+        ssd.add_subcomponent(actuator)
+
+    ssd.connect("door4_status", "DoorLockControl.T4S")
+    ssd.connect("crash_status", "DoorLockControl.CRSH")
+    ssd.connect("board_voltage", "DoorLockControl.FZG_V")
+    ssd.connect("vehicle_speed", "DoorLockControl.V_SPEED")
+    ssd.connect("remote_request", "ComfortClosing.remote_request")
+
+    for door_index, door in enumerate(DOOR_COMMANDS, start=1):
+        ssd.connect(f"DoorLockControl.{door}", f"DoorLock{door_index}.command",
+                    delayed=True)
+    ssd.connect("ComfortClosing.T1C", "DoorLock1.comfort_command", delayed=True)
+    ssd.connect("ComfortClosing.T2C", "DoorLock2.comfort_command", delayed=True)
+    return ssd
+
+
+def fig1_stimuli(ticks: int = 3) -> Dict[str, Stream]:
+    """The Fig.-1 observation: values 20 and 23 with an absence in between."""
+    voltage = Stream([20.0, ABSENT, 23.0][:ticks])
+    return {
+        "T4S": Stream(["locked"] * ticks),
+        "CRSH": Stream(["no_crash"] * ticks),
+        "FZG_V": voltage,
+        "V_SPEED": Stream([0.0] * ticks),
+    }
+
+
+def crash_scenario(ticks: int = 8) -> Dict[str, List]:
+    """Drive, auto-lock, then crash -- exercises all three modes."""
+    speeds = [0.0, 5.0, 20.0, 50.0, 50.0, 50.0, 0.0, 0.0][:ticks]
+    crash = ["no_crash"] * ticks
+    if ticks > 5:
+        crash[5] = "crash"
+    return {
+        "T4S": ["locked"] * ticks,
+        "CRSH": crash,
+        "FZG_V": [12.0] * ticks,
+        "V_SPEED": speeds,
+    }

@@ -1,0 +1,436 @@
+"""Four-stroke gasoline engine control case study (paper Sec. 5, Figs. 6-8).
+
+The original case study reengineered a proprietary Bosch ASCET-SD model of a
+gasoline engine controller.  That model is not available, so this module
+builds a synthetic ASCET project with the structures the paper describes:
+
+* a **central component** (``CentralState``) that "emits a large number of
+  flags which altogether represent the global state of the engine",
+* a **ThrottleRateOfChange** module whose rate computation hides two
+  operation modes (``FuelEnabled`` / ``CrankingOverrun``) inside If-Then-Else
+  control flow -- the paper's Fig. 8 example,
+* further modules with implicit modes: fuel injection (fuel cut on overrun),
+  ignition timing (cranking vs. running) and idle speed control,
+* straight-line signal conditioning (air mass flow),
+* multi-rate activation (1-, 2- and 10-tick tasks).
+
+In addition the module provides the *target* artefacts the AutoMoDe figures
+show: the engine-operation-mode MTD of Fig. 6 and the simplified engine
+controller CCD of Fig. 7, plus a driving scenario used for simulation-based
+equivalence checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.clocks import every
+from ..core.types import BOOL, FloatType
+from ..notations.blocks import Gain, Hold, Limit, LookupTable1D, UnitDelay
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..notations.dfd import DataFlowDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from ..core.components import ExpressionComponent
+from ..ascet.model import (AscetModule, AscetProject, AscetTask, assign,
+                           if_then_else)
+
+RPM = FloatType(0.0, 8000.0)
+PERCENT = FloatType(0.0, 100.0)
+TEMPERATURE = FloatType(-40.0, 150.0)
+MASS_FLOW = FloatType(0.0, 600.0)
+INJECTION_TIME = FloatType(0.0, 25.0)
+ANGLE = FloatType(-20.0, 60.0)
+
+#: Mode names chosen by the engineer for the Fig.-8 reengineering.
+THROTTLE_MODE_NAMES = {"calc_rate": ["FuelEnabled", "CrankingOverrun"]}
+FUEL_MODE_NAMES = {"calc_ti": ["Injecting", "FuelCut"]}
+IGNITION_MODE_NAMES = {"calc_ign": ["CrankingIgnition", "RunningIgnition"]}
+IDLE_MODE_NAMES = {"calc_idle": ["IdleActive", "IdleInactive"]}
+
+#: All per-module mode-name choices, keyed by module name (used by the
+#: project-level white-box reengineering).
+ENGINE_MODE_NAMES: Dict[str, Dict[str, List[str]]] = {
+    "ThrottleRateOfChange": THROTTLE_MODE_NAMES,
+    "FuelInjection": FUEL_MODE_NAMES,
+    "IgnitionTiming": IGNITION_MODE_NAMES,
+    "IdleSpeedControl": IDLE_MODE_NAMES,
+}
+
+
+# --------------------------------------------------------------------------
+# the original (synthetic) ASCET project
+# --------------------------------------------------------------------------
+
+def build_central_state_module() -> AscetModule:
+    """The central flag-emitting component of the case study."""
+    module = AscetModule("CentralState",
+                         description="central component emitting the global "
+                                     "engine state as individual flags")
+    module.receive("n", 0.0)
+    module.receive("ped", 0.0)
+    module.receive("t_eng", 20.0)
+    module.send("b_crank", False)
+    module.send("b_fuel", False)
+    module.send("b_overrun", False)
+    module.send("b_warm", False)
+    module.send("b_idle", False)
+    module.send("b_full_load", False)
+    process = module.new_process("compute_flags", period=1)
+    process.add(assign("b_crank", "n > 0 and n < 400"))
+    process.add(assign("b_overrun", "ped <= 0 and n > 3000"))
+    process.add(assign("b_fuel", "n >= 400 and not (ped <= 0 and n > 3000)"))
+    process.add(assign("b_warm", "t_eng > 70"))
+    process.add(assign("b_idle", "ped <= 2 and n >= 400 and n < 1100"))
+    process.add(assign("b_full_load", "ped > 80"))
+    return module
+
+
+def build_throttle_module() -> AscetModule:
+    """The ThrottleRateOfChange module of Fig. 8 (implicit modes)."""
+    module = AscetModule("ThrottleRateOfChange",
+                         description="throttle valve rate-of-change "
+                                     "determination (paper Fig. 8)")
+    module.receive("n", 0.0)
+    module.receive("b_fuel", False)
+    module.receive("pos", 0.0)
+    module.receive("pos_des", 0.0)
+    module.parameter("k_rate", 0.4)
+    module.parameter("overrun_rate", 2.5)
+    module.parameter("rate_max", 12.0)
+    module.send("throttle_rate", 0.0)
+    process = module.new_process("calc_rate", period=1)
+    process.add(if_then_else(
+        "b_fuel and n > 600",
+        [assign("throttle_rate",
+                "limit((pos_des - pos) * k_rate, 0 - rate_max, rate_max)")],
+        [assign("throttle_rate", "overrun_rate")]))
+    return module
+
+
+def build_air_mass_module() -> AscetModule:
+    """Straight-line air-mass-flow conditioning (no implicit modes)."""
+    module = AscetModule("AirMassFlow",
+                         description="intake air mass flow estimation")
+    module.receive("throttle_angle", 0.0)
+    module.receive("n", 0.0)
+    module.parameter("k_air", 0.06)
+    module.send("air_mass", 0.0)
+    process = module.new_process("calc_air", period=1)
+    process.add(assign("air_mass", "throttle_angle * k_air * (n / 1000 + 1)"))
+    return module
+
+
+def build_fuel_injection_module() -> AscetModule:
+    """Fuel injection with implicit fuel-cut mode."""
+    module = AscetModule("FuelInjection",
+                         description="injection time computation with "
+                                     "overrun fuel cut")
+    module.receive("n", 0.0)
+    module.receive("air_mass", 0.0)
+    module.receive("b_fuel", False)
+    module.receive("b_overrun", False)
+    module.parameter("k_inj", 85.0)
+    module.parameter("ti_min", 0.4)
+    module.send("ti", 0.0)
+    process = module.new_process("calc_ti", period=1)
+    process.add(if_then_else(
+        "b_fuel and not b_overrun",
+        [assign("ti", "max(k_inj * air_mass / max(n, 400), ti_min)")],
+        [assign("ti", "0")]))
+    return module
+
+
+def build_ignition_module() -> AscetModule:
+    """Ignition timing with implicit cranking mode."""
+    module = AscetModule("IgnitionTiming",
+                         description="ignition advance angle computation")
+    module.receive("n", 0.0)
+    module.receive("air_mass", 0.0)
+    module.receive("b_crank", False)
+    module.parameter("base_advance", 10.0)
+    module.parameter("crank_advance", 5.0)
+    module.send("ignition_angle", 0.0)
+    process = module.new_process("calc_ign", period=2)
+    process.add(if_then_else(
+        "b_crank",
+        [assign("ignition_angle", "crank_advance")],
+        [assign("ignition_angle",
+                "limit(base_advance + n / 1000 - air_mass * 0.02, 0 - 10, 45)")]))
+    return module
+
+
+def build_idle_speed_module() -> AscetModule:
+    """Idle speed control with an implicit active/inactive mode."""
+    module = AscetModule("IdleSpeedControl",
+                         description="idle speed correction")
+    module.receive("n", 0.0)
+    module.receive("ped", 0.0)
+    module.receive("b_idle", False)
+    module.parameter("n_idle_target", 800.0)
+    module.parameter("k_idle", 0.02)
+    module.send("idle_correction", 0.0)
+    process = module.new_process("calc_idle", period=10)
+    process.add(if_then_else(
+        "b_idle and ped <= 2",
+        [assign("idle_correction",
+                "limit((n_idle_target - n) * k_idle, 0 - 8, 8)")],
+        [assign("idle_correction", "0")]))
+    return module
+
+
+def build_engine_ascet_project() -> AscetProject:
+    """The full synthetic ASCET project of the case study."""
+    project = AscetProject("GasolineEngineControl",
+                           description="synthetic four-stroke gasoline engine "
+                                       "controller (stand-in for the Bosch "
+                                       "case-study model)")
+    project.add_module(build_central_state_module())
+    project.add_module(build_throttle_module())
+    project.add_module(build_air_mass_module())
+    project.add_module(build_fuel_injection_module())
+    project.add_module(build_ignition_module())
+    project.add_module(build_idle_speed_module())
+
+    project.add_task(AscetTask("Task_1ms", period=1, priority=1, processes=[
+        ("CentralState", "compute_flags"),
+        ("AirMassFlow", "calc_air"),
+        ("ThrottleRateOfChange", "calc_rate"),
+        ("FuelInjection", "calc_ti"),
+    ]))
+    project.add_task(AscetTask("Task_2ms", period=2, priority=2, processes=[
+        ("IgnitionTiming", "calc_ign"),
+    ]))
+    project.add_task(AscetTask("Task_10ms", period=10, priority=3, processes=[
+        ("IdleSpeedControl", "calc_idle"),
+    ]))
+    return project
+
+
+# --------------------------------------------------------------------------
+# Fig. 6: engine operation modes as an MTD
+# --------------------------------------------------------------------------
+
+def build_engine_modes_mtd(name: str = "EngineOperationModes"
+                           ) -> ModeTransitionDiagram:
+    """The engine-operation-mode MTD of paper Fig. 6."""
+    mtd = ModeTransitionDiagram(name,
+                                description="engine operation modes "
+                                            "(paper Fig. 6)")
+    mtd.add_input("n", RPM)
+    mtd.add_input("ped", PERCENT)
+    mtd.add_input("t_eng", TEMPERATURE)
+    mtd.add_output("fuel_factor", FloatType(0.0, 1.5))
+    mtd.add_output("mode")
+
+    def factor_behavior(mode: str, expression: str) -> ExpressionComponent:
+        behavior = ExpressionComponent(f"{name}_{mode}",
+                                       {"fuel_factor": expression})
+        for variable in behavior.output_expressions["fuel_factor"].variables():
+            behavior.add_input(variable)
+        behavior.add_output("fuel_factor", FloatType(0.0, 1.5))
+        return behavior
+
+    mtd.add_mode("Off", factor_behavior("Off", "0"), initial=True)
+    mtd.add_mode("Cranking", factor_behavior("Cranking",
+                                             "if t_eng < 20 then 1.3 else 1.1"))
+    mtd.add_mode("Idle", factor_behavior("Idle", "1"))
+    mtd.add_mode("PartLoad", factor_behavior("PartLoad", "1 + ped / 400"))
+    mtd.add_mode("FullLoad", factor_behavior("FullLoad", "1.25"))
+    mtd.add_mode("Overrun", factor_behavior("Overrun", "0"))
+
+    mtd.add_transition("Off", "Cranking", "n > 0", description="starter engaged")
+    mtd.add_transition("Cranking", "Idle", "n > 700", description="engine runs")
+    mtd.add_transition("Cranking", "Off", "n <= 0", description="start aborted")
+    mtd.add_transition("Idle", "PartLoad", "ped > 5")
+    mtd.add_transition("Idle", "Off", "n <= 50")
+    mtd.add_transition("PartLoad", "FullLoad", "ped > 80")
+    mtd.add_transition("PartLoad", "Idle", "ped <= 5 and n < 1500")
+    mtd.add_transition("PartLoad", "Overrun", "ped <= 0 and n > 3000",
+                       priority=5)
+    mtd.add_transition("FullLoad", "PartLoad", "ped <= 80")
+    mtd.add_transition("Overrun", "PartLoad", "ped > 5")
+    mtd.add_transition("Overrun", "Idle", "n <= 1500")
+    return mtd
+
+
+# --------------------------------------------------------------------------
+# Fig. 7: simplified engine controller CCD
+# --------------------------------------------------------------------------
+
+def build_engine_ccd(name: str = "SimplifiedEngineController"
+                     ) -> ClusterCommunicationDiagram:
+    """The simplified engine-controller CCD of paper Fig. 7.
+
+    Four clusters with explicit rates: fast sensor processing and fuel/
+    ignition computation, slower idle-speed control and a slow monitoring
+    cluster.  The monitoring-to-fuel channel is a slow-to-fast rate
+    transition, deliberately left without a delay so the OSEK
+    well-definedness check has something to report (and repair).
+    """
+    ccd = ClusterCommunicationDiagram(name,
+                                      description="simplified engine controller "
+                                                  "(paper Fig. 7)")
+    ccd.add_input("throttle_angle", PERCENT, every(1))
+    ccd.add_input("n", RPM, every(1))
+    ccd.add_input("ped", PERCENT, every(1))
+    ccd.add_output("ti", INJECTION_TIME, every(1))
+    ccd.add_output("ignition_angle", ANGLE, every(2))
+    ccd.add_output("idle_correction", FloatType(-8.0, 8.0), every(10))
+
+    sensors = Cluster("SensorProcessing", rate=every(1),
+                      description="sensor acquisition and conditioning")
+    sensors.add_input("throttle_angle", PERCENT, every(1))
+    sensors.add_input("n_raw", RPM, every(1))
+    sensors.add_output("air_mass", MASS_FLOW, every(1))
+    sensors.add_output("n_filtered", RPM, every(1))
+    air = ExpressionComponent("AirMass", {"air_mass": "throttle_angle * 0.06 * (n / 1000 + 1)"})
+    air.add_input("throttle_angle")
+    air.add_input("n")
+    air.add_output("air_mass")
+    speed_filter = Gain("SpeedFilter", factor=1.0)
+    sensors.add(air, speed_filter)
+    sensors.connect("throttle_angle", "AirMass.throttle_angle")
+    sensors.connect("n_raw", "AirMass.n")
+    sensors.connect("n_raw", "SpeedFilter.in1")
+    sensors.connect("AirMass.air_mass", "air_mass")
+    sensors.connect("SpeedFilter.out", "n_filtered")
+
+    fuel = Cluster("FuelAndIgnition", rate=every(1),
+                   description="injection time and ignition angle")
+    fuel.add_input("air_mass", MASS_FLOW, every(1))
+    fuel.add_input("n", RPM, every(1))
+    fuel.add_input("fuel_enable", BOOL, every(1))
+    fuel.add_output("ti", INJECTION_TIME, every(1))
+    fuel.add_output("ignition_angle", ANGLE, every(1))
+    injection = ExpressionComponent(
+        "Injection",
+        {"ti": "if fuel_enable then max(85 * air_mass / max(n, 400), 0.4) else 0"})
+    injection.add_input("fuel_enable")
+    injection.add_input("air_mass")
+    injection.add_input("n")
+    injection.add_output("ti")
+    ignition = ExpressionComponent(
+        "Ignition", {"angle": "limit(10 + n / 1000 - air_mass * 0.02, 0 - 10, 45)"})
+    ignition.add_input("n")
+    ignition.add_input("air_mass")
+    ignition.add_output("angle")
+    # the plausibility flag arrives at the slow monitoring rate; a hold block
+    # latches it so injection reacts to the most recent value at every tick
+    enable_latch = Hold("EnableLatch", initial=True)
+    fuel.add(injection, ignition, enable_latch)
+    fuel.connect("air_mass", "Injection.air_mass")
+    fuel.connect("n", "Injection.n")
+    fuel.connect("fuel_enable", "EnableLatch.in1")
+    fuel.connect("EnableLatch.out", "Injection.fuel_enable")
+    fuel.connect("air_mass", "Ignition.air_mass")
+    fuel.connect("n", "Ignition.n")
+    fuel.connect("Injection.ti", "ti")
+    fuel.connect("Ignition.angle", "ignition_angle")
+
+    idle = Cluster("IdleSpeed", rate=every(10),
+                   description="idle speed correction")
+    idle.add_input("n", RPM, every(10))
+    idle.add_input("ped", PERCENT, every(10))
+    idle.add_output("idle_correction", FloatType(-8.0, 8.0), every(10))
+    idle_controller = ExpressionComponent(
+        "IdleController",
+        {"corr": "if ped <= 2 then limit((800 - n) * 0.02, 0 - 8, 8) else 0"})
+    idle_controller.add_input("ped")
+    idle_controller.add_input("n")
+    idle_controller.add_output("corr")
+    idle.add_subcomponent(idle_controller)
+    idle.connect("n", "IdleController.n")
+    idle.connect("ped", "IdleController.ped")
+    idle.connect("IdleController.corr", "idle_correction")
+
+    monitor = Cluster("Monitoring", rate=every(20),
+                      description="slow plausibility monitoring")
+    monitor.add_input("n", RPM, every(20))
+    monitor.add_output("fuel_enable", BOOL, every(20))
+    plausibility = ExpressionComponent("Plausibility",
+                                       {"ok": "n >= 0 and n < 7500"})
+    plausibility.add_input("n")
+    plausibility.add_output("ok")
+    monitor.add_subcomponent(plausibility)
+    monitor.connect("n", "Plausibility.n")
+    monitor.connect("Plausibility.ok", "fuel_enable")
+
+    ccd.add_cluster(sensors)
+    ccd.add_cluster(fuel)
+    ccd.add_cluster(idle)
+    ccd.add_cluster(monitor)
+
+    ccd.connect("throttle_angle", "SensorProcessing.throttle_angle")
+    ccd.connect("n", "SensorProcessing.n_raw")
+    ccd.connect("n", "IdleSpeed.n")
+    ccd.connect("n", "Monitoring.n")
+    ccd.connect("ped", "IdleSpeed.ped")
+    # fast-to-fast (same rate): no delay required
+    ccd.connect("SensorProcessing.air_mass", "FuelAndIgnition.air_mass")
+    ccd.connect("SensorProcessing.n_filtered", "FuelAndIgnition.n")
+    # slow-to-fast: requires a delay under the OSEK profile -- intentionally
+    # left instantaneous so the well-definedness check reports it
+    ccd.connect("Monitoring.fuel_enable", "FuelAndIgnition.fuel_enable")
+    ccd.connect("FuelAndIgnition.ti", "ti")
+    ccd.connect("FuelAndIgnition.ignition_angle", "ignition_angle")
+    ccd.connect("IdleSpeed.idle_correction", "idle_correction")
+    return ccd
+
+
+# --------------------------------------------------------------------------
+# driving scenario
+# --------------------------------------------------------------------------
+
+def driving_scenario(ticks: int = 120) -> Dict[str, List[float]]:
+    """A start / idle / acceleration / overrun / stop driving profile.
+
+    Returns per-signal value lists (present at every tick) for the signals of
+    the ASCET project and its reengineered counterpart: engine speed ``n``,
+    pedal position ``ped``, engine temperature ``t_eng``, throttle position
+    ``pos`` and desired position ``pos_des`` and throttle angle.
+    """
+    n: List[float] = []
+    ped: List[float] = []
+    t_eng: List[float] = []
+    pos: List[float] = []
+    pos_des: List[float] = []
+    throttle_angle: List[float] = []
+
+    speed = 0.0
+    temperature = 20.0
+    position = 0.0
+    for tick in range(ticks):
+        if tick < 5:                      # key on, engine off
+            pedal, target = 0.0, 0.0
+            speed = 0.0
+        elif tick < 15:                   # cranking
+            pedal, target = 0.0, 5.0
+            speed = min(650.0, speed + 90.0)
+        elif tick < 40:                   # idle, warming up
+            pedal, target = 1.0, 8.0
+            speed = 800.0 + 10.0 * ((tick % 4) - 2)
+        elif tick < 70:                   # acceleration / part load
+            pedal = min(60.0, 5.0 + 2.0 * (tick - 40))
+            target = 10.0 + 0.8 * pedal
+            speed = min(5200.0, speed + 160.0)
+        elif tick < 90:                   # overrun (pedal released, high rpm)
+            pedal, target = 0.0, 2.0
+            speed = max(1800.0, speed - 170.0)
+        elif tick < 110:                  # back to idle
+            pedal, target = 1.0, 8.0
+            speed = max(800.0, speed - 120.0)
+        else:                             # switch off
+            pedal, target = 0.0, 0.0
+            speed = max(0.0, speed - 400.0)
+        temperature = min(95.0, temperature + 0.7)
+        position = position + max(-6.0, min(6.0, target - position))
+
+        n.append(round(speed, 1))
+        ped.append(round(pedal, 1))
+        t_eng.append(round(temperature, 1))
+        pos.append(round(position, 2))
+        pos_des.append(round(target, 2))
+        throttle_angle.append(round(position, 2))
+
+    return {"n": n, "ped": ped, "t_eng": t_eng, "pos": pos,
+            "pos_des": pos_des, "throttle_angle": throttle_angle}

@@ -1,0 +1,110 @@
+"""Longitudinal momentum controller (paper Fig. 5).
+
+Fig. 5 shows an AutoMoDe DFD of a longitudinal momentum controller whose
+``ADD`` block is defined by the base-language expression ``ch1+ch2+ch3``.
+This module builds a complete, executable version of that controller:
+
+* three momentum requests (driver pedal, adaptive cruise control, hill-hold)
+  are summed by the ``ADD`` expression block,
+* the total request is limited, rate-limited and split into an engine-torque
+  command and a brake command,
+* a simple longitudinal vehicle model (integrator) is provided so the
+  controller can be simulated in closed loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.types import FloatType
+from ..notations.blocks import (Constant, Gain, Integrator, Limit, RateLimiter,
+                                Subtract)
+from ..notations.dfd import DataFlowDiagram
+from ..simulation.multirate import step
+
+
+MOMENTUM = FloatType(-5000.0, 5000.0)
+TORQUE = FloatType(0.0, 400.0)
+BRAKE = FloatType(0.0, 5000.0)
+
+
+def build_momentum_controller(name: str = "LongitudinalMomentum") -> DataFlowDiagram:
+    """The Fig.-5 DFD: three requests summed, limited and split."""
+    dfd = DataFlowDiagram(name,
+                          description="longitudinal momentum controller "
+                                      "(paper Fig. 5)")
+    dfd.add_input("ch1", MOMENTUM, description="driver momentum request")
+    dfd.add_input("ch2", MOMENTUM, description="ACC momentum request")
+    dfd.add_input("ch3", MOMENTUM, description="hill-hold momentum request")
+    dfd.add_output("engine_torque", TORQUE)
+    dfd.add_output("brake_momentum", BRAKE)
+    dfd.add_output("total_request", MOMENTUM)
+
+    add = dfd.add_expression_block("ADD", {"out": "ch1 + ch2 + ch3"})
+    limit = Limit("LIMIT", low=-5000.0, high=5000.0)
+    slew = RateLimiter("SLEW", max_delta=500.0)
+    to_torque = dfd.add_expression_block(
+        "TORQUE_SPLIT", {"torque": "if total > 0 then limit(total * 0.08, 0, 400) else 0"})
+    to_brake = dfd.add_expression_block(
+        "BRAKE_SPLIT", {"brake": "if total < 0 then 0 - total else 0"})
+    dfd.add(limit, slew)
+
+    dfd.connect("ch1", "ADD.ch1")
+    dfd.connect("ch2", "ADD.ch2")
+    dfd.connect("ch3", "ADD.ch3")
+    dfd.connect("ADD.out", "LIMIT.in1")
+    dfd.connect("LIMIT.out", "SLEW.in1")
+    dfd.connect("SLEW.out", "TORQUE_SPLIT.total")
+    dfd.connect("SLEW.out", "BRAKE_SPLIT.total")
+    dfd.connect("TORQUE_SPLIT.torque", "engine_torque")
+    dfd.connect("BRAKE_SPLIT.brake", "brake_momentum")
+    dfd.connect("SLEW.out", "total_request")
+    return dfd
+
+
+def build_closed_loop(name: str = "LongitudinalClosedLoop") -> DataFlowDiagram:
+    """Controller plus a one-state vehicle model for closed-loop simulation."""
+    dfd = DataFlowDiagram(name, description="momentum controller in closed loop")
+    dfd.add_input("speed_setpoint", FloatType(0.0, 70.0))
+    dfd.add_input("hill_force", MOMENTUM)
+    dfd.add_output("speed", FloatType(-10.0, 100.0))
+    dfd.add_output("engine_torque", TORQUE)
+
+    controller = build_momentum_controller("Controller")
+    error = Subtract("SpeedError")
+    request = Gain("RequestGain", factor=120.0)
+    vehicle = Integrator("Vehicle", gain=0.002, initial=0.0, low=-10.0, high=100.0)
+    accel = dfd.add_expression_block(
+        "Acceleration", {"accel": "torque * 3 - brake - drag"})
+    drag = Gain("Drag", factor=15.0)
+    feedback = dfd.add_expression_block("SpeedOut", {"speed": "v"})
+    no_acc_request = Constant("NoAccRequest", 0.0)
+
+    dfd.add(controller, error, request, vehicle, drag, no_acc_request)
+
+    dfd.connect("speed_setpoint", "SpeedError.minuend")
+    dfd.connect("Vehicle.out", "SpeedError.subtrahend", delayed=True,
+                initial_value=0.0)
+    dfd.connect("SpeedError.out", "RequestGain.in1")
+    dfd.connect("RequestGain.out", "Controller.ch1")
+    dfd.connect("hill_force", "Controller.ch3")
+    # The ACC momentum request is inactive in this closed loop; the ADD block
+    # of the controller needs all three operands present, so a constant zero
+    # request is wired to ch2.
+    dfd.connect("NoAccRequest.out", "Controller.ch2")
+    dfd.connect("Controller.engine_torque", "Acceleration.torque")
+    dfd.connect("Controller.brake_momentum", "Acceleration.brake")
+    dfd.connect("Vehicle.out", "Drag.in1", delayed=True, initial_value=0.0)
+    dfd.connect("Drag.out", "Acceleration.drag")
+    dfd.connect("Acceleration.accel", "Vehicle.in1")
+    dfd.connect("Vehicle.out", "SpeedOut.v")
+    dfd.connect("SpeedOut.speed", "speed")
+    dfd.connect("Controller.engine_torque", "engine_torque")
+    return dfd
+
+
+def acceleration_scenario(ticks: int = 60) -> Dict[str, List]:
+    """Setpoint step from 0 to 30 m/s with a later hill disturbance."""
+    setpoint = step(ticks, step_tick=5, before=0.0, after=30.0)
+    hill = step(ticks, step_tick=40, before=0.0, after=-800.0)
+    return {"speed_setpoint": setpoint.values(), "hill_force": hill.values()}

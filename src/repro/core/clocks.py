@@ -1,0 +1,254 @@
+"""Abstract clocks and the clock calculus (paper Sec. 2).
+
+Every message flow in AutoMoDe is associated with an *abstract clock*: a
+boolean expression that is true exactly at the ticks of the global discrete
+time base at which a message is present on the flow.  Clocks describe either
+a frequency (periodic case, e.g. ``every(2, true)``) or an event pattern
+(aperiodic case).
+
+The module implements
+
+* :class:`Clock` and its concrete forms (:class:`BaseClock`,
+  :class:`PeriodicClock`, :class:`SampledClock`, :class:`EventClock`),
+* presence-pattern evaluation over a finite horizon,
+* clock compatibility and sub-clock relations used by the well-definedness
+  checks of the LA level,
+* the harmonic-rate reasoning (``slower_than`` / ``rate_ratio``) needed by
+  the OSEK rate-transition rules and the clock-based clustering refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Callable, List, Optional, Sequence
+
+from .errors import ClockError
+
+
+class Clock:
+    """Base class of abstract clocks (presence predicates over ticks)."""
+
+    def pattern(self, length: int) -> List[bool]:
+        """Presence pattern over the first *length* ticks of the base clock."""
+        raise NotImplementedError
+
+    def is_periodic(self) -> bool:
+        """True if the clock has a fixed period w.r.t. the base clock."""
+        return False
+
+    @property
+    def period(self) -> Optional[int]:
+        """Period in base ticks for periodic clocks, ``None`` otherwise."""
+        return None
+
+    @property
+    def phase(self) -> int:
+        """Offset of the first present tick for periodic clocks."""
+        return 0
+
+    def expression(self) -> str:
+        """The clock's boolean expression in the paper's concrete syntax."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"Clock({self.expression()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Clock) and self.expression() == other.expression()
+
+    def __hash__(self) -> int:
+        return hash(self.expression())
+
+
+class BaseClock(Clock):
+    """The global base clock: a message at every tick (``true``)."""
+
+    def pattern(self, length: int) -> List[bool]:
+        return [True] * length
+
+    def is_periodic(self) -> bool:
+        return True
+
+    @property
+    def period(self) -> Optional[int]:
+        return 1
+
+    def expression(self) -> str:
+        return "true"
+
+
+class PeriodicClock(Clock):
+    """The ``every(n, true)`` macro clock of the paper (Fig. 2).
+
+    True on every *n*-th tick of the base clock, starting at tick *phase*.
+    """
+
+    def __init__(self, every: int, phase: int = 0):
+        if every < 1:
+            raise ClockError("every(n, true) requires n >= 1")
+        if phase < 0 or phase >= every:
+            raise ClockError("clock phase must satisfy 0 <= phase < period")
+        self._every = every
+        self._phase = phase
+
+    def pattern(self, length: int) -> List[bool]:
+        return [tick % self._every == self._phase for tick in range(length)]
+
+    def is_periodic(self) -> bool:
+        return True
+
+    @property
+    def period(self) -> Optional[int]:
+        return self._every
+
+    @property
+    def phase(self) -> int:
+        return self._phase
+
+    def expression(self) -> str:
+        if self._phase == 0:
+            return f"every({self._every}, true)"
+        return f"every({self._every}, true) @ {self._phase}"
+
+
+class SampledClock(Clock):
+    """A clock obtained by sampling a carrier clock with a boolean condition.
+
+    This is the general ``when`` construct: the clock is present at a tick
+    iff the carrier is present and the condition holds.  The condition is a
+    finite boolean pattern or a predicate over the tick index (used to model
+    data-dependent event patterns in tests and benchmarks).
+    """
+
+    def __init__(self, carrier: Clock, condition: Callable[[int], bool],
+                 description: str = "cond"):
+        self.carrier = carrier
+        self.condition = condition
+        self.description = description
+
+    def pattern(self, length: int) -> List[bool]:
+        base = self.carrier.pattern(length)
+        return [base[tick] and bool(self.condition(tick)) for tick in range(length)]
+
+    def expression(self) -> str:
+        return f"({self.carrier.expression()}) when ({self.description})"
+
+
+class EventClock(Clock):
+    """An aperiodic clock given by an explicit set of ticks (event pattern)."""
+
+    def __init__(self, ticks: Sequence[int], description: str = "events"):
+        if any(t < 0 for t in ticks):
+            raise ClockError("event ticks must be non-negative")
+        self.ticks = sorted(set(int(t) for t in ticks))
+        self.description = description
+
+    def pattern(self, length: int) -> List[bool]:
+        present = set(self.ticks)
+        return [tick in present for tick in range(length)]
+
+    def expression(self) -> str:
+        return f"event({self.description})"
+
+
+#: The global discrete time base shared by all flows.
+BASE_CLOCK = BaseClock()
+
+
+def every(n: int, phase: int = 0) -> Clock:
+    """Construct the paper's ``every(n, true)`` clock."""
+    if n == 1 and phase == 0:
+        return BASE_CLOCK
+    return PeriodicClock(n, phase)
+
+
+@dataclass(frozen=True)
+class RateRelation:
+    """Relation between two periodic clocks, as used for rate transitions."""
+
+    faster: Clock
+    slower: Clock
+    ratio: int
+
+    def describe(self) -> str:
+        return (f"{self.slower.expression()} is {self.ratio}x slower than "
+                f"{self.faster.expression()}")
+
+
+def is_subclock(candidate: Clock, parent: Clock, horizon: int = 256) -> bool:
+    """True if *candidate* is present only when *parent* is present.
+
+    For periodic clocks the relation is decided exactly; for general clocks
+    it is checked over a finite *horizon* (sound for the models used here,
+    where event patterns are finite).
+    """
+    if candidate.is_periodic() and parent.is_periodic():
+        cp, pp = candidate.period, parent.period
+        if cp is None or pp is None:
+            return False
+        if cp % pp != 0:
+            return False
+        return (candidate.phase - parent.phase) % pp == 0
+    cand = candidate.pattern(horizon)
+    par = parent.pattern(horizon)
+    return all((not c) or p for c, p in zip(cand, par))
+
+
+def are_synchronous(first: Clock, second: Clock, horizon: int = 256) -> bool:
+    """True if the two clocks are present at exactly the same ticks."""
+    if first.is_periodic() and second.is_periodic():
+        return first.period == second.period and first.phase == second.phase
+    return first.pattern(horizon) == second.pattern(horizon)
+
+
+def rate_ratio(fast: Clock, slow: Clock) -> int:
+    """Integer ratio between two harmonic periodic clocks.
+
+    Raises :class:`ClockError` if either clock is aperiodic or the periods
+    are not harmonic (the LA-level clustering only supports harmonic rates,
+    which matches the OSEK task-rate setting discussed in the paper).
+    """
+    if not (fast.is_periodic() and slow.is_periodic()):
+        raise ClockError("rate_ratio is only defined for periodic clocks")
+    fp, sp = fast.period, slow.period
+    if fp is None or sp is None:
+        raise ClockError("rate_ratio requires finite periods")
+    if sp % fp != 0:
+        raise ClockError(
+            f"clocks with periods {fp} and {sp} are not harmonic")
+    return sp // fp
+
+
+def slower_than(first: Clock, second: Clock) -> bool:
+    """True if *first* has a strictly larger period than *second*."""
+    if not (first.is_periodic() and second.is_periodic()):
+        raise ClockError("slower_than is only defined for periodic clocks")
+    return (first.period or 0) > (second.period or 0)
+
+
+def relate(first: Clock, second: Clock) -> RateRelation:
+    """Classify two harmonic periodic clocks into a faster/slower relation."""
+    if slower_than(first, second):
+        return RateRelation(faster=second, slower=first,
+                            ratio=rate_ratio(second, first))
+    return RateRelation(faster=first, slower=second,
+                        ratio=rate_ratio(first, second))
+
+
+def hyperperiod(clocks: Sequence[Clock]) -> int:
+    """Least common multiple of the periods of a set of periodic clocks."""
+    result = 1
+    for clock in clocks:
+        if not clock.is_periodic() or clock.period is None:
+            raise ClockError("hyperperiod requires periodic clocks")
+        result = result * clock.period // gcd(result, clock.period)
+    return result
+
+
+def merge_patterns(patterns: Sequence[Sequence[bool]]) -> List[bool]:
+    """Union of presence patterns (a message on any flow)."""
+    if not patterns:
+        return []
+    length = max(len(p) for p in patterns)
+    return [any(p[t] for p in patterns if t < len(p)) for t in range(length)]

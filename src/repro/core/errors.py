@@ -1,0 +1,86 @@
+"""Exception hierarchy for the AutoMoDe reproduction.
+
+Every error raised by the library derives from :class:`AutoModeError`, so
+downstream users can catch a single base class.  More specific subclasses
+exist for the major phases of the methodology: model construction, type
+checking, clock calculus, causality analysis, simulation, transformation and
+deployment.
+"""
+
+from __future__ import annotations
+
+
+class AutoModeError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ModelError(AutoModeError):
+    """A model is structurally malformed (dangling references, bad names...)."""
+
+
+class NameConflictError(ModelError):
+    """Two sibling elements were given the same name."""
+
+
+class UnknownElementError(ModelError):
+    """A referenced element (port, component, mode...) does not exist."""
+
+
+class TypeCheckError(AutoModeError):
+    """Static or dynamic type checking failed."""
+
+
+class TypeMappingError(TypeCheckError):
+    """A physical type could not be mapped to an implementation type."""
+
+
+class QuantizationError(TypeCheckError):
+    """A value cannot be represented by the chosen implementation type."""
+
+
+class ClockError(AutoModeError):
+    """Clock-calculus violation (incompatible clocks, bad sampling)."""
+
+
+class ExpressionError(AutoModeError):
+    """The base-language expression is malformed."""
+
+
+class ExpressionParseError(ExpressionError):
+    """Syntactic error while parsing a base-language expression."""
+
+
+class ExpressionEvalError(ExpressionError):
+    """Runtime error while evaluating a base-language expression."""
+
+
+class CausalityError(AutoModeError):
+    """An instantaneous loop was detected in a data-flow model."""
+
+
+class SimulationError(AutoModeError):
+    """The simulation engine encountered an inconsistent state."""
+
+
+class ValidationError(AutoModeError):
+    """A notation-specific well-formedness rule is violated."""
+
+
+class TransformationError(AutoModeError):
+    """A model transformation is not applicable or failed mid-way."""
+
+
+class DeploymentError(AutoModeError):
+    """Cluster-to-ECU/task deployment is infeasible or inconsistent."""
+
+
+class SchedulingError(AutoModeError):
+    """The OSEK-like scheduler could not honour the timing constraints."""
+
+
+class CodeGenError(AutoModeError):
+    """Operational-architecture (ASCET project) generation failed."""
+
+
+class SerializationError(AutoModeError):
+    """A model could not be serialized or deserialized."""

@@ -1,0 +1,218 @@
+"""Recursive-descent parser for the AutoMoDe base language.
+
+Grammar (lowest to highest precedence)::
+
+    expr        := conditional
+    conditional := "if" expr "then" expr "else" expr | or_expr
+    or_expr     := and_expr ("or" and_expr)*
+    and_expr    := not_expr ("and" not_expr)*
+    not_expr    := "not" not_expr | comparison
+    comparison  := additive (("=="|"!="|"<="|">="|"<"|">") additive)?
+    additive    := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary       := "-" unary | primary
+    primary     := NUMBER | STRING | "true" | "false" | name
+                 | name "(" args ")" | "(" expr ")"
+
+``present(x)`` parses to a :class:`~repro.core.expressions.Present` node;
+other calls parse to :class:`~repro.core.expressions.Call`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from .errors import ExpressionParseError
+from .expressions import (BinaryOp, Call, Conditional, Expression, Literal,
+                          Present, UnaryOp, Variable)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>==|!=|<=|>=|[+\-*/%<>()=,])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"if", "then", "else", "and", "or", "not", "true", "false"}
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ExpressionParseError(
+                f"unexpected character {source[position]!r} at column {position} "
+                f"in {source!r}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "op"
+        text = match.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = "keyword"
+        tokens.append(_Token(kind, text, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ExpressionParseError(f"unexpected end of expression in {self.source!r}")
+        self.index += 1
+        return token
+
+    def _match(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return False
+        if text is not None and token.text != text:
+            return False
+        self.index += 1
+        return True
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            got = token.text if token else "end of input"
+            raise ExpressionParseError(
+                f"expected {expected!r} but found {got!r} in {self.source!r}")
+        return self._advance()
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> Expression:
+        expr = self._conditional()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ExpressionParseError(
+                f"trailing input {token.text!r} at column {token.position} "
+                f"in {self.source!r}")
+        return expr
+
+    def _conditional(self) -> Expression:
+        if self._match("keyword", "if"):
+            condition = self._conditional()
+            self._expect("keyword", "then")
+            then_branch = self._conditional()
+            self._expect("keyword", "else")
+            else_branch = self._conditional()
+            return Conditional(condition, then_branch, else_branch)
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        expr = self._and_expr()
+        while self._match("keyword", "or"):
+            expr = BinaryOp("or", expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expression:
+        expr = self._not_expr()
+        while self._match("keyword", "and"):
+            expr = BinaryOp("and", expr, self._not_expr())
+        return expr
+
+    def _not_expr(self) -> Expression:
+        if self._match("keyword", "not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        expr = self._additive()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text in (
+                "==", "!=", "<=", ">=", "<", ">", "="):
+            self._advance()
+            op = "==" if token.text == "=" else token.text
+            expr = BinaryOp(op, expr, self._additive())
+        return expr
+
+    def _additive(self) -> Expression:
+        expr = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                expr = BinaryOp(token.text, expr, self._multiplicative())
+            else:
+                return expr
+
+    def _multiplicative(self) -> Expression:
+        expr = self._unary()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.text in ("*", "/", "%"):
+                self._advance()
+                expr = BinaryOp(token.text, expr, self._unary())
+            else:
+                return expr
+
+    def _unary(self) -> Expression:
+        if self._match("op", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self._advance()
+        if token.kind == "number":
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.kind == "string":
+            return Literal(token.text[1:-1])
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return Literal(token.text == "true")
+        if token.kind == "name":
+            if self._match("op", "("):
+                arguments: List[Expression] = []
+                if not self._match("op", ")"):
+                    arguments.append(self._conditional())
+                    while self._match("op", ","):
+                        arguments.append(self._conditional())
+                    self._expect("op", ")")
+                if token.text == "present":
+                    if len(arguments) != 1 or not isinstance(arguments[0], Variable):
+                        raise ExpressionParseError(
+                            "present(...) takes exactly one channel name")
+                    return Present(arguments[0].name)
+                return Call(token.text, tuple(arguments))
+            return Variable(token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self._conditional()
+            self._expect("op", ")")
+            return expr
+        raise ExpressionParseError(
+            f"unexpected token {token.text!r} at column {token.position} "
+            f"in {self.source!r}")
+
+
+def parse_expression(source: str) -> Expression:
+    """Parse a base-language expression string into its AST."""
+    if not isinstance(source, str) or not source.strip():
+        raise ExpressionParseError("expression source must be a non-empty string")
+    return _Parser(source).parse()

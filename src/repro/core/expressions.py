@@ -1,0 +1,196 @@
+"""Abstract syntax of the AutoMoDe base language.
+
+Atomic DFD blocks may be defined "directly through an expression (function)
+in AutoMoDe's base language" (paper Sec. 3.2), e.g. the ``ADD`` block of
+Fig. 5 is defined by the expression ``ch1 + ch2 + ch3``.  The same expression
+language is used for MTD/STD transition guards and for clock conditions.
+
+This module defines the expression AST; parsing lives in
+:mod:`repro.core.expr_parser` and evaluation in :mod:`repro.core.expr_eval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Tuple
+
+
+class Expression:
+    """Base class of base-language expression nodes."""
+
+    def variables(self) -> FrozenSet[str]:
+        """Names of the free variables (input channels) of the expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expression", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    def to_source(self) -> str:
+        """Render the expression back to concrete base-language syntax."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_source()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expression) and self.to_source() == other.to_source()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.to_source()))
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expression):
+    """A numeric, boolean or enumeration-literal constant."""
+
+    value: Any
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def to_source(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class Variable(Expression):
+    """A reference to an input channel / port / local name."""
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def to_source(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class UnaryOp(Expression):
+    """Unary operation: ``-x`` or ``not x`` or ``abs(x)``-style intrinsics."""
+
+    op: str
+    operand: Expression
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+    def to_source(self) -> str:
+        if self.op in ("-", "not"):
+            sep = " " if self.op == "not" else ""
+            return f"{self.op}{sep}({self.operand.to_source()})"
+        return f"{self.op}({self.operand.to_source()})"
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryOp(Expression):
+    """Binary arithmetic, comparison or boolean operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def to_source(self) -> str:
+        return f"({self.left.to_source()} {self.op} {self.right.to_source()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Conditional(Expression):
+    """The ``if c then a else b`` expression of the base language."""
+
+    condition: Expression
+    then_branch: Expression
+    else_branch: Expression
+
+    def variables(self) -> FrozenSet[str]:
+        return (self.condition.variables()
+                | self.then_branch.variables()
+                | self.else_branch.variables())
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.condition, self.then_branch, self.else_branch)
+
+    def to_source(self) -> str:
+        return (f"(if {self.condition.to_source()} "
+                f"then {self.then_branch.to_source()} "
+                f"else {self.else_branch.to_source()})")
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expression):
+    """Call of a built-in function (``min``, ``max``, ``abs``, ``limit``...)."""
+
+    function: str
+    arguments: Tuple[Expression, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for arg in self.arguments:
+            names |= arg.variables()
+        return names
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.arguments
+
+    def to_source(self) -> str:
+        args = ", ".join(a.to_source() for a in self.arguments)
+        return f"{self.function}({args})"
+
+
+@dataclass(frozen=True, eq=False)
+class Present(Expression):
+    """``present(ch)`` -- true iff a message is present on channel *ch*.
+
+    This is the construct by which event-triggered behaviour is modelled:
+    components "react explicitly depending on the presence (or absence) of a
+    message" (paper Sec. 2).
+    """
+
+    channel: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset([self.channel])
+
+    def to_source(self) -> str:
+        return f"present({self.channel})"
+
+
+def walk(expression: Expression) -> List[Expression]:
+    """All nodes of the expression tree in pre-order."""
+    nodes = [expression]
+    for child in expression.children():
+        nodes.extend(walk(child))
+    return nodes
+
+
+def depth(expression: Expression) -> int:
+    """Height of the expression tree (a literal/variable has depth 1)."""
+    kids = expression.children()
+    if not kids:
+        return 1
+    return 1 + max(depth(child) for child in kids)
+
+
+def operator_count(expression: Expression) -> int:
+    """Number of operator nodes; a simple complexity metric for the case study."""
+    return sum(1 for node in walk(expression)
+               if isinstance(node, (UnaryOp, BinaryOp, Conditional, Call)))
+
+
+def conditional_count(expression: Expression) -> int:
+    """Number of If-Then-Else nodes (implicit control-flow, paper Sec. 5)."""
+    return sum(1 for node in walk(expression) if isinstance(node, Conditional))

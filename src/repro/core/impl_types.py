@@ -1,0 +1,308 @@
+"""Implementation types of the Logical Architecture (paper Sec. 3.3).
+
+At the LA level the abstract types of the FDA are extended by
+*implementation types* which capture platform-related constraints: an
+abstract ``int`` is mapped to e.g. ``int16`` or ``int32`` and a physical
+floating-point signal may be mapped to a fixed-point or integer message.
+
+This module provides
+
+* machine integer types (:class:`MachineIntType`) with the usual widths,
+* fixed-point encodings (:class:`FixedPointType`) with scale and offset,
+* the physical-to-implementation mapping used by the refinement
+  transformation (:func:`choose_implementation_type`,
+  :class:`ImplementationMapping`),
+* quantization helpers (encode/decode with error accounting).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .errors import QuantizationError, TypeMappingError
+from .types import BOOL, BoolType, EnumType, FloatType, IntType, Type
+
+
+class ImplementationType(Type):
+    """Base class of all platform-level (LA) types."""
+
+    #: storage width in bits, defined by subclasses
+    bits: int = 0
+
+    def storage_bytes(self) -> int:
+        """Number of bytes needed to store one message of this type."""
+        return max(1, (self.bits + 7) // 8)
+
+
+class MachineIntType(ImplementationType):
+    """A fixed-width two's-complement (or unsigned) machine integer."""
+
+    def __init__(self, bits: int, signed: bool = True):
+        if bits not in (8, 16, 32, 64):
+            raise TypeMappingError(f"unsupported machine integer width: {bits}")
+        self.bits = bits
+        self.signed = signed
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        prefix = "int" if self.signed else "uint"
+        return f"{prefix}{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return False
+        return self.min_value <= value <= self.max_value
+
+    def default(self) -> Any:
+        return 0
+
+    def saturate(self, value: int) -> int:
+        """Clamp *value* into the representable range."""
+        return max(self.min_value, min(self.max_value, int(value)))
+
+
+class FixedPointType(ImplementationType):
+    """A linear fixed-point encoding ``physical = raw * scale + offset``.
+
+    The raw value is stored in a machine integer of the given width.  This is
+    the standard automotive signal encoding (as used e.g. in CAN signal
+    databases and ASCET implementation data types).
+    """
+
+    def __init__(self, bits: int, scale: float, offset: float = 0.0,
+                 signed: bool = True, name: Optional[str] = None):
+        if scale <= 0:
+            raise TypeMappingError("fixed-point scale must be positive")
+        self.storage = MachineIntType(bits, signed)
+        self.bits = bits
+        self.signed = signed
+        self.scale = float(scale)
+        self.offset = float(offset)
+        self._name = name
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        if self._name:
+            return self._name
+        return (f"fixed{self.bits}(scale={self.scale:g}, "
+                f"offset={self.offset:g})")
+
+    @property
+    def min_physical(self) -> float:
+        return self.storage.min_value * self.scale + self.offset
+
+    @property
+    def max_physical(self) -> float:
+        return self.storage.max_value * self.scale + self.offset
+
+    @property
+    def resolution(self) -> float:
+        """Physical value of one least-significant bit."""
+        return self.scale
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        return self.min_physical - self.scale / 2 <= value <= self.max_physical + self.scale / 2
+
+    def default(self) -> Any:
+        return 0
+
+    def encode(self, physical: float, saturate: bool = True) -> int:
+        """Quantize a physical value into its raw integer representation."""
+        if math.isnan(physical):
+            raise QuantizationError("cannot encode NaN")
+        raw = round((physical - self.offset) / self.scale)
+        if not (self.storage.min_value <= raw <= self.storage.max_value):
+            if not saturate:
+                raise QuantizationError(
+                    f"value {physical!r} is outside the range of {self.name}")
+            raw = self.storage.saturate(raw)
+        return int(raw)
+
+    def decode(self, raw: int) -> float:
+        """Map a raw integer representation back to the physical value."""
+        return raw * self.scale + self.offset
+
+    def quantization_error(self, physical: float) -> float:
+        """Absolute error introduced by encoding then decoding *physical*."""
+        return abs(self.decode(self.encode(physical)) - physical)
+
+
+class ImplBoolType(ImplementationType):
+    """Boolean stored in one byte (typical automotive C mapping)."""
+
+    bits = 8
+    name = "bool8"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def default(self) -> Any:
+        return False
+
+
+class ImplEnumType(ImplementationType):
+    """Enumeration encoded as an unsigned machine integer of minimal width."""
+
+    def __init__(self, source: EnumType):
+        self.source = source
+        needed = max(1, (len(source.literals) - 1).bit_length())
+        for width in (8, 16, 32):
+            if needed <= width:
+                self.bits = width
+                break
+        else:  # pragma: no cover - enums never need more than 32 bits here
+            self.bits = 64
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"enum{self.bits}({self.source.name})"
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, str):
+            return value in self.source.literals
+        return isinstance(value, int) and 0 <= value < len(self.source.literals)
+
+    def default(self) -> Any:
+        return 0
+
+    def encode(self, literal: str) -> int:
+        return self.source.ordinal(literal)
+
+    def decode(self, raw: int) -> str:
+        if not 0 <= raw < len(self.source.literals):
+            raise QuantizationError(
+                f"raw value {raw} is not a literal index of {self.source.name!r}")
+        return self.source.literals[raw]
+
+
+#: Convenience singletons for the common machine integers.
+INT8 = MachineIntType(8)
+INT16 = MachineIntType(16)
+INT32 = MachineIntType(32)
+UINT8 = MachineIntType(8, signed=False)
+UINT16 = MachineIntType(16, signed=False)
+UINT32 = MachineIntType(32, signed=False)
+BOOL8 = ImplBoolType()
+
+
+def choose_implementation_type(abstract: Type,
+                               resolution: Optional[float] = None,
+                               low: Optional[float] = None,
+                               high: Optional[float] = None) -> ImplementationType:
+    """Choose a platform type for an abstract FDA-level type.
+
+    This is the default policy used by the refinement transformation
+    (paper Sec. 4, "transformation of physical signals to implementation
+    signals, i.e. the choice of encoding and data type"):
+
+    * ``bool``  -> ``bool8``
+    * enums     -> smallest unsigned integer that holds all literals
+    * bounded ``int`` -> smallest signed machine integer covering the range
+    * unbounded ``int`` -> ``int32``
+    * ``float`` -> fixed point; the range is taken from the type bounds or
+      the *low*/*high* arguments, the *resolution* defaults to a value that
+      uses a 16-bit raw range.
+    """
+    if isinstance(abstract, BoolType):
+        return BOOL8
+    if isinstance(abstract, EnumType):
+        return ImplEnumType(abstract)
+    if isinstance(abstract, IntType):
+        range_low = abstract.low if abstract.low is not None else low
+        range_high = abstract.high if abstract.high is not None else high
+        if range_low is None or range_high is None:
+            return INT32
+        for candidate in (INT8, INT16, INT32):
+            if candidate.min_value <= range_low and range_high <= candidate.max_value:
+                return candidate
+        return MachineIntType(64)
+    if isinstance(abstract, FloatType):
+        range_low = abstract.low if abstract.low is not None else low
+        range_high = abstract.high if abstract.high is not None else high
+        if range_low is None or range_high is None:
+            raise TypeMappingError(
+                f"cannot map unbounded float type {abstract!r} to fixed point "
+                "without an explicit range")
+        span = float(range_high) - float(range_low)
+        if span <= 0:
+            span = max(abs(float(range_high)), 1.0)
+        if resolution is None:
+            resolution = span / (INT16.max_value - 1)
+        bits = 16 if span / resolution <= INT16.max_value else 32
+        offset = float(range_low) if range_low > 0 or range_high < 0 else 0.0
+        return FixedPointType(bits, resolution, offset)
+    raise TypeMappingError(f"no implementation mapping for type {abstract!r}")
+
+
+@dataclass
+class SignalImplementation:
+    """The implementation decision for one signal (port/channel)."""
+
+    signal: str
+    abstract_type: Type
+    implementation_type: ImplementationType
+    rationale: str = ""
+
+    def describe(self) -> str:
+        return (f"{self.signal}: {self.abstract_type!r} -> "
+                f"{self.implementation_type.name} ({self.rationale})")
+
+
+class ImplementationMapping:
+    """Collected physical-to-implementation type decisions of a refinement."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SignalImplementation] = {}
+
+    def assign(self, signal: str, abstract: Type, impl: ImplementationType,
+               rationale: str = "") -> SignalImplementation:
+        entry = SignalImplementation(signal, abstract, impl, rationale)
+        self._entries[signal] = entry
+        return entry
+
+    def assign_default(self, signal: str, abstract: Type,
+                       resolution: Optional[float] = None,
+                       low: Optional[float] = None,
+                       high: Optional[float] = None) -> SignalImplementation:
+        impl = choose_implementation_type(abstract, resolution, low, high)
+        return self.assign(signal, abstract, impl, rationale="default policy")
+
+    def lookup(self, signal: str) -> SignalImplementation:
+        try:
+            return self._entries[signal]
+        except KeyError as exc:
+            raise TypeMappingError(f"no implementation type assigned to "
+                                   f"signal {signal!r}") from exc
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def signals(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> List[SignalImplementation]:
+        return [self._entries[name] for name in self.signals()]
+
+    def total_payload_bytes(self) -> int:
+        """Total storage of all mapped signals (used for frame packing)."""
+        return sum(e.implementation_type.storage_bytes() for e in self._entries.values())
+
+    def report(self) -> str:
+        lines = ["signal implementation mapping:"]
+        lines.extend("  " + entry.describe() for entry in self.entries())
+        return "\n".join(lines)

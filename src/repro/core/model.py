@@ -1,0 +1,155 @@
+"""The coherent AutoMoDe meta-model container.
+
+The paper stresses that the views offered at the different abstraction
+levels "are abstracted from the coherent AutoMoDe meta-model of the system.
+Thus, consistency between abstraction levels is guaranteed" (Sec. 3).  The
+:class:`AutoModeModel` class is this container: it owns the shared type
+environment, the per-level architecture descriptions, and the audit trail of
+transformation steps that were applied to derive one level from another.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .components import Component
+from .errors import ModelError, UnknownElementError
+from .types import TypeEnvironment
+
+
+class AbstractionLevel(enum.Enum):
+    """The system abstraction levels of AutoMoDe (paper Fig. 3)."""
+
+    FAA = "Functional Analysis Architecture"
+    FDA = "Functional Design Architecture"
+    LA = "Logical Architecture"
+    TA = "Technical Architecture"
+    OA = "Operational Architecture"
+
+    @property
+    def short_name(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.value})"
+
+
+#: Design-process ordering of the levels, most abstract first.
+LEVEL_ORDER: List[AbstractionLevel] = [
+    AbstractionLevel.FAA,
+    AbstractionLevel.FDA,
+    AbstractionLevel.LA,
+    AbstractionLevel.TA,
+    AbstractionLevel.OA,
+]
+
+
+def is_more_abstract(first: AbstractionLevel, second: AbstractionLevel) -> bool:
+    """True if *first* is a more abstract level than *second*."""
+    return LEVEL_ORDER.index(first) < LEVEL_ORDER.index(second)
+
+
+@dataclass
+class TransformationRecord:
+    """Audit-trail entry: one applied transformation step."""
+
+    name: str
+    kind: str  # "reengineering" | "refactoring" | "refinement"
+    source_level: Optional[AbstractionLevel]
+    target_level: Optional[AbstractionLevel]
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        src = self.source_level.short_name if self.source_level else "-"
+        dst = self.target_level.short_name if self.target_level else "-"
+        return f"{self.kind}: {self.name} ({src} -> {dst})"
+
+
+class AutoModeModel:
+    """A complete AutoMoDe system model spanning several abstraction levels."""
+
+    def __init__(self, name: str, description: str = ""):
+        if not name:
+            raise ModelError("a model needs a non-empty name")
+        self.name = name
+        self.description = description
+        self.types = TypeEnvironment()
+        self._levels: Dict[AbstractionLevel, Any] = {}
+        self.history: List[TransformationRecord] = []
+        self.metadata: Dict[str, Any] = {}
+
+    # -- level management -----------------------------------------------------
+    def set_level(self, level: AbstractionLevel, architecture: Any) -> Any:
+        """Attach the architecture description for *level*."""
+        self._levels[level] = architecture
+        return architecture
+
+    def level(self, level: AbstractionLevel) -> Any:
+        try:
+            return self._levels[level]
+        except KeyError as exc:
+            raise UnknownElementError(
+                f"model {self.name!r} has no {level.short_name} description") from exc
+
+    def has_level(self, level: AbstractionLevel) -> bool:
+        return level in self._levels
+
+    def defined_levels(self) -> List[AbstractionLevel]:
+        return [lvl for lvl in LEVEL_ORDER if lvl in self._levels]
+
+    def most_concrete_level(self) -> Optional[AbstractionLevel]:
+        defined = self.defined_levels()
+        return defined[-1] if defined else None
+
+    # -- history ---------------------------------------------------------------
+    def record(self, name: str, kind: str,
+               source_level: Optional[AbstractionLevel] = None,
+               target_level: Optional[AbstractionLevel] = None,
+               **details: Any) -> TransformationRecord:
+        """Append a transformation step to the audit trail."""
+        entry = TransformationRecord(name, kind, source_level, target_level,
+                                     dict(details))
+        self.history.append(entry)
+        return entry
+
+    def history_of_kind(self, kind: str) -> List[TransformationRecord]:
+        return [entry for entry in self.history if entry.kind == kind]
+
+    # -- reporting --------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"AutoMoDe model {self.name!r}"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines.append("  abstraction levels:")
+        for level in LEVEL_ORDER:
+            marker = "x" if level in self._levels else " "
+            detail = ""
+            if level in self._levels:
+                arch = self._levels[level]
+                arch_name = getattr(arch, "name", type(arch).__name__)
+                detail = f" -> {arch_name}"
+            lines.append(f"    [{marker}] {level}{detail}")
+        if self.history:
+            lines.append("  transformation history:")
+            lines.extend(f"    - {entry.describe()}" for entry in self.history)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        levels = ", ".join(lvl.short_name for lvl in self.defined_levels())
+        return f"AutoModeModel({self.name!r}, levels=[{levels}])"
+
+
+def find_components(root: Component, predicate) -> List[Component]:
+    """All components in the hierarchy below *root* satisfying *predicate*."""
+    from .components import CompositeComponent  # local import to avoid cycle
+
+    found: List[Component] = []
+    if isinstance(root, CompositeComponent):
+        for _, component in root.walk():
+            if predicate(component):
+                found.append(component)
+    elif predicate(root):
+        found.append(root)
+    return found

@@ -1,0 +1,92 @@
+"""Ports: the typed message-passing interface points of components.
+
+AutoMoDe components exchange messages exclusively through ports
+(paper Sec. 2: "the message-based communication with explicit data-flow
+enforces complete specification of a component's interface, and prohibits
+implicit exchange of information").  SSD/CCD ports are statically typed,
+DFD ports are dynamically typed (type ``any`` until inference refines them).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, TYPE_CHECKING
+
+from .clocks import BASE_CLOCK, Clock
+from .errors import ModelError
+from .types import ANY, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .components import Component
+
+
+class PortDirection(enum.Enum):
+    """Direction of message flow through a port."""
+
+    INPUT = "in"
+    OUTPUT = "out"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Port:
+    """A directed, (statically or dynamically) typed interface point."""
+
+    def __init__(self, name: str, direction: PortDirection,
+                 port_type: Type = ANY, clock: Clock = BASE_CLOCK,
+                 description: str = ""):
+        if not name or not name.replace("_", "").isalnum():
+            raise ModelError(f"invalid port name {name!r}")
+        self.name = name
+        self.direction = direction
+        self.port_type = port_type
+        self.clock = clock
+        self.description = description
+        self.owner: Optional["Component"] = None
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def qualified_name(self) -> str:
+        """``component.port`` name, unique within one diagram."""
+        if self.owner is None:
+            return self.name
+        return f"{self.owner.name}.{self.name}"
+
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.INPUT
+
+    def is_output(self) -> bool:
+        return self.direction is PortDirection.OUTPUT
+
+    def is_statically_typed(self) -> bool:
+        """True if the port carries a concrete (non-``any``) type."""
+        return self.port_type is not ANY and self.port_type != ANY
+
+    def accepts(self, value: Any) -> bool:
+        """True if *value* is a legal message for this port."""
+        return self.port_type.contains(value)
+
+    def retype(self, new_type: Type) -> None:
+        """Assign a (possibly refined) type to the port."""
+        self.port_type = new_type
+
+    def reclock(self, clock: Clock) -> None:
+        """Assign an abstract clock to the flow through this port."""
+        self.clock = clock
+
+    def __repr__(self) -> str:
+        return (f"Port({self.qualified_name}, {self.direction}, "
+                f"{self.port_type!r}, clock={self.clock.expression()})")
+
+
+def input_port(name: str, port_type: Type = ANY, clock: Clock = BASE_CLOCK,
+               description: str = "") -> Port:
+    """Convenience constructor for an input port."""
+    return Port(name, PortDirection.INPUT, port_type, clock, description)
+
+
+def output_port(name: str, port_type: Type = ANY, clock: Clock = BASE_CLOCK,
+                description: str = "") -> Port:
+    """Convenience constructor for an output port."""
+    return Port(name, PortDirection.OUTPUT, port_type, clock, description)

@@ -1,0 +1,155 @@
+"""Generic validation framework shared by all notations and levels.
+
+Each notation (SSD, DFD, MTD, STD, CCD) and each abstraction level defines
+well-formedness rules.  Rules report :class:`Issue` objects with a severity;
+a :class:`ValidationReport` collects them and decides whether a model is
+acceptable.  The same framework carries the FAA conflict rules and the
+LA-level well-definedness conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from .errors import ValidationError
+
+
+class Severity(enum.Enum):
+    """How serious a validation finding is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Issue:
+    """One validation finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    element: str = ""
+    suggestion: str = ""
+
+    def describe(self) -> str:
+        where = f" [{self.element}]" if self.element else ""
+        hint = f" -- suggestion: {self.suggestion}" if self.suggestion else ""
+        return f"{self.severity}: ({self.rule}){where} {self.message}{hint}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings produced by validating one model."""
+
+    subject: str
+    issues: List[Issue] = field(default_factory=list)
+
+    def add(self, rule: str, severity: Severity, message: str,
+            element: str = "", suggestion: str = "") -> Issue:
+        issue = Issue(rule, severity, message, element, suggestion)
+        self.issues.append(issue)
+        return issue
+
+    def info(self, rule: str, message: str, element: str = "",
+             suggestion: str = "") -> Issue:
+        return self.add(rule, Severity.INFO, message, element, suggestion)
+
+    def warning(self, rule: str, message: str, element: str = "",
+                suggestion: str = "") -> Issue:
+        return self.add(rule, Severity.WARNING, message, element, suggestion)
+
+    def error(self, rule: str, message: str, element: str = "",
+              suggestion: str = "") -> Issue:
+        return self.add(rule, Severity.ERROR, message, element, suggestion)
+
+    def extend(self, other: "ValidationReport") -> None:
+        self.issues.extend(other.issues)
+
+    # -- queries ---------------------------------------------------------------
+    def errors(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity is Severity.WARNING]
+
+    def infos(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity is Severity.INFO]
+
+    def is_valid(self) -> bool:
+        """True if no error-level issues were found."""
+        return not self.errors()
+
+    def by_rule(self, rule: str) -> List[Issue]:
+        return [i for i in self.issues if i.rule == rule]
+
+    def raise_on_errors(self) -> None:
+        """Raise :class:`ValidationError` summarising all errors, if any."""
+        errors = self.errors()
+        if errors:
+            details = "; ".join(issue.describe() for issue in errors)
+            raise ValidationError(
+                f"{self.subject}: {len(errors)} validation error(s): {details}")
+
+    def summary(self) -> str:
+        return (f"{self.subject}: {len(self.errors())} error(s), "
+                f"{len(self.warnings())} warning(s), {len(self.infos())} info(s)")
+
+    def describe(self) -> str:
+        lines = [self.summary()]
+        lines.extend("  " + issue.describe() for issue in self.issues)
+        return "\n".join(lines)
+
+
+#: Signature of a validation rule: takes the model, appends to the report.
+Rule = Callable[[object, ValidationReport], None]
+
+
+class RuleSet:
+    """A named collection of validation rules applied together."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._rules: List[tuple] = []
+
+    def rule(self, rule_id: str) -> Callable[[Rule], Rule]:
+        """Decorator registering a rule function under *rule_id*."""
+        def decorator(func: Rule) -> Rule:
+            self.add(rule_id, func)
+            return func
+        return decorator
+
+    def add(self, rule_id: str, func: Rule) -> None:
+        if any(existing_id == rule_id for existing_id, _ in self._rules):
+            raise ValidationError(
+                f"rule set {self.name!r} already has a rule {rule_id!r}")
+        self._rules.append((rule_id, func))
+
+    def rule_ids(self) -> List[str]:
+        return [rule_id for rule_id, _ in self._rules]
+
+    def apply(self, model: object, subject: Optional[str] = None,
+              report: Optional[ValidationReport] = None) -> ValidationReport:
+        """Run every rule of the set against *model*."""
+        if report is None:
+            report = ValidationReport(subject or getattr(model, "name", str(model)))
+        for _, func in self._rules:
+            func(model, report)
+        return report
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def merge_reports(subject: str,
+                  reports: Iterable[ValidationReport]) -> ValidationReport:
+    """Combine several reports into one."""
+    merged = ValidationReport(subject)
+    for report in reports:
+        merged.extend(report)
+    return merged

@@ -1,0 +1,110 @@
+"""Graphviz DOT export of AutoMoDe diagrams.
+
+The paper's notations are graphical (Figs. 4-8); this module renders the
+programmatic models back into DOT so the figures can be regenerated with any
+Graphviz viewer.  Composite diagrams (SSD, DFD, CCD) become clustered
+digraphs; MTDs and STDs become state graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.components import Component, CompositeComponent
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def composite_to_dot(diagram: CompositeComponent,
+                     graph_name: Optional[str] = None) -> str:
+    """Render an SSD/DFD/CCD as a DOT digraph."""
+    name = graph_name or diagram.name
+    lines = [f'digraph "{_escape(name)}" {{',
+             "  rankdir=LR;",
+             "  node [shape=box, fontsize=10];"]
+    for port in diagram.input_ports():
+        lines.append(f'  "in_{_escape(port.name)}" [shape=plaintext, '
+                     f'label="{_escape(port.name)}"];')
+    for port in diagram.output_ports():
+        lines.append(f'  "out_{_escape(port.name)}" [shape=plaintext, '
+                     f'label="{_escape(port.name)}"];')
+    for component in diagram.subcomponents():
+        label = component.name
+        if isinstance(component, Cluster):
+            label = f"{component.name}\\nevery({component.period}, true)"
+        elif isinstance(component, ModeTransitionDiagram):
+            label = f"{component.name}\\n<<MTD>>"
+        elif isinstance(component, StateTransitionDiagram):
+            label = f"{component.name}\\n<<STD>>"
+        elif isinstance(component, CompositeComponent):
+            label = f"{component.name}\\n<<{getattr(component, 'notation', 'SSD')}>>"
+        lines.append(f'  "{_escape(component.name)}" [label="{_escape(label)}"];')
+    for channel in diagram.channels():
+        source = (f"in_{channel.source.port}" if channel.source.is_boundary()
+                  else channel.source.component)
+        destination = (f"out_{channel.destination.port}"
+                       if channel.destination.is_boundary()
+                       else channel.destination.component)
+        style = ' style=dashed' if channel.delayed else ""
+        lines.append(f'  "{_escape(source or "")}" -> '
+                     f'"{_escape(destination or "")}" '
+                     f'[label="{_escape(channel.source.port)}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mtd_to_dot(mtd: ModeTransitionDiagram) -> str:
+    """Render an MTD as a DOT state graph (Fig. 6 / Fig. 8 style)."""
+    lines = [f'digraph "{_escape(mtd.name)}" {{',
+             "  rankdir=LR;",
+             "  node [shape=ellipse, fontsize=10];",
+             '  "__initial" [shape=point];']
+    for mode in mtd.modes():
+        lines.append(f'  "{_escape(mode.name)}";')
+    if mtd.initial_mode:
+        lines.append(f'  "__initial" -> "{_escape(mtd.initial_mode)}";')
+    for transition in mtd.transitions():
+        lines.append(f'  "{_escape(transition.source)}" -> '
+                     f'"{_escape(transition.target)}" '
+                     f'[label="{_escape(transition.guard.to_source())}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def std_to_dot(std: StateTransitionDiagram) -> str:
+    """Render an STD as a DOT state graph."""
+    lines = [f'digraph "{_escape(std.name)}" {{',
+             "  rankdir=LR;",
+             "  node [shape=circle, fontsize=10];",
+             '  "__initial" [shape=point];']
+    for state in std.states():
+        lines.append(f'  "{_escape(state.name)}";')
+    if std.initial_state_name:
+        lines.append(f'  "__initial" -> "{_escape(std.initial_state_name)}";')
+    for transition in std.transitions():
+        label = transition.guard.to_source()
+        if transition.actions:
+            actions = ", ".join(f"{k}:={v.to_source()}"
+                                for k, v in transition.actions.items())
+            label = f"{label} / {actions}"
+        lines.append(f'  "{_escape(transition.source)}" -> '
+                     f'"{_escape(transition.target)}" [label="{_escape(label)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_dot(element: Component) -> str:
+    """Dispatch to the appropriate DOT renderer for *element*."""
+    if isinstance(element, ModeTransitionDiagram):
+        return mtd_to_dot(element)
+    if isinstance(element, StateTransitionDiagram):
+        return std_to_dot(element)
+    if isinstance(element, CompositeComponent):
+        return composite_to_dot(element)
+    return (f'digraph "{_escape(element.name)}" {{\n'
+            f'  "{_escape(element.name)}" [shape=box];\n}}')

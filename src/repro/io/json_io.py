@@ -1,0 +1,269 @@
+"""JSON serialization of AutoMoDe models.
+
+Model exchange between organisations is one of the paper's motivations
+("a design process typically spanning several companies"), so models need a
+tool-independent textual form.  This module serializes the structural part
+of the metamodel -- interfaces, hierarchy, channels, clocks, types, MTD/STD
+graphs, expression behaviours -- to plain JSON and reconstructs it again.
+
+Behaviour given by arbitrary Python callables (FunctionComponent, custom
+StatefulComponent subclasses) cannot be serialized faithfully; such blocks
+are emitted as structural stubs with a ``behavior: "opaque"`` marker and are
+reconstructed as structure-only components.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.channels import Channel
+from ..core.clocks import BASE_CLOCK, Clock, EventClock, PeriodicClock, every
+from ..core.components import (Component, CompositeComponent,
+                               ExpressionComponent)
+from ..core.errors import SerializationError
+from ..core.ports import Port, PortDirection
+from ..core.types import (ANY, BOOL, FLOAT, INT, EnumType, FloatType, IntType,
+                          Type)
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..notations.dfd import DataFlowDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.ssd import SSDComponent
+from ..notations.std import StateTransitionDiagram
+
+
+# --------------------------------------------------------------------------
+# encoding
+# --------------------------------------------------------------------------
+
+def type_to_json(port_type: Type) -> Dict[str, Any]:
+    if isinstance(port_type, EnumType):
+        return {"kind": "enum", "name": port_type.name,
+                "literals": list(port_type.literals)}
+    if isinstance(port_type, IntType):
+        return {"kind": "int", "low": port_type.low, "high": port_type.high}
+    if isinstance(port_type, FloatType):
+        return {"kind": "float", "low": port_type.low, "high": port_type.high}
+    if port_type == BOOL:
+        return {"kind": "bool"}
+    if port_type == ANY or port_type is ANY:
+        return {"kind": "any"}
+    return {"kind": "opaque", "name": port_type.name}
+
+
+def clock_to_json(clock: Clock) -> Dict[str, Any]:
+    if isinstance(clock, PeriodicClock):
+        return {"kind": "every", "period": clock.period, "phase": clock.phase}
+    if isinstance(clock, EventClock):
+        return {"kind": "event", "ticks": list(clock.ticks)}
+    return {"kind": "base"}
+
+
+def port_to_json(port: Port) -> Dict[str, Any]:
+    return {"name": port.name, "direction": str(port.direction),
+            "type": type_to_json(port.port_type),
+            "clock": clock_to_json(port.clock),
+            "description": port.description}
+
+
+def channel_to_json(channel: Channel) -> Dict[str, Any]:
+    return {"name": channel.name,
+            "source": {"component": channel.source.component,
+                       "port": channel.source.port},
+            "destination": {"component": channel.destination.component,
+                            "port": channel.destination.port},
+            "delayed": channel.delayed}
+
+
+def component_to_json(component: Component) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "name": component.name,
+        "class": type(component).__name__,
+        "description": component.description,
+        "annotations": {key: value for key, value in component.annotations.items()
+                        if isinstance(value, (str, int, float, bool, list))},
+        "ports": [port_to_json(port) for port in component.ports()],
+    }
+    if isinstance(component, ExpressionComponent):
+        data["behavior"] = "expressions"
+        data["expressions"] = {name: expr.to_source()
+                               for name, expr in component.output_expressions.items()}
+    elif isinstance(component, ModeTransitionDiagram):
+        data["behavior"] = "mtd"
+        data["initial_mode"] = component.initial_mode
+        data["modes"] = [{
+            "name": mode.name,
+            "description": mode.description,
+            "behavior": component_to_json(mode.behavior)
+            if mode.behavior is not None else None,
+        } for mode in component.modes()]
+        data["transitions"] = [{
+            "source": t.source, "target": t.target,
+            "guard": t.guard.to_source(), "priority": t.priority,
+        } for t in component.transitions()]
+    elif isinstance(component, StateTransitionDiagram):
+        data["behavior"] = "std"
+        data["initial_state"] = component.initial_state_name
+        data["variables"] = component.variables()
+        data["states"] = [{"name": state.name,
+                           "emissions": {k: v.to_source()
+                                         for k, v in state.emissions.items()}}
+                          for state in component.states()]
+        data["transitions"] = [{
+            "source": t.source, "target": t.target, "guard": t.guard.to_source(),
+            "actions": {k: v.to_source() for k, v in t.actions.items()},
+            "priority": t.priority,
+        } for t in component.transitions()]
+    elif isinstance(component, CompositeComponent):
+        data["behavior"] = "composite"
+        data["notation"] = getattr(component, "notation", "composite")
+        data["delayed_default"] = component.delayed_channels_by_default
+        if isinstance(component, Cluster):
+            data["rate"] = component.period
+        data["subcomponents"] = [component_to_json(sub)
+                                 for sub in component.subcomponents()]
+        data["channels"] = [channel_to_json(channel)
+                            for channel in component.channels()]
+    else:
+        data["behavior"] = "opaque"
+    return data
+
+
+def model_to_json(component: Component, indent: int = 2) -> str:
+    """Serialize a component hierarchy to a JSON string."""
+    return json.dumps(component_to_json(component), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# decoding
+# --------------------------------------------------------------------------
+
+def type_from_json(data: Dict[str, Any]) -> Type:
+    kind = data.get("kind", "any")
+    if kind == "enum":
+        return EnumType(data["name"], data["literals"])
+    if kind == "int":
+        return IntType(data.get("low"), data.get("high")) \
+            if (data.get("low") is not None or data.get("high") is not None) else INT
+    if kind == "float":
+        return FloatType(data.get("low"), data.get("high")) \
+            if (data.get("low") is not None or data.get("high") is not None) else FLOAT
+    if kind == "bool":
+        return BOOL
+    return ANY
+
+
+def clock_from_json(data: Dict[str, Any]) -> Clock:
+    kind = data.get("kind", "base")
+    if kind == "every":
+        return every(int(data["period"]), int(data.get("phase", 0)))
+    if kind == "event":
+        return EventClock(data.get("ticks", []))
+    return BASE_CLOCK
+
+
+def _add_ports(component: Component, ports: List[Dict[str, Any]]) -> None:
+    for port_data in ports:
+        port_type = type_from_json(port_data.get("type", {}))
+        clock = clock_from_json(port_data.get("clock", {}))
+        if port_data["direction"] == "in":
+            component.add_input(port_data["name"], port_type, clock,
+                                port_data.get("description", ""))
+        else:
+            component.add_output(port_data["name"], port_type, clock,
+                                 port_data.get("description", ""))
+
+
+def component_from_json(data: Dict[str, Any]) -> Component:
+    behavior = data.get("behavior", "opaque")
+    name = data["name"]
+    component: Component
+    if behavior == "expressions":
+        component = ExpressionComponent(name, data.get("expressions", {}),
+                                        description=data.get("description", ""))
+        _add_ports(component, data.get("ports", []))
+    elif behavior == "mtd":
+        mtd = ModeTransitionDiagram(name, description=data.get("description", ""))
+        _add_ports(mtd, data.get("ports", []))
+        for mode_data in data.get("modes", []):
+            mode_behavior = (component_from_json(mode_data["behavior"])
+                             if mode_data.get("behavior") else None)
+            mtd.add_mode(mode_data["name"], mode_behavior,
+                         initial=(mode_data["name"] == data.get("initial_mode")),
+                         description=mode_data.get("description", ""))
+        if data.get("initial_mode"):
+            mtd.set_initial_mode(data["initial_mode"])
+        for transition in data.get("transitions", []):
+            mtd.add_transition(transition["source"], transition["target"],
+                               transition["guard"],
+                               priority=transition.get("priority", 0))
+        component = mtd
+    elif behavior == "std":
+        std = StateTransitionDiagram(name, description=data.get("description", ""))
+        _add_ports(std, data.get("ports", []))
+        for variable, initial in (data.get("variables") or {}).items():
+            std.add_variable(variable, initial)
+        for state_data in data.get("states", []):
+            std.add_state(state_data["name"],
+                          initial=(state_data["name"] == data.get("initial_state")),
+                          emissions=state_data.get("emissions"))
+        if data.get("initial_state"):
+            std.set_initial_state(data["initial_state"])
+        for transition in data.get("transitions", []):
+            std.add_transition(transition["source"], transition["target"],
+                               transition["guard"],
+                               actions=transition.get("actions"),
+                               priority=transition.get("priority", 0))
+        component = std
+    elif behavior == "composite":
+        notation = data.get("notation", "composite")
+        if notation == "SSD":
+            composite: CompositeComponent = SSDComponent(
+                name, description=data.get("description", ""))
+        elif notation == "DFD":
+            composite = DataFlowDiagram(name, description=data.get("description", ""))
+        elif notation == "CCD":
+            composite = ClusterCommunicationDiagram(
+                name, description=data.get("description", ""))
+        elif notation == "Cluster":
+            composite = Cluster(name, rate=every(int(data.get("rate", 1))),
+                                description=data.get("description", ""))
+        else:
+            composite = CompositeComponent(
+                name, description=data.get("description", ""),
+                delayed_channels_by_default=data.get("delayed_default", False))
+        _add_ports(composite, data.get("ports", []))
+        for sub_data in data.get("subcomponents", []):
+            sub = component_from_json(sub_data)
+            if isinstance(composite, ClusterCommunicationDiagram) and \
+                    not isinstance(sub, Cluster):
+                CompositeComponent.add_subcomponent(composite, sub)
+            else:
+                composite.add_subcomponent(sub)
+        for channel_data in data.get("channels", []):
+            source = channel_data["source"]
+            destination = channel_data["destination"]
+            source_ref = (source["port"] if source["component"] is None
+                          else f"{source['component']}.{source['port']}")
+            destination_ref = (destination["port"]
+                               if destination["component"] is None
+                               else f"{destination['component']}.{destination['port']}")
+            composite.connect(source_ref, destination_ref,
+                              name=channel_data.get("name"),
+                              delayed=channel_data.get("delayed", False))
+        component = composite
+    else:
+        component = Component(name, description=data.get("description", ""))
+        _add_ports(component, data.get("ports", []))
+    for key, value in (data.get("annotations") or {}).items():
+        component.annotate(key, value)
+    return component
+
+
+def model_from_json(text: str) -> Component:
+    """Reconstruct a component hierarchy from its JSON form."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid model JSON: {exc}") from exc
+    return component_from_json(data)

@@ -1,0 +1,100 @@
+"""Plain-text rendering of diagrams and reports.
+
+The benchmarks regenerate the paper's figures as text: structural summaries
+of SSD/DFD/CCD diagrams, mode graphs for MTDs, and the Fig.-1 trace table via
+:meth:`repro.simulation.trace.SimulationTrace.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.components import Component, CompositeComponent
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
+
+
+def render_interface(component: Component) -> str:
+    """One-line-per-port interface listing."""
+    lines = [f"component {component.name} "
+             f"<<{getattr(component, 'notation', type(component).__name__)}>>"]
+    for port in component.input_ports():
+        lines.append(f"  in  {port.name}: {port.port_type!r} "
+                     f"@ {port.clock.expression()}")
+    for port in component.output_ports():
+        lines.append(f"  out {port.name}: {port.port_type!r} "
+                     f"@ {port.clock.expression()}")
+    return "\n".join(lines)
+
+
+def render_structure(diagram: CompositeComponent, indent: int = 0) -> str:
+    """Indented structural tree of a composite diagram."""
+    pad = " " * indent
+    notation = getattr(diagram, "notation", "composite")
+    lines = [f"{pad}{diagram.name} <<{notation}>>"]
+    for component in diagram.subcomponents():
+        if isinstance(component, CompositeComponent):
+            lines.append(render_structure(component, indent + 2))
+        else:
+            extra = ""
+            if isinstance(component, ModeTransitionDiagram):
+                extra = f" modes={component.mode_names()}"
+            lines.append(f"{pad}  {component.name} "
+                         f"<<{getattr(component, 'notation', type(component).__name__)}>>{extra}")
+    for channel in diagram.channels():
+        marker = "=delay=>" if channel.delayed else "-->"
+        lines.append(f"{pad}  {channel.source!r} {marker} {channel.destination!r}")
+    return "\n".join(lines)
+
+
+def render_mtd(mtd: ModeTransitionDiagram) -> str:
+    """Text rendering of an MTD (modes, initial marker, transitions)."""
+    lines = [f"MTD {mtd.name}:"]
+    for mode in mtd.modes():
+        marker = "*" if mode.name == mtd.initial_mode else " "
+        behavior = mode.behavior.name if mode.behavior is not None else "(unspecified)"
+        lines.append(f"  [{marker}] {mode.name}  behaviour: {behavior}")
+    for transition in mtd.transitions():
+        lines.append(f"      {transition.describe()}")
+    return "\n".join(lines)
+
+
+def render_std(std: StateTransitionDiagram) -> str:
+    """Text rendering of an STD."""
+    lines = [f"STD {std.name}:"]
+    for state in std.states():
+        marker = "*" if state.name == std.initial_state_name else " "
+        lines.append(f"  [{marker}] {state.name}")
+    for transition in std.transitions():
+        lines.append(f"      {transition.describe()}")
+    return "\n".join(lines)
+
+
+def render_ccd(ccd: ClusterCommunicationDiagram) -> str:
+    """Text rendering of a CCD with explicit rates (Fig.-7 style)."""
+    lines = [f"CCD {ccd.name}:"]
+    for cluster in ccd.clusters():
+        lines.append(f"  cluster {cluster.name} @ every({cluster.period}, true) "
+                     f"[{len(cluster.subcomponents())} block(s)]")
+        for port in cluster.ports():
+            lines.append(f"    {port.direction} {port.name}: {port.port_type!r}")
+    for entry in ccd.rate_transitions():
+        marker = "=delay=>" if entry["delayed"] else "-->"
+        lines.append(f"  {entry['source']}({entry['source_period']}) {marker} "
+                     f"{entry['destination']}({entry['destination_period']}) "
+                     f"[{entry['direction']}]")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align a simple table for benchmark output."""
+    table = [list(map(str, headers))] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[col])
+                               for col, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    return "\n".join(lines)

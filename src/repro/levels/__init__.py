@@ -1,0 +1,20 @@
+"""The AutoMoDe abstraction levels as first-class views (paper Fig. 3).
+
+* :mod:`repro.levels.faa` -- Functional Analysis Architecture
+* :mod:`repro.levels.fda` -- Functional Design Architecture
+* :mod:`repro.levels.la`  -- Logical Architecture
+* :mod:`repro.levels.ta`  -- Technical Architecture
+* :mod:`repro.levels.oa`  -- Operational Architecture (generated projects)
+"""
+
+from .faa import FunctionalAnalysisArchitecture
+from .fda import FunctionalDesignArchitecture
+from .la import LogicalArchitecture
+from .oa import OperationalArchitecture
+from .ta import TechnicalArchitectureLevel
+
+__all__ = [
+    "FunctionalAnalysisArchitecture", "FunctionalDesignArchitecture",
+    "LogicalArchitecture", "OperationalArchitecture",
+    "TechnicalArchitectureLevel",
+]

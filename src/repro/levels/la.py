@@ -1,0 +1,75 @@
+"""Logical Architecture (LA) -- paper Sec. 3.3.
+
+"The LA mainly groups and instantiates FDA-level components to clusters ...
+A cluster can be thought of as a 'smallest deployable unit'."  The LA view
+bundles the CCD, the implementation-type decisions of its clusters and the
+target-specific well-definedness checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..analysis.well_definedness import (OSEK_FIXED_PRIORITY, TargetProfile,
+                                         check_well_definedness,
+                                         missing_delays)
+from ..core.errors import ModelError
+from ..core.impl_types import ImplementationMapping
+from ..core.validation import ValidationReport
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..simulation.engine import simulate_ccd
+from ..simulation.trace import SimulationTrace
+
+
+class LogicalArchitecture:
+    """The LA level: clusters, explicit rates, implementation types."""
+
+    level_name = "LA"
+
+    def __init__(self, name: str, ccd: ClusterCommunicationDiagram,
+                 target_profile: TargetProfile = OSEK_FIXED_PRIORITY,
+                 description: str = ""):
+        if not isinstance(ccd, ClusterCommunicationDiagram):
+            raise ModelError("the LA top-level structure must be a CCD")
+        self.name = name
+        self.ccd = ccd
+        self.target_profile = target_profile
+        self.description = description
+
+    # -- structure -----------------------------------------------------------------
+    def clusters(self) -> List[Cluster]:
+        return self.ccd.clusters()
+
+    def cluster_rates(self) -> Dict[str, int]:
+        return self.ccd.rates()
+
+    def implementation_mappings(self) -> Dict[str, ImplementationMapping]:
+        """The implementation-type decisions of every cluster."""
+        return {cluster.name: cluster.implementation for cluster in self.clusters()}
+
+    def deployable_units(self) -> List[str]:
+        """Names of the smallest deployable units (the clusters)."""
+        return [cluster.name for cluster in self.clusters()]
+
+    # -- analysis -------------------------------------------------------------------
+    def validate(self) -> ValidationReport:
+        """Structural CCD rules plus target-specific well-definedness."""
+        return check_well_definedness(self.ccd, self.target_profile)
+
+    def missing_rate_transition_delays(self) -> List[str]:
+        return missing_delays(self.ccd, self.target_profile)
+
+    def is_well_defined(self) -> bool:
+        return self.validate().is_valid()
+
+    def simulate(self, stimuli: Optional[Mapping] = None,
+                 ticks: int = 40) -> SimulationTrace:
+        """Simulate the CCD with every cluster gated by its explicit rate."""
+        return simulate_ccd(self.ccd, stimuli, ticks)
+
+    def describe(self) -> str:
+        rates = ", ".join(f"{name}@{period}" for name, period
+                          in sorted(self.cluster_rates().items()))
+        return (f"LA {self.name!r}: {len(self.clusters())} cluster(s) [{rates}], "
+                f"target {self.target_profile.name}, well-defined: "
+                f"{self.is_well_defined()}")

@@ -1,0 +1,95 @@
+"""Operational Architecture (OA) -- paper Sec. 3.4.
+
+"The result of the deployment of SW clusters to the target architecture is
+the starting point of the Operational Architecture."  The paper's tool
+prototype does not model this level itself but generates ASCET-SD projects
+for each ECU of the target architecture; this module does the same using the
+:class:`~repro.ascet.codegen.AscetProjectGenerator` substrate, and offers the
+resulting projects as the model's OA view.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..ascet.codegen import AscetProjectGenerator, GeneratedProject
+from ..ascet.comm_matrix import CommunicationMatrix
+from ..core.errors import CodeGenError
+from ..core.validation import ValidationReport
+from ..notations.ccd import ClusterCommunicationDiagram
+from ..transformations.deployment import DeploymentResult
+
+
+class OperationalArchitecture:
+    """The OA level: generated per-ECU projects plus the communication matrix."""
+
+    level_name = "OA"
+
+    def __init__(self, name: str, ccd: ClusterCommunicationDiagram,
+                 deployment: DeploymentResult, description: str = ""):
+        self.name = name
+        self.ccd = ccd
+        self.deployment = deployment
+        self.description = description
+        self._projects: Optional[Dict[str, GeneratedProject]] = None
+
+    # -- generation ----------------------------------------------------------------
+    def generate(self) -> Dict[str, GeneratedProject]:
+        """Generate (or return the cached) per-ECU ASCET-style projects."""
+        if self._projects is None:
+            generator = AscetProjectGenerator(
+                self.ccd, self.deployment.architecture,
+                bus=self.deployment.bus, matrix=self.deployment.matrix)
+            self._projects = generator.generate_all()
+        return self._projects
+
+    def project(self, ecu_name: str) -> GeneratedProject:
+        projects = self.generate()
+        try:
+            return projects[ecu_name]
+        except KeyError as exc:
+            raise CodeGenError(f"no generated project for ECU {ecu_name!r}") from exc
+
+    def communication_matrix(self) -> CommunicationMatrix:
+        return self.deployment.matrix
+
+    def write_to(self, directory: str) -> List[str]:
+        """Write every generated project below *directory*."""
+        written: List[str] = []
+        for project in self.generate().values():
+            written.extend(project.write_to(directory))
+        return written
+
+    # -- analysis ------------------------------------------------------------------
+    def validate(self) -> ValidationReport:
+        """Sanity checks on the generated artefacts."""
+        report = ValidationReport(f"OA {self.name!r}")
+        for ecu_name, project in self.generate().items():
+            module_files = [name for name in project.file_names()
+                            if name.startswith("modules/") and name.endswith(".c")]
+            expected = self.deployment.architecture.ecu(ecu_name).cluster_names()
+            if len(module_files) < len(expected):
+                report.error("oa-module-coverage",
+                             f"project of {ecu_name!r} has {len(module_files)} "
+                             f"module(s) for {len(expected)} cluster(s)",
+                             element=ecu_name)
+            else:
+                report.info("oa-module-coverage",
+                            f"project of {ecu_name!r}: {len(module_files)} "
+                            f"module(s), {project.total_lines()} lines",
+                            element=ecu_name)
+            if "os/osek_config.oil" not in project.files:
+                report.error("oa-os-config",
+                             f"project of {ecu_name!r} lacks the OS configuration",
+                             element=ecu_name)
+        return report
+
+    def total_generated_lines(self) -> int:
+        return sum(project.total_lines() for project in self.generate().values())
+
+    def describe(self) -> str:
+        projects = self.generate()
+        return (f"OA {self.name!r}: {len(projects)} generated project(s), "
+                f"{self.total_generated_lines()} lines, "
+                f"{len(self.communication_matrix())} matrix signal(s)")

@@ -1,0 +1,95 @@
+"""Technical Architecture (TA) level wrapper -- paper Sec. 3.3.
+
+The TA "represents target platform components (ECUs, tasks, buses, message
+frames) used to implement the system".  The platform elements themselves
+live in :mod:`repro.platform`; this module provides the TA-level view used
+by an :class:`~repro.core.model.AutoModeModel`: the architecture, the bus,
+the deployment decisions, and the schedulability evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.errors import ModelError
+from ..core.validation import ValidationReport
+from ..platform.can import CANBus
+from ..platform.ecu import TechnicalArchitecture
+from ..platform.osek import (ScheduleTrace, is_schedulable,
+                             response_time_analysis, simulate_schedule)
+from ..transformations.deployment import DeploymentResult
+
+
+class TechnicalArchitectureLevel:
+    """The TA level: platform plus deployment decisions and their evidence."""
+
+    level_name = "TA"
+
+    def __init__(self, name: str, deployment: DeploymentResult,
+                 description: str = ""):
+        if not isinstance(deployment, DeploymentResult):
+            raise ModelError("the TA level is built from a DeploymentResult")
+        self.name = name
+        self.deployment = deployment
+        self.description = description
+
+    @property
+    def architecture(self) -> TechnicalArchitecture:
+        return self.deployment.architecture
+
+    @property
+    def bus(self) -> CANBus:
+        return self.deployment.bus
+
+    # -- queries --------------------------------------------------------------------
+    def ecu_names(self) -> List[str]:
+        return [ecu.name for ecu in self.architecture.ecu_list()]
+
+    def task_of_cluster(self) -> Dict[str, str]:
+        return dict(self.deployment.task_of_cluster)
+
+    def ecu_of_cluster(self) -> Dict[str, str]:
+        return dict(self.deployment.ecu_of_cluster)
+
+    # -- analysis -------------------------------------------------------------------
+    def validate(self) -> ValidationReport:
+        """Schedulability of every ECU and utilization of the bus."""
+        report = ValidationReport(f"TA {self.name!r}")
+        for ecu in self.architecture.ecu_list():
+            if not ecu.tasks:
+                report.warning("ta-empty-ecu", f"ECU {ecu.name!r} has no tasks",
+                               element=ecu.name)
+                continue
+            for result in response_time_analysis(ecu):
+                if result.schedulable:
+                    report.info("ta-schedulability",
+                                f"{ecu.name}/{result.task}: WCRT "
+                                f"{result.wcrt:g} <= deadline {result.deadline}",
+                                element=f"{ecu.name}/{result.task}")
+                else:
+                    report.error("ta-schedulability",
+                                 f"{ecu.name}/{result.task} misses its deadline",
+                                 element=f"{ecu.name}/{result.task}")
+        utilization = self.bus.utilization()
+        if utilization > 0.8:
+            report.warning("ta-bus-utilization",
+                           f"bus utilization {utilization:.1%} exceeds 80%",
+                           element=self.bus.name)
+        else:
+            report.info("ta-bus-utilization",
+                        f"bus utilization {utilization:.1%}", element=self.bus.name)
+        return report
+
+    def is_schedulable(self) -> bool:
+        return all(is_schedulable(ecu) for ecu in self.architecture.ecu_list()
+                   if ecu.tasks)
+
+    def simulate_schedules(self, horizon: Optional[int] = None
+                           ) -> Dict[str, ScheduleTrace]:
+        return {ecu.name: simulate_schedule(ecu, horizon)
+                for ecu in self.architecture.ecu_list() if ecu.tasks}
+
+    def describe(self) -> str:
+        return (f"TA {self.name!r}: {len(self.ecu_names())} ECU(s), "
+                f"{len(self.bus.frames)} CAN frame(s), schedulable: "
+                f"{self.is_schedulable()}")

@@ -1,0 +1,30 @@
+"""The graphical notations of AutoMoDe as programmatic model views.
+
+* :mod:`repro.notations.ssd` -- System Structure Diagrams (FAA/FDA structure)
+* :mod:`repro.notations.dfd` -- Data Flow Diagrams (algorithmic behaviour)
+* :mod:`repro.notations.mtd` -- Mode Transition Diagrams (explicit modes)
+* :mod:`repro.notations.std` -- State Transition Diagrams (restricted EFSMs)
+* :mod:`repro.notations.ccd` -- Cluster Communication Diagrams (LA level)
+* :mod:`repro.notations.blocks` -- the discrete-time block library
+"""
+
+from .blocks import (BLOCK_LIBRARY, Add, Constant, Counter, EdgeDetector,
+                     Every, Gain, Hold, Hysteresis, Integrator, Limit,
+                     LookupTable1D, Multiply, PIDController, RateLimiter,
+                     Subtract, Switch, UnitDelay, When, library_block)
+from .ccd import (CCD_RULES, Cluster, ClusterCommunicationDiagram)
+from .dfd import DFD_RULES, DataFlowDiagram
+from .mtd import MTD_RULES, Mode, ModeTransition, ModeTransitionDiagram
+from .ssd import SSD_RULES, SSDComponent, interface_signature
+from .std import (STD_RULES, STDState, STDTransition, StateTransitionDiagram)
+
+__all__ = [
+    "Add", "BLOCK_LIBRARY", "CCD_RULES", "Cluster",
+    "ClusterCommunicationDiagram", "Constant", "Counter", "DFD_RULES",
+    "DataFlowDiagram", "EdgeDetector", "Every", "Gain", "Hold", "Hysteresis",
+    "Integrator", "Limit", "LookupTable1D", "MTD_RULES", "Mode",
+    "ModeTransition", "ModeTransitionDiagram", "Multiply", "PIDController",
+    "RateLimiter", "SSD_RULES", "SSDComponent", "STDState", "STDTransition",
+    "STD_RULES", "StateTransitionDiagram", "Subtract", "Switch", "UnitDelay",
+    "When", "interface_signature", "library_block",
+]

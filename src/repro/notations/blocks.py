@@ -1,0 +1,482 @@
+"""Block library for discrete-time computations (paper Sec. 3.2).
+
+"With this mechanism, it is possible to define adequate block libraries for
+discrete-time computations."  This module provides the standard blocks used
+by the examples, the case study and the benchmarks: arithmetic, sampling
+(``when`` / ``delay`` of Sec. 2), signal conditioning (limit, rate limiter,
+hysteresis), and simple controllers (integrator, PID).
+
+All blocks are ordinary :class:`~repro.core.components.Component` subclasses
+and can be placed inside any DFD (or SSD, where composition adds delays).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.components import Component, StatefulComponent
+from ..core.errors import ModelError
+from ..core.values import ABSENT, is_absent, is_present
+
+
+class Constant(Component):
+    """Emits the same value at every tick."""
+
+    def __init__(self, name: str, value: Any):
+        super().__init__(name, description=f"constant {value!r}")
+        self.value = value
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        return {"out": self.value}, state
+
+    def instantaneous_dependencies(self):
+        return {"out": set()}
+
+
+class Add(Component):
+    """Sum of all present inputs; absent if every input is absent."""
+
+    def __init__(self, name: str, n_inputs: int = 2):
+        super().__init__(name, description=f"{n_inputs}-input adder")
+        if n_inputs < 1:
+            raise ModelError("Add needs at least one input")
+        for index in range(1, n_inputs + 1):
+            self.add_input(f"in{index}")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        present = [v for v in inputs.values() if is_present(v)]
+        if not present:
+            return {"out": ABSENT}, state
+        return {"out": sum(present)}, state
+
+
+class Subtract(Component):
+    """Difference ``minuend - subtrahend``; absent if either is absent."""
+
+    def __init__(self, name: str):
+        super().__init__(name, description="subtractor")
+        self.add_input("minuend")
+        self.add_input("subtrahend")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        a, b = inputs["minuend"], inputs["subtrahend"]
+        if is_absent(a) or is_absent(b):
+            return {"out": ABSENT}, state
+        return {"out": a - b}, state
+
+
+class Multiply(Component):
+    """Product of all present inputs; absent if any input is absent."""
+
+    def __init__(self, name: str, n_inputs: int = 2):
+        super().__init__(name, description=f"{n_inputs}-input multiplier")
+        for index in range(1, n_inputs + 1):
+            self.add_input(f"in{index}")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        values = list(inputs.values())
+        if any(is_absent(v) for v in values):
+            return {"out": ABSENT}, state
+        product = 1
+        for value in values:
+            product = product * value
+        return {"out": product}, state
+
+
+class Gain(Component):
+    """Multiplies the input by a constant factor."""
+
+    def __init__(self, name: str, factor: float):
+        super().__init__(name, description=f"gain {factor!r}")
+        self.factor = factor
+        self.add_input("in1")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_absent(value):
+            return {"out": ABSENT}, state
+        return {"out": value * self.factor}, state
+
+
+class UnitDelay(StatefulComponent):
+    """The ``delay`` operator: outputs the previous present input value.
+
+    The first output is the configured initial value.  The block has no
+    instantaneous input-to-output dependency, so it legally breaks feedback
+    loops in DFDs (paper Sec. 2 / 3.2).
+    """
+
+    def __init__(self, name: str, initial: Any = 0):
+        super().__init__(name, description="unit delay")
+        self.initial = initial
+        self.add_input("in1")
+        self.add_output("out")
+
+    def initial_state(self):
+        return self.initial
+
+    def step(self, inputs, state, tick):
+        value = inputs["in1"]
+        next_state = value if is_present(value) else state
+        return {"out": state}, next_state
+
+
+class When(Component):
+    """The ``when`` operator of Fig. 2: sample a flow by a boolean clock.
+
+    The value on ``in1`` is forwarded at ticks where the ``clock`` input is
+    present and true; at all other ticks the output is absent.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name, description="when (down-sampling) operator")
+        self.add_input("in1")
+        self.add_input("clock")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        condition = inputs["clock"]
+        if is_present(condition) and condition:
+            return {"out": inputs["in1"]}, state
+        return {"out": ABSENT}, state
+
+
+class Every(Component):
+    """The ``every(n, true)`` macro as a clock-generator block."""
+
+    def __init__(self, name: str, n: int, phase: int = 0):
+        super().__init__(name, description=f"every({n}, true)")
+        if n < 1:
+            raise ModelError("every(n, true) requires n >= 1")
+        self.n = n
+        self.phase = phase % n
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        return {"out": tick % self.n == self.phase}, state
+
+    def instantaneous_dependencies(self):
+        return {"out": set()}
+
+
+class Hold(StatefulComponent):
+    """Sample-and-hold: replaces absence by the most recent present value."""
+
+    def __init__(self, name: str, initial: Any = 0):
+        super().__init__(name, description="sample and hold")
+        self.initial = initial
+        self.add_input("in1")
+        self.add_output("out")
+
+    direct_feedthrough = True
+
+    def initial_state(self):
+        return self.initial
+
+    def step(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_present(value):
+            return {"out": value}, value
+        return {"out": state}, state
+
+    def instantaneous_dependencies(self):
+        return {"out": {"in1"}}
+
+
+class Switch(Component):
+    """Selects ``on_true`` or ``on_false`` depending on a boolean control."""
+
+    def __init__(self, name: str):
+        super().__init__(name, description="switch")
+        self.add_input("control")
+        self.add_input("on_true")
+        self.add_input("on_false")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        control = inputs["control"]
+        if is_absent(control):
+            return {"out": ABSENT}, state
+        return {"out": inputs["on_true"] if control else inputs["on_false"]}, state
+
+
+class Limit(Component):
+    """Clamps the input into the configured [low, high] range."""
+
+    def __init__(self, name: str, low: float, high: float):
+        super().__init__(name, description=f"limit to [{low}, {high}]")
+        if low > high:
+            raise ModelError("Limit requires low <= high")
+        self.low = low
+        self.high = high
+        self.add_input("in1")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_absent(value):
+            return {"out": ABSENT}, state
+        return {"out": max(self.low, min(self.high, value))}, state
+
+
+class RateLimiter(StatefulComponent):
+    """Limits the per-tick change of the output (slew-rate limiter)."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, max_delta: float, initial: float = 0.0):
+        super().__init__(name, description=f"rate limiter +-{max_delta}/tick")
+        if max_delta <= 0:
+            raise ModelError("RateLimiter needs a positive max_delta")
+        self.max_delta = max_delta
+        self.initial = initial
+        self.add_input("in1")
+        self.add_output("out")
+
+    def initial_state(self):
+        return self.initial
+
+    def step(self, inputs, state, tick):
+        target = inputs["in1"]
+        if is_absent(target):
+            return {"out": state}, state
+        delta = max(-self.max_delta, min(self.max_delta, target - state))
+        new_value = state + delta
+        return {"out": new_value}, new_value
+
+    def instantaneous_dependencies(self):
+        return {"out": {"in1"}}
+
+
+class Hysteresis(StatefulComponent):
+    """Two-threshold switch: on above *high*, off below *low*."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, low: float, high: float, initial: bool = False):
+        super().__init__(name, description=f"hysteresis [{low}, {high}]")
+        if low >= high:
+            raise ModelError("Hysteresis requires low < high")
+        self.low = low
+        self.high = high
+        self.initial = initial
+        self.add_input("in1")
+        self.add_output("out")
+
+    def initial_state(self):
+        return self.initial
+
+    def step(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_absent(value):
+            return {"out": state}, state
+        if value >= self.high:
+            new_state = True
+        elif value <= self.low:
+            new_state = False
+        else:
+            new_state = state
+        return {"out": new_state}, new_state
+
+    def instantaneous_dependencies(self):
+        return {"out": {"in1"}}
+
+
+class Counter(StatefulComponent):
+    """Counts present, true values on its input; reset by the reset port."""
+
+    def __init__(self, name: str):
+        super().__init__(name, description="event counter")
+        self.add_input("in1")
+        self.add_input("reset")
+        self.add_output("count")
+
+    def initial_state(self):
+        return 0
+
+    def step(self, inputs, state, tick):
+        if is_present(inputs["reset"]) and inputs["reset"]:
+            state = 0
+        if is_present(inputs["in1"]) and inputs["in1"]:
+            state = state + 1
+        return {"count": state}, state
+
+    def instantaneous_dependencies(self):
+        return {"count": {"in1", "reset"}}
+
+    direct_feedthrough = True
+
+
+class EdgeDetector(StatefulComponent):
+    """Emits true for one tick on a rising edge of its boolean input."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str):
+        super().__init__(name, description="rising edge detector")
+        self.add_input("in1")
+        self.add_output("out")
+
+    def initial_state(self):
+        return False
+
+    def step(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_absent(value):
+            return {"out": False}, state
+        rising = bool(value) and not state
+        return {"out": rising}, bool(value)
+
+    def instantaneous_dependencies(self):
+        return {"out": {"in1"}}
+
+
+class Integrator(StatefulComponent):
+    """Discrete-time integrator with optional output saturation."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, gain: float = 1.0, initial: float = 0.0,
+                 low: Optional[float] = None, high: Optional[float] = None):
+        super().__init__(name, description="discrete integrator")
+        self.gain = gain
+        self.initial = initial
+        self.low = low
+        self.high = high
+        self.add_input("in1")
+        self.add_output("out")
+
+    def initial_state(self):
+        return self.initial
+
+    def step(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_absent(value):
+            return {"out": state}, state
+        new_value = state + self.gain * value
+        if self.low is not None:
+            new_value = max(self.low, new_value)
+        if self.high is not None:
+            new_value = min(self.high, new_value)
+        return {"out": new_value}, new_value
+
+    def instantaneous_dependencies(self):
+        return {"out": {"in1"}}
+
+
+class PIDController(StatefulComponent):
+    """Discrete PID controller on the error input.
+
+    Implements ``u = kp*e + ki*sum(e) + kd*(e - e_prev)`` with anti-windup by
+    clamping the integral term to the output limits when they are given.
+    """
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, kp: float, ki: float = 0.0, kd: float = 0.0,
+                 low: Optional[float] = None, high: Optional[float] = None):
+        super().__init__(name, description="PID controller")
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.low = low
+        self.high = high
+        self.add_input("error")
+        self.add_output("out")
+
+    def initial_state(self):
+        return {"integral": 0.0, "previous": 0.0}
+
+    def step(self, inputs, state, tick):
+        error = inputs["error"]
+        if is_absent(error):
+            return {"out": ABSENT}, state
+        integral = state["integral"] + error
+        if self.low is not None and self.ki:
+            integral = max(self.low / self.ki, integral)
+        if self.high is not None and self.ki:
+            integral = min(self.high / self.ki, integral)
+        derivative = error - state["previous"]
+        output = self.kp * error + self.ki * integral + self.kd * derivative
+        if self.low is not None:
+            output = max(self.low, output)
+        if self.high is not None:
+            output = min(self.high, output)
+        return {"out": output}, {"integral": integral, "previous": error}
+
+    def instantaneous_dependencies(self):
+        return {"out": {"error"}}
+
+
+class LookupTable1D(Component):
+    """Piecewise-linear 1-D characteristic map (typical engine-control block)."""
+
+    def __init__(self, name: str, breakpoints: Sequence[float],
+                 values: Sequence[float]):
+        super().__init__(name, description="1-D lookup table")
+        if len(breakpoints) != len(values) or len(breakpoints) < 2:
+            raise ModelError("LookupTable1D needs >= 2 matching breakpoints/values")
+        if list(breakpoints) != sorted(breakpoints):
+            raise ModelError("LookupTable1D breakpoints must be increasing")
+        self.breakpoints = list(breakpoints)
+        self.values = list(values)
+        self.add_input("in1")
+        self.add_output("out")
+
+    def _interpolate(self, x: float) -> float:
+        points = self.breakpoints
+        if x <= points[0]:
+            return self.values[0]
+        if x >= points[-1]:
+            return self.values[-1]
+        for index in range(1, len(points)):
+            if x <= points[index]:
+                x0, x1 = points[index - 1], points[index]
+                y0, y1 = self.values[index - 1], self.values[index]
+                alpha = (x - x0) / (x1 - x0)
+                return y0 + alpha * (y1 - y0)
+        return self.values[-1]  # pragma: no cover - unreachable
+
+    def react(self, inputs, state, tick):
+        value = inputs["in1"]
+        if is_absent(value):
+            return {"out": ABSENT}, state
+        return {"out": self._interpolate(value)}, state
+
+
+#: Registry of block constructors by conventional library name; used by the
+#: serialization layer and by white-box reengineering to rebuild diagrams.
+BLOCK_LIBRARY: Dict[str, type] = {
+    "constant": Constant,
+    "add": Add,
+    "subtract": Subtract,
+    "multiply": Multiply,
+    "gain": Gain,
+    "unit_delay": UnitDelay,
+    "when": When,
+    "every": Every,
+    "hold": Hold,
+    "switch": Switch,
+    "limit": Limit,
+    "rate_limiter": RateLimiter,
+    "hysteresis": Hysteresis,
+    "counter": Counter,
+    "edge_detector": EdgeDetector,
+    "integrator": Integrator,
+    "pid": PIDController,
+    "lookup_table_1d": LookupTable1D,
+}
+
+
+def library_block(kind: str, name: str, **parameters: Any) -> Component:
+    """Instantiate a library block by its registry name."""
+    try:
+        block_class = BLOCK_LIBRARY[kind]
+    except KeyError as exc:
+        raise ModelError(f"unknown library block kind {kind!r}") from exc
+    return block_class(name, **parameters)

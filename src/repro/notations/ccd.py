@@ -1,0 +1,251 @@
+"""Cluster Communication Diagrams (CCD) -- paper Sec. 3.3, Fig. 7.
+
+CCDs are the top-level notation of the Logical Architecture.  They group and
+instantiate FDA-level components into *clusters*, the smallest deployable
+units: several clusters may be mapped to a given operating-system task, but
+a given cluster will not be split across several tasks.
+
+Compared to SSDs and DFDs:
+
+* cluster interfaces are statically typed **and** signal frequencies (rates)
+  are made explicit -- every cluster carries a periodic clock,
+* clusters may **not** be defined recursively by other CCDs (hierarchical
+  DFDs inside a cluster are fine),
+* interface types may be *implementation types* (``int16``, fixed point...),
+  captured by an :class:`~repro.core.impl_types.ImplementationMapping`,
+* well-definedness conditions depend on the target platform -- e.g. for an
+  OSEK target with fixed-priority preemptive scheduling, communication from
+  a slower-rate cluster to a faster-rate cluster needs at least one delay
+  operator in the direction of data flow (checked by
+  :mod:`repro.analysis.well_definedness`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.clocks import BASE_CLOCK, Clock, PeriodicClock
+from ..core.components import Component, CompositeComponent
+from ..core.errors import ModelError
+from ..core.impl_types import ImplementationMapping
+from ..core.ports import Port
+from ..core.types import Type, is_assignable
+from ..core.validation import RuleSet, ValidationReport
+from ..core.values import ABSENT
+
+
+class Cluster(CompositeComponent):
+    """A smallest deployable unit: statically typed, with an explicit rate.
+
+    The internal behaviour of a cluster is a (possibly hierarchical) DFD;
+    the cluster itself adds the explicit rate and the implementation-type
+    information needed for deployment.
+    """
+
+    notation = "Cluster"
+
+    def __init__(self, name: str, rate: Clock = BASE_CLOCK, description: str = ""):
+        super().__init__(name, description, delayed_channels_by_default=False)
+        if not rate.is_periodic():
+            raise ModelError(
+                f"cluster {name!r} needs a periodic rate clock, got "
+                f"{rate.expression()!r}")
+        self.rate = rate
+        #: per-port implementation-type decisions (filled by refinement)
+        self.implementation = ImplementationMapping()
+
+    @property
+    def period(self) -> int:
+        """Rate period in base-clock ticks."""
+        return self.rate.period or 1
+
+    def set_rate(self, rate: Clock) -> None:
+        if not rate.is_periodic():
+            raise ModelError(f"cluster {self.name!r} rate must be periodic")
+        self.rate = rate
+        for port in self.ports():
+            port.reclock(rate)
+
+    def worst_case_execution_time(self) -> float:
+        """A simple WCET estimate used by deployment: 0.1 ticks per leaf block.
+
+        The annotation ``wcet`` overrides the estimate when present (the
+        Technical Architecture would supply measured values).
+        """
+        if "wcet" in self.annotations:
+            return float(self.annotations["wcet"])
+        return 0.1 * max(1, len(self.flatten_leaves()))
+
+
+class ClusterCommunicationDiagram(CompositeComponent):
+    """The LA top-level structure: a flat network of clusters.
+
+    The diagram itself is a composite with instantaneous forwarding channels;
+    rate transitions between clusters of different periods are the subject of
+    the well-definedness conditions, not of the execution semantics here
+    (simulation at the LA level runs on the base clock, with each cluster
+    internally reacting only at its rate via the ``when``-style gating applied
+    by the simulation engine).
+    """
+
+    notation = "CCD"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description, delayed_channels_by_default=False)
+
+    # -- structure ---------------------------------------------------------------
+    def add_cluster(self, cluster: Cluster) -> Cluster:
+        if not isinstance(cluster, Cluster):
+            raise ModelError(
+                f"only Cluster instances may be added to CCD {self.name!r}; "
+                f"got {type(cluster).__name__} (CCDs may not be recursive)")
+        self.add_subcomponent(cluster)
+        return cluster
+
+    def add_subcomponent(self, component: Component) -> Component:
+        if isinstance(component, ClusterCommunicationDiagram):
+            raise ModelError(
+                "CCDs may not be defined recursively by other CCDs "
+                "(paper Sec. 3.3)")
+        return super().add_subcomponent(component)
+
+    def clusters(self) -> List[Cluster]:
+        return [c for c in self.subcomponents() if isinstance(c, Cluster)]
+
+    def cluster(self, name: str) -> Cluster:
+        component = self.subcomponent(name)
+        if not isinstance(component, Cluster):
+            raise ModelError(f"{name!r} in CCD {self.name!r} is not a cluster")
+        return component
+
+    def rates(self) -> Dict[str, int]:
+        """Map cluster name to its rate period in base ticks."""
+        return {cluster.name: cluster.period for cluster in self.clusters()}
+
+    def rate_transitions(self) -> List[Dict[str, Any]]:
+        """All inter-cluster channels annotated with their rate relation.
+
+        Each entry records the channel, the producing and consuming cluster,
+        their periods and the direction of the transition
+        (``"slow-to-fast"``, ``"fast-to-slow"`` or ``"same-rate"``).
+        """
+        transitions = []
+        for channel in self.internal_channels():
+            source_name = channel.source.component
+            dest_name = channel.destination.component
+            if source_name is None or dest_name is None:
+                continue
+            source = self.subcomponent(source_name)
+            dest = self.subcomponent(dest_name)
+            if not isinstance(source, Cluster) or not isinstance(dest, Cluster):
+                continue
+            if source.period < dest.period:
+                direction = "fast-to-slow"
+            elif source.period > dest.period:
+                direction = "slow-to-fast"
+            else:
+                direction = "same-rate"
+            transitions.append({
+                "channel": channel,
+                "source": source.name,
+                "destination": dest.name,
+                "source_period": source.period,
+                "destination_period": dest.period,
+                "direction": direction,
+                "delayed": channel.delayed,
+            })
+        return transitions
+
+    # -- validation --------------------------------------------------------------
+    def validate(self) -> ValidationReport:
+        """Check the CCD structural rules (platform rules live in analysis)."""
+        return CCD_RULES.apply(self, subject=f"CCD {self.name!r}")
+
+
+CCD_RULES = RuleSet("ccd")
+
+
+@CCD_RULES.rule("ccd-clusters-only")
+def _rule_clusters_only(ccd: ClusterCommunicationDiagram,
+                        report: ValidationReport) -> None:
+    """Top-level elements of a CCD must be clusters (no nested CCDs)."""
+    for component in ccd.subcomponents():
+        if not isinstance(component, Cluster):
+            report.error("ccd-clusters-only",
+                         f"element {component.name!r} is a "
+                         f"{type(component).__name__}, not a cluster",
+                         element=component.name)
+
+
+@CCD_RULES.rule("ccd-explicit-rates")
+def _rule_explicit_rates(ccd: ClusterCommunicationDiagram,
+                         report: ValidationReport) -> None:
+    """Signal frequencies are made explicit on the LA level."""
+    for cluster in ccd.clusters():
+        if not cluster.rate.is_periodic() or cluster.rate.period is None:
+            report.error("ccd-explicit-rates",
+                         f"cluster {cluster.name!r} has no explicit periodic rate",
+                         element=cluster.name)
+        for port in cluster.ports():
+            if not port.clock.is_periodic():
+                report.warning("ccd-explicit-rates",
+                               f"port {port.qualified_name!r} has an aperiodic "
+                               "clock; LA-level interfaces should expose rates",
+                               element=port.qualified_name)
+
+
+@CCD_RULES.rule("ccd-static-typing")
+def _rule_static_typing(ccd: ClusterCommunicationDiagram,
+                        report: ValidationReport) -> None:
+    """Cluster interfaces must be statically typed (like SSD components)."""
+    for cluster in ccd.clusters():
+        for port in cluster.ports():
+            if not port.is_statically_typed():
+                report.error("ccd-static-typing",
+                             f"cluster port {port.qualified_name!r} is not "
+                             "statically typed",
+                             element=port.qualified_name)
+
+
+@CCD_RULES.rule("ccd-type-compatibility")
+def _rule_type_compat(ccd: ClusterCommunicationDiagram,
+                      report: ValidationReport) -> None:
+    for channel in ccd.channels():
+        source = _resolve(ccd, channel.source.component, channel.source.port)
+        dest = _resolve(ccd, channel.destination.component, channel.destination.port)
+        if source is None or dest is None:
+            report.error("ccd-type-compatibility",
+                         f"channel {channel.name!r} references an unknown port",
+                         element=channel.name)
+            continue
+        if not is_assignable(source.port_type, dest.port_type):
+            report.error("ccd-type-compatibility",
+                         f"channel {channel.name!r}: {source.port_type!r} is not "
+                         f"assignable to {dest.port_type!r}",
+                         element=channel.name)
+
+
+@CCD_RULES.rule("ccd-harmonic-rates")
+def _rule_harmonic(ccd: ClusterCommunicationDiagram,
+                   report: ValidationReport) -> None:
+    """Communicating clusters should have harmonic (integer-ratio) rates."""
+    for entry in ccd.rate_transitions():
+        slow = max(entry["source_period"], entry["destination_period"])
+        fast = min(entry["source_period"], entry["destination_period"])
+        if fast and slow % fast != 0:
+            report.warning(
+                "ccd-harmonic-rates",
+                f"clusters {entry['source']!r} ({entry['source_period']}) and "
+                f"{entry['destination']!r} ({entry['destination_period']}) "
+                "communicate with non-harmonic rates",
+                element=entry["channel"].name)
+
+
+def _resolve(ccd: ClusterCommunicationDiagram, component_name: Optional[str],
+             port_name: str) -> Optional[Port]:
+    try:
+        if component_name is None:
+            return ccd.port(port_name)
+        return ccd.subcomponent(component_name).port(port_name)
+    except Exception:  # noqa: BLE001
+        return None

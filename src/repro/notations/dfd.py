@@ -1,0 +1,173 @@
+"""Data Flow Diagrams (DFD) -- paper Sec. 3.2, Fig. 5.
+
+DFDs define the algorithmic computation of a component.  They are built from
+blocks with *dynamically typed* ports connected by channels whose default
+semantics is *instantaneous* in the sense of synchronous languages.  Blocks
+may be recursively defined by other DFDs; atomic blocks are defined by an
+MTD, an STD, or directly by a base-language expression (e.g. the ``ADD``
+block of Fig. 5 is ``ch1 + ch2 + ch3``).
+
+The AutoMoDe tool prototype accompanies instantaneous communication with a
+causality check for detecting instantaneous loops; this is available here as
+:meth:`DataFlowDiagram.check_causality` (and through
+:mod:`repro.simulation.causality` for whole hierarchies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..core.components import (Component, CompositeComponent,
+                               ExpressionComponent)
+from ..core.errors import CausalityError
+from ..core.types import ANY, Type, unify
+from ..core.validation import RuleSet, ValidationReport
+
+
+class DataFlowDiagram(CompositeComponent):
+    """A component defined by a network of blocks with instantaneous channels."""
+
+    notation = "DFD"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description, delayed_channels_by_default=False)
+
+    # -- construction helpers ----------------------------------------------------
+    def add_expression_block(self, name: str,
+                             output_expressions: Mapping[str, str]) -> ExpressionComponent:
+        """Create an atomic block from base-language expressions and add it.
+
+        The block's interface is derived from the expressions: every free
+        variable becomes an input port, every expression an output port.
+        """
+        block = ExpressionComponent(name, output_expressions)
+        block.declare_interface_from_expressions()
+        self.add_subcomponent(block)
+        return block
+
+    # -- causality (paper Sec. 3.2) ----------------------------------------------
+    def check_causality(self) -> List[str]:
+        """Return the instantaneous evaluation order, or raise.
+
+        Raises :class:`~repro.core.errors.CausalityError` if the blocks form
+        an instantaneous loop that no delay breaks.
+        """
+        return self.evaluation_order()
+
+    def has_instantaneous_loop(self) -> bool:
+        """True if the causality check fails for this diagram."""
+        try:
+            self.check_causality()
+            return False
+        except CausalityError:
+            return True
+
+    # -- type inference ------------------------------------------------------------
+    def infer_port_types(self) -> Dict[str, Type]:
+        """Propagate static types along channels onto dynamically typed ports.
+
+        DFD ports start dynamically typed (``any``).  When the diagram is
+        embedded under statically typed SSD/CCD interfaces, the types of the
+        boundary ports and of typed blocks flow along the channels.  The
+        method updates the port types in place and returns the mapping
+        ``"component.port" -> type`` for all ports whose type was refined.
+        """
+        refined: Dict[str, Type] = {}
+        changed = True
+        iterations = 0
+        while changed and iterations < 50:
+            changed = False
+            iterations += 1
+            for channel in self.channels():
+                source = self._port_of(channel.source.component, channel.source.port)
+                dest = self._port_of(channel.destination.component,
+                                     channel.destination.port)
+                if source is None or dest is None:
+                    continue
+                if source.is_statically_typed() and not dest.is_statically_typed():
+                    dest.retype(source.port_type)
+                    refined[self._key(channel.destination.component,
+                                      channel.destination.port)] = source.port_type
+                    changed = True
+                elif dest.is_statically_typed() and not source.is_statically_typed():
+                    source.retype(dest.port_type)
+                    refined[self._key(channel.source.component,
+                                      channel.source.port)] = dest.port_type
+                    changed = True
+                elif source.is_statically_typed() and dest.is_statically_typed():
+                    merged = unify(source.port_type, dest.port_type)
+                    if merged != dest.port_type:
+                        dest.retype(merged)
+                        refined[self._key(channel.destination.component,
+                                          channel.destination.port)] = merged
+                        changed = True
+        return refined
+
+    def _port_of(self, component_name: Optional[str], port_name: str):
+        try:
+            if component_name is None:
+                return self.port(port_name)
+            return self.subcomponent(component_name).port(port_name)
+        except Exception:  # noqa: BLE001
+            return None
+
+    @staticmethod
+    def _key(component_name: Optional[str], port_name: str) -> str:
+        return port_name if component_name is None else f"{component_name}.{port_name}"
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self) -> ValidationReport:
+        """Check the DFD well-formedness rules including causality."""
+        return DFD_RULES.apply(self, subject=f"DFD {self.name!r}")
+
+
+DFD_RULES = RuleSet("dfd")
+
+
+@DFD_RULES.rule("dfd-causality")
+def _rule_causality(dfd: DataFlowDiagram, report: ValidationReport) -> None:
+    """Instantaneous loops are rejected (causality check of the prototype)."""
+    try:
+        dfd.check_causality()
+    except CausalityError as error:
+        report.error("dfd-causality", str(error), element=dfd.name,
+                     suggestion="insert a unit delay block or mark one "
+                                "channel of the loop as delayed")
+
+
+@DFD_RULES.rule("dfd-behavior")
+def _rule_behavior(dfd: DataFlowDiagram, report: ValidationReport) -> None:
+    """All blocks of a DFD must have an executable behaviour."""
+    for component in dfd.subcomponents():
+        if not component.has_behavior():
+            report.error("dfd-behavior",
+                         f"block {component.name!r} has no behaviour; atomic "
+                         "DFD blocks must be defined by an MTD, an STD or an "
+                         "expression",
+                         element=component.name)
+
+
+@DFD_RULES.rule("dfd-connectivity")
+def _rule_connectivity(dfd: DataFlowDiagram, report: ValidationReport) -> None:
+    """Unconnected block inputs are reported (they read permanent absence)."""
+    driven = {channel.destination.key for channel in dfd.channels()}
+    for component in dfd.subcomponents():
+        for port in component.input_ports():
+            if (component.name, port.name) not in driven:
+                report.warning(
+                    "dfd-connectivity",
+                    f"block input {port.qualified_name!r} is not driven and "
+                    "will always read the absence value",
+                    element=port.qualified_name)
+
+
+@DFD_RULES.rule("dfd-boundary")
+def _rule_boundary(dfd: DataFlowDiagram, report: ValidationReport) -> None:
+    """Every boundary output of the diagram must be driven by some channel."""
+    driven_boundary = {channel.destination.port for channel in dfd.channels()
+                       if channel.destination.is_boundary()}
+    for port in dfd.output_ports():
+        if port.name not in driven_boundary:
+            report.error("dfd-boundary",
+                         f"boundary output {port.name!r} is never driven",
+                         element=port.name)

@@ -1,0 +1,196 @@
+"""System Structure Diagrams (SSD) -- paper Sec. 3.1, Fig. 4.
+
+SSDs describe the high-level architectural decomposition of a system: a
+network of typed components with statically typed message-passing ports,
+connected by explicit channels.  Components can be recursively defined by
+other SSDs or by behavioural notations (DFD, MTD, STD).
+
+Two properties distinguish SSDs from DFDs:
+
+* ports are **statically typed** -- a complete interface specification,
+* each SSD-level channel between sub-components introduces a **unit message
+  delay** ("each SSD-level channel introduces a message delay", Sec. 3.1),
+  which later facilitates deployment because the delay defines the deadline
+  of the implementing computation.
+
+On the FAA level it is legal for components to have no behaviour at all
+(only structure and interfaces); the validation rules therefore distinguish
+structural errors from missing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..core.clocks import BASE_CLOCK, Clock
+from ..core.components import Component, CompositeComponent
+from ..core.errors import ModelError
+from ..core.ports import Port
+from ..core.types import ANY, Type, is_assignable
+from ..core.validation import RuleSet, ValidationReport
+from ..core.values import ABSENT
+
+
+class SSDComponent(CompositeComponent):
+    """A component whose decomposition is given by an SSD.
+
+    The class is a :class:`CompositeComponent` with delayed channel semantics
+    between sub-components.  Sub-components may be other SSDs, DFDs, MTDs,
+    STDs or atomic blocks.
+    """
+
+    notation = "SSD"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description, delayed_channels_by_default=True)
+
+    def add_typed_input(self, name: str, port_type: Type,
+                        clock: Clock = BASE_CLOCK, description: str = "") -> Port:
+        """Declare a statically typed input port (SSD ports must be typed)."""
+        if port_type is ANY:
+            raise ModelError(
+                f"SSD port {name!r} of {self.name!r} must be statically typed")
+        return self.add_input(name, port_type, clock, description)
+
+    def add_typed_output(self, name: str, port_type: Type,
+                         clock: Clock = BASE_CLOCK, description: str = "") -> Port:
+        """Declare a statically typed output port."""
+        if port_type is ANY:
+            raise ModelError(
+                f"SSD port {name!r} of {self.name!r} must be statically typed")
+        return self.add_output(name, port_type, clock, description)
+
+    def connect_delayed(self, source: str, destination: str,
+                        initial_value: Any = ABSENT,
+                        name: Optional[str] = None):
+        """Connect two sub-component ports with an explicit SSD delay."""
+        return self.connect(source, destination, name=name, delayed=True,
+                            initial_value=initial_value)
+
+    # -- validation -----------------------------------------------------------
+    def validate(self, require_behavior: bool = False) -> ValidationReport:
+        """Check the SSD well-formedness rules.
+
+        With ``require_behavior`` (FDA level) every atomic sub-component must
+        have an executable behaviour; without it (FAA level) unspecified
+        behaviour is only reported as information.
+        """
+        report = SSD_RULES.apply(self, subject=f"SSD {self.name!r}")
+        if require_behavior:
+            for component in self.subcomponents():
+                if not component.has_behavior():
+                    report.error(
+                        "ssd-behavior-required",
+                        f"sub-component {component.name!r} has no behaviour "
+                        "but the FDA level requires behavioural completeness",
+                        element=component.name)
+        else:
+            for component in self.subcomponents():
+                if not component.has_behavior():
+                    report.info(
+                        "ssd-behavior-unspecified",
+                        f"sub-component {component.name!r} leaves its "
+                        "behaviour unspecified (allowed on the FAA level)",
+                        element=component.name)
+        return report
+
+
+SSD_RULES = RuleSet("ssd")
+
+
+@SSD_RULES.rule("ssd-static-typing")
+def _rule_static_typing(ssd: SSDComponent, report: ValidationReport) -> None:
+    """All SSD-level ports (own and sub-component) must be statically typed."""
+    for port in ssd.ports():
+        if not port.is_statically_typed():
+            report.error("ssd-static-typing",
+                         f"boundary port {port.name!r} is not statically typed",
+                         element=port.qualified_name)
+    for component in ssd.subcomponents():
+        for port in component.ports():
+            if not port.is_statically_typed():
+                report.warning(
+                    "ssd-static-typing",
+                    f"port {port.qualified_name!r} is dynamically typed; SSD "
+                    "interfaces should be statically typed",
+                    element=port.qualified_name)
+
+
+@SSD_RULES.rule("ssd-type-compatibility")
+def _rule_type_compatibility(ssd: SSDComponent, report: ValidationReport) -> None:
+    """Channel source types must be assignable to destination types."""
+    for channel in ssd.channels():
+        source_port = _resolve_port(ssd, channel.source.component,
+                                    channel.source.port)
+        dest_port = _resolve_port(ssd, channel.destination.component,
+                                  channel.destination.port)
+        if source_port is None or dest_port is None:
+            report.error("ssd-type-compatibility",
+                         f"channel {channel.name!r} references an unknown port",
+                         element=channel.name)
+            continue
+        if not is_assignable(source_port.port_type, dest_port.port_type):
+            report.error(
+                "ssd-type-compatibility",
+                f"channel {channel.name!r} connects {source_port.port_type!r} "
+                f"to incompatible {dest_port.port_type!r}",
+                element=channel.name)
+
+
+@SSD_RULES.rule("ssd-connectivity")
+def _rule_connectivity(ssd: SSDComponent, report: ValidationReport) -> None:
+    """Every sub-component input should be driven; outputs should be used."""
+    driven = {channel.destination.key for channel in ssd.channels()}
+    used = {channel.source.key for channel in ssd.channels()}
+    for component in ssd.subcomponents():
+        for port in component.input_ports():
+            if (component.name, port.name) not in driven:
+                report.warning("ssd-connectivity",
+                               f"input port {port.qualified_name!r} is not "
+                               "connected to any channel",
+                               element=port.qualified_name)
+        for port in component.output_ports():
+            if (component.name, port.name) not in used:
+                report.info("ssd-connectivity",
+                            f"output port {port.qualified_name!r} is unused",
+                            element=port.qualified_name)
+    for port in ssd.output_ports():
+        if (None, port.name) not in driven:
+            report.warning("ssd-connectivity",
+                           f"boundary output {port.name!r} is never driven",
+                           element=port.name)
+
+
+@SSD_RULES.rule("ssd-delay-semantics")
+def _rule_delay_semantics(ssd: SSDComponent, report: ValidationReport) -> None:
+    """Channels between sub-components should carry the SSD unit delay."""
+    for channel in ssd.channels():
+        internal = (not channel.source.is_boundary()
+                    and not channel.destination.is_boundary())
+        if internal and not channel.delayed:
+            report.warning(
+                "ssd-delay-semantics",
+                f"internal channel {channel.name!r} is instantaneous; SSD "
+                "composition normally introduces a message delay",
+                element=channel.name,
+                suggestion="mark the channel as delayed or move the "
+                           "connection into a DFD")
+
+
+def _resolve_port(ssd: SSDComponent, component_name: Optional[str],
+                  port_name: str) -> Optional[Port]:
+    try:
+        if component_name is None:
+            return ssd.port(port_name)
+        return ssd.subcomponent(component_name).port(port_name)
+    except Exception:  # noqa: BLE001 - resolution failure handled by caller
+        return None
+
+
+def interface_signature(component: Component) -> List[str]:
+    """Human-readable, sorted interface summary (used in reports and tests)."""
+    entries = []
+    for port in component.ports():
+        clock = port.clock.expression()
+        entries.append(f"{port.direction} {port.name}: {port.port_type!r} @ {clock}")
+    return sorted(entries)

@@ -1,0 +1,23 @@
+"""Simulated target platform: ECUs, OSEK-like scheduling, CAN, timing.
+
+These modules stand in for the real automotive hardware/OS the paper assumes
+(OSEK/ERCOS operating systems, CAN networks) so that deployment, the LA-level
+well-definedness conditions and the OA generation can be exercised end to
+end.  See DESIGN.md for the substitution rationale.
+"""
+
+from .can import BusTrace, CANBus, CANFrame, CANSignal
+from .ecu import ECU, Task, TechnicalArchitecture
+from .osek import (JobRecord, ResponseTimeResult, ScheduleTrace, is_schedulable,
+                   response_time_analysis, simulate_schedule,
+                   utilization_bound_check)
+from .timing import (ChainAnalysis, ChainStep, analyze_chain,
+                     deadline_from_delays)
+
+__all__ = [
+    "BusTrace", "CANBus", "CANFrame", "CANSignal", "ChainAnalysis",
+    "ChainStep", "ECU", "JobRecord", "ResponseTimeResult", "ScheduleTrace",
+    "Task", "TechnicalArchitecture", "analyze_chain", "deadline_from_delays",
+    "is_schedulable", "response_time_analysis", "simulate_schedule",
+    "utilization_bound_check",
+]

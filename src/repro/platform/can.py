@@ -1,0 +1,223 @@
+"""CAN bus substrate (simulated).
+
+"All signals between clusters deployed to different ECUs will be mapped to a
+communication network, e.g. CAN, possibly considering an existing
+communication matrix" (paper Sec. 3.4).  The real controller hardware is not
+available, so this module provides the standard analytical and simulation
+models used for automotive CAN design:
+
+* :class:`CANFrame` / :class:`CANBus` -- frames with identifiers, payload
+  sizes and periods on a bus with a configurable bit rate,
+* frame **transmission time** including bit stuffing (classical worst case),
+* **bus utilization** and priority-based **worst-case latency analysis**
+  (Tindell/Burns busy-period formulation, simplified to integer frame slots),
+* a tick-based **arbitration simulation** for observing actual frame
+  sequences, used by the deployment benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import DeploymentError
+
+
+@dataclass
+class CANSignal:
+    """One signal packed into a CAN frame."""
+
+    name: str
+    bits: int
+    start_bit: int = 0
+    sender_cluster: str = ""
+    receiver_clusters: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CANFrame:
+    """A periodic CAN data frame."""
+
+    name: str
+    can_id: int
+    period: int
+    sender_ecu: str
+    signals: List[CANSignal] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= 0x7FF:
+            raise DeploymentError(
+                f"frame {self.name!r}: standard CAN identifiers are 11 bit")
+        if self.period <= 0:
+            raise DeploymentError(f"frame {self.name!r} needs a positive period")
+
+    def payload_bits(self) -> int:
+        return sum(signal.bits for signal in self.signals)
+
+    def payload_bytes(self) -> int:
+        return min(8, max(0, math.ceil(self.payload_bits() / 8)))
+
+    def add_signal(self, signal: CANSignal) -> CANSignal:
+        if self.payload_bits() + signal.bits > 64:
+            raise DeploymentError(
+                f"frame {self.name!r} cannot hold signal {signal.name!r}: "
+                "payload would exceed 8 bytes")
+        signal.start_bit = self.payload_bits()
+        self.signals.append(signal)
+        return signal
+
+    def frame_bits(self) -> int:
+        """Worst-case frame size on the wire including stuff bits.
+
+        Standard 11-bit identifier data frame: 47 bits of overhead plus
+        8 bits per payload byte; worst-case bit stuffing adds one stuff bit
+        per 4 bits of the stuffable 34 + 8*n bit region.
+        """
+        payload = 8 * self.payload_bytes()
+        stuffable = 34 + payload
+        stuff_bits = stuffable // 4
+        return 47 + payload + stuff_bits
+
+
+@dataclass
+class CANBus:
+    """A CAN bus with a bit rate expressed in bits per base-clock tick."""
+
+    name: str
+    bits_per_tick: float = 500.0
+    frames: Dict[str, CANFrame] = field(default_factory=dict)
+
+    def add_frame(self, frame: CANFrame) -> CANFrame:
+        if frame.name in self.frames:
+            raise DeploymentError(f"bus {self.name!r} already has frame "
+                                  f"{frame.name!r}")
+        for existing in self.frames.values():
+            if existing.can_id == frame.can_id:
+                raise DeploymentError(
+                    f"CAN identifier {frame.can_id:#x} is already used by "
+                    f"frame {existing.name!r}")
+        self.frames[frame.name] = frame
+        return frame
+
+    def frame(self, name: str) -> CANFrame:
+        try:
+            return self.frames[name]
+        except KeyError as exc:
+            raise DeploymentError(f"bus {self.name!r} has no frame {name!r}") from exc
+
+    def frame_list(self) -> List[CANFrame]:
+        """Frames sorted by arbitration priority (lower identifier first)."""
+        return sorted(self.frames.values(), key=lambda f: f.can_id)
+
+    # -- analysis ------------------------------------------------------------------
+    def transmission_ticks(self, frame: CANFrame) -> float:
+        """Time to transmit one frame, in base-clock ticks."""
+        return frame.frame_bits() / self.bits_per_tick
+
+    def utilization(self) -> float:
+        """Fraction of bus capacity consumed by all periodic frames."""
+        return sum(self.transmission_ticks(frame) / frame.period
+                   for frame in self.frames.values())
+
+    def worst_case_latency(self, frame_name: str) -> float:
+        """Worst-case queueing + transmission latency of one frame.
+
+        Simplified Tindell analysis: blocking by the longest lower-priority
+        frame, interference by all higher-priority frames over the busy
+        period, iterated to a fixed point, plus the frame's own transmission
+        time.
+        """
+        frame = self.frame(frame_name)
+        own_time = self.transmission_ticks(frame)
+        higher = [other for other in self.frames.values()
+                  if other.can_id < frame.can_id]
+        lower = [other for other in self.frames.values()
+                 if other.can_id > frame.can_id]
+        blocking = max((self.transmission_ticks(other) for other in lower),
+                       default=0.0)
+        waiting = blocking
+        for _ in range(1000):
+            interference = sum(
+                math.ceil((waiting + 1e-9) / other.period + 1e-12)
+                * self.transmission_ticks(other)
+                for other in higher)
+            next_waiting = blocking + interference
+            if abs(next_waiting - waiting) < 1e-9:
+                waiting = next_waiting
+                break
+            waiting = next_waiting
+            if waiting > 100 * frame.period:
+                return math.inf
+        return waiting + own_time
+
+    def latency_report(self) -> List[Dict[str, float]]:
+        """Per-frame utilization/latency summary sorted by priority."""
+        report = []
+        for frame in self.frame_list():
+            report.append({
+                "frame": frame.name,
+                "can_id": frame.can_id,
+                "period": frame.period,
+                "payload_bytes": frame.payload_bytes(),
+                "transmission": self.transmission_ticks(frame),
+                "worst_case_latency": self.worst_case_latency(frame.name),
+            })
+        return report
+
+    # -- simulation ------------------------------------------------------------------
+    def simulate(self, horizon: int) -> "BusTrace":
+        """Simulate priority-based arbitration over *horizon* ticks.
+
+        Time advances in whole ticks; a frame occupies the bus for
+        ``ceil(transmission_ticks)`` ticks; released frames queue and the
+        lowest identifier wins arbitration whenever the bus goes idle.
+        """
+        trace = BusTrace(bus=self.name, horizon=horizon)
+        queue: List[Tuple[int, CANFrame, int]] = []  # (can_id, frame, release)
+        busy_until = 0
+        current: Optional[Tuple[CANFrame, int]] = None
+        for tick in range(horizon):
+            for frame in self.frames.values():
+                if tick % frame.period == 0:
+                    queue.append((frame.can_id, frame, tick))
+            if tick >= busy_until:
+                if current is not None:
+                    frame, release = current
+                    trace.transmissions.append(
+                        {"frame": frame.name, "release": release,
+                         "start": busy_until - math.ceil(self.transmission_ticks(frame)),
+                         "finish": busy_until,
+                         "latency": busy_until - release})
+                    current = None
+                if queue:
+                    queue.sort(key=lambda entry: (entry[0], entry[2]))
+                    _, frame, release = queue.pop(0)
+                    duration = max(1, math.ceil(self.transmission_ticks(frame)))
+                    busy_until = tick + duration
+                    current = (frame, release)
+            trace.timeline.append(current[0].name if current is not None else "")
+        return trace
+
+
+@dataclass
+class BusTrace:
+    """Result of a CAN arbitration simulation."""
+
+    bus: str
+    horizon: int
+    timeline: List[str] = field(default_factory=list)
+    transmissions: List[Dict] = field(default_factory=list)
+
+    def utilization(self) -> float:
+        if not self.timeline:
+            return 0.0
+        return sum(1 for entry in self.timeline if entry) / len(self.timeline)
+
+    def latencies(self, frame_name: str) -> List[int]:
+        return [entry["latency"] for entry in self.transmissions
+                if entry["frame"] == frame_name]
+
+    def worst_observed_latency(self, frame_name: str) -> Optional[int]:
+        values = self.latencies(frame_name)
+        return max(values) if values else None

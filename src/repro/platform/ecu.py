@@ -1,0 +1,154 @@
+"""Technical Architecture elements: ECUs, tasks, networks (paper Sec. 3.3).
+
+"The TA represents target platform components (ECUs, tasks, buses, message
+frames) used to implement the system."  The classes here are deliberately
+close to the vocabulary of OSEK-based automotive platforms (as referenced by
+the paper's ERCOS citation): an ECU runs a set of periodic, fixed-priority
+preemptive tasks; inter-ECU signals travel in CAN frames.
+
+The actual scheduling and bus behaviour is simulated by
+:mod:`repro.platform.osek` and :mod:`repro.platform.can`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import DeploymentError
+
+
+@dataclass
+class Task:
+    """A periodic OSEK-style task on one ECU.
+
+    ``period`` and ``offset`` are in base-clock ticks (the logical time base
+    of the AutoMoDe model); ``wcet`` is the worst-case execution time in the
+    same unit.  Smaller ``priority`` values mean higher priority, matching
+    common automotive configuration tools.
+    """
+
+    name: str
+    period: int
+    priority: int
+    wcet: float = 0.0
+    offset: int = 0
+    deadline: Optional[int] = None
+    #: names of the clusters executed by this task, in execution order
+    clusters: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise DeploymentError(f"task {self.name!r} needs a positive period")
+        if self.offset < 0 or self.offset >= self.period:
+            raise DeploymentError(
+                f"task {self.name!r} offset must satisfy 0 <= offset < period")
+        if self.deadline is None:
+            self.deadline = self.period
+
+    def utilization(self) -> float:
+        return self.wcet / self.period if self.period else 0.0
+
+    def add_cluster(self, cluster_name: str, wcet: float = 0.0) -> None:
+        """Append a cluster to the task body and account for its WCET."""
+        self.clusters.append(cluster_name)
+        self.wcet += wcet
+
+    def describe(self) -> str:
+        body = ", ".join(self.clusters) if self.clusters else "(empty)"
+        return (f"task {self.name}: period={self.period} prio={self.priority} "
+                f"wcet={self.wcet:g} body=[{body}]")
+
+
+@dataclass
+class ECU:
+    """One electronic control unit of the Technical Architecture."""
+
+    name: str
+    #: relative processing speed; WCETs are divided by this factor
+    speed_factor: float = 1.0
+    tasks: Dict[str, Task] = field(default_factory=dict)
+
+    def add_task(self, task: Task) -> Task:
+        if task.name in self.tasks:
+            raise DeploymentError(
+                f"ECU {self.name!r} already has a task {task.name!r}")
+        self.tasks[task.name] = task
+        return task
+
+    def task(self, name: str) -> Task:
+        try:
+            return self.tasks[name]
+        except KeyError as exc:
+            raise DeploymentError(
+                f"ECU {self.name!r} has no task {name!r}") from exc
+
+    def task_list(self) -> List[Task]:
+        return sorted(self.tasks.values(), key=lambda t: t.priority)
+
+    def utilization(self) -> float:
+        """Total processor utilization of all tasks (after speed scaling)."""
+        return sum(task.wcet / self.speed_factor / task.period
+                   for task in self.tasks.values())
+
+    def cluster_names(self) -> List[str]:
+        names: List[str] = []
+        for task in self.task_list():
+            names.extend(task.clusters)
+        return names
+
+    def describe(self) -> str:
+        lines = [f"ECU {self.name} (speed x{self.speed_factor:g}, "
+                 f"utilization {self.utilization():.1%}):"]
+        lines.extend("  " + task.describe() for task in self.task_list())
+        return "\n".join(lines)
+
+
+@dataclass
+class TechnicalArchitecture:
+    """The complete target platform: ECUs plus the communication network."""
+
+    name: str
+    ecus: Dict[str, ECU] = field(default_factory=dict)
+    #: name of the bus connecting the ECUs (one shared CAN bus is assumed)
+    bus_name: str = "CAN1"
+
+    def add_ecu(self, ecu: ECU) -> ECU:
+        if ecu.name in self.ecus:
+            raise DeploymentError(f"TA {self.name!r} already has ECU {ecu.name!r}")
+        self.ecus[ecu.name] = ecu
+        return ecu
+
+    def ecu(self, name: str) -> ECU:
+        try:
+            return self.ecus[name]
+        except KeyError as exc:
+            raise DeploymentError(f"TA {self.name!r} has no ECU {name!r}") from exc
+
+    def ecu_list(self) -> List[ECU]:
+        return [self.ecus[name] for name in sorted(self.ecus)]
+
+    def all_tasks(self) -> List[Task]:
+        tasks: List[Task] = []
+        for ecu in self.ecu_list():
+            tasks.extend(ecu.task_list())
+        return tasks
+
+    def ecu_of_cluster(self, cluster_name: str) -> Optional[str]:
+        for ecu in self.ecu_list():
+            if cluster_name in ecu.cluster_names():
+                return ecu.name
+        return None
+
+    def task_of_cluster(self, cluster_name: str) -> Optional[Task]:
+        for ecu in self.ecu_list():
+            for task in ecu.task_list():
+                if cluster_name in task.clusters:
+                    return task
+        return None
+
+    def describe(self) -> str:
+        lines = [f"Technical architecture {self.name!r} (bus {self.bus_name}):"]
+        for ecu in self.ecu_list():
+            lines.append(ecu.describe())
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""OSEK-like fixed-priority preemptive scheduling (simulated substrate).
+
+The paper's LA-level well-definedness conditions assume "an OSEK-conformant
+operating system as a target platform, with inter-task communication between
+tasks using data integrity mechanisms and fixed-priority, preemptive
+scheduling" (Sec. 3.3), and the OA level is generated for such targets
+(ERCOS/ASCET, Sec. 3.4).  Since the real RTOS and ECU hardware are not
+available, this module provides
+
+* a discrete-time **scheduler simulation** producing a per-tick execution
+  trace, response times, preemption counts and deadline misses, and
+* the classical **response-time analysis** fixed point for periodic tasks
+  (Joseph/Pandya), used to check schedulability without simulation.
+
+Both operate on the :class:`~repro.platform.ecu.Task` objects of the
+Technical Architecture; one time tick of the scheduler equals one tick of
+the AutoMoDe base clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import SchedulingError
+from .ecu import ECU, Task
+
+
+@dataclass
+class JobRecord:
+    """One released job of a task in the scheduler simulation."""
+
+    task: str
+    release: int
+    start: Optional[int] = None
+    finish: Optional[int] = None
+    deadline: int = 0
+
+    @property
+    def response_time(self) -> Optional[int]:
+        if self.finish is None:
+            return None
+        return self.finish - self.release
+
+    @property
+    def missed_deadline(self) -> bool:
+        return self.finish is None or self.finish > self.deadline
+
+
+@dataclass
+class ScheduleTrace:
+    """Result of simulating one ECU's task set."""
+
+    ecu: str
+    horizon: int
+    #: per-tick name of the running task ("" when idle)
+    timeline: List[str] = field(default_factory=list)
+    jobs: List[JobRecord] = field(default_factory=list)
+    preemptions: int = 0
+
+    def utilization(self) -> float:
+        if not self.timeline:
+            return 0.0
+        busy = sum(1 for entry in self.timeline if entry)
+        return busy / len(self.timeline)
+
+    def response_times(self, task_name: str) -> List[int]:
+        return [job.response_time for job in self.jobs
+                if job.task == task_name and job.response_time is not None]
+
+    def worst_case_response_time(self, task_name: str) -> Optional[int]:
+        times = self.response_times(task_name)
+        return max(times) if times else None
+
+    def deadline_misses(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.missed_deadline]
+
+    def is_schedulable(self) -> bool:
+        return not self.deadline_misses()
+
+    def describe(self) -> str:
+        lines = [f"schedule of ECU {self.ecu!r} over {self.horizon} ticks "
+                 f"(utilization {self.utilization():.1%}, "
+                 f"preemptions {self.preemptions}):"]
+        tasks = sorted({job.task for job in self.jobs})
+        for task in tasks:
+            wcrt = self.worst_case_response_time(task)
+            misses = sum(1 for job in self.deadline_misses() if job.task == task)
+            lines.append(f"  {task}: WCRT={wcrt} deadline misses={misses}")
+        return "\n".join(lines)
+
+
+def simulate_schedule(ecu: ECU, horizon: Optional[int] = None) -> ScheduleTrace:
+    """Simulate fixed-priority preemptive scheduling of one ECU.
+
+    Execution times are scaled by the ECU's speed factor and rounded up to
+    whole ticks.  The default horizon is twice the hyperperiod of the task
+    set (enough to observe steady-state response times for offset-free
+    periodic tasks).
+    """
+    tasks = ecu.task_list()
+    if not tasks:
+        raise SchedulingError(f"ECU {ecu.name!r} has no tasks to schedule")
+    hyper = 1
+    for task in tasks:
+        hyper = hyper * task.period // math.gcd(hyper, task.period)
+    if horizon is None:
+        horizon = 2 * hyper
+
+    scaled_wcet = {task.name: max(1, math.ceil(task.wcet / ecu.speed_factor))
+                   for task in tasks}
+    priority = {task.name: task.priority for task in tasks}
+
+    trace = ScheduleTrace(ecu=ecu.name, horizon=horizon)
+    ready: List[Dict] = []  # each: {job, remaining}
+    running: Optional[Dict] = None
+
+    for tick in range(horizon):
+        # releases
+        for task in tasks:
+            if tick >= task.offset and (tick - task.offset) % task.period == 0:
+                job = JobRecord(task=task.name, release=tick,
+                                deadline=tick + (task.deadline or task.period))
+                trace.jobs.append(job)
+                ready.append({"job": job, "remaining": scaled_wcet[task.name]})
+        # pick the highest-priority ready job (smallest priority number)
+        if ready:
+            ready.sort(key=lambda entry: (priority[entry["job"].task],
+                                          entry["job"].release))
+            best = ready[0]
+            if running is not None and running is not best and running in ready:
+                # a higher-priority job displaced the running one
+                if priority[best["job"].task] < priority[running["job"].task]:
+                    trace.preemptions += 1
+            running = best
+        else:
+            running = None
+
+        if running is None:
+            trace.timeline.append("")
+            continue
+        job = running["job"]
+        if job.start is None:
+            job.start = tick
+        trace.timeline.append(job.task)
+        running["remaining"] -= 1
+        if running["remaining"] <= 0:
+            job.finish = tick + 1
+            ready.remove(running)
+            running = None
+    return trace
+
+
+@dataclass
+class ResponseTimeResult:
+    """Analytical worst-case response time of one task."""
+
+    task: str
+    wcrt: Optional[float]
+    deadline: int
+    schedulable: bool
+
+
+def response_time_analysis(ecu: ECU) -> List[ResponseTimeResult]:
+    """Classical fixed-point response-time analysis for the ECU's task set.
+
+    ``R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j`` iterated to a fixed
+    point; divergence beyond the deadline marks the task unschedulable.
+    """
+    tasks = ecu.task_list()
+    results: List[ResponseTimeResult] = []
+    for task in tasks:
+        capacity = task.wcet / ecu.speed_factor
+        higher = [other for other in tasks if other.priority < task.priority]
+        response = capacity
+        for _ in range(1000):
+            interference = sum(
+                math.ceil(response / other.period) * (other.wcet / ecu.speed_factor)
+                for other in higher)
+            next_response = capacity + interference
+            if abs(next_response - response) < 1e-9:
+                response = next_response
+                break
+            response = next_response
+            if response > 10 * (task.deadline or task.period):
+                response = math.inf
+                break
+        deadline = task.deadline or task.period
+        schedulable = response <= deadline
+        results.append(ResponseTimeResult(
+            task=task.name,
+            wcrt=None if math.isinf(response) else response,
+            deadline=deadline,
+            schedulable=schedulable))
+    return results
+
+
+def is_schedulable(ecu: ECU) -> bool:
+    """True if every task meets its deadline per response-time analysis."""
+    return all(result.schedulable for result in response_time_analysis(ecu))
+
+
+def utilization_bound_check(ecu: ECU) -> Dict[str, float]:
+    """Liu & Layland utilization test (sufficient condition, informational)."""
+    tasks = ecu.task_list()
+    n = len(tasks)
+    utilization = ecu.utilization()
+    bound = n * (2 ** (1.0 / n) - 1) if n else 1.0
+    return {"utilization": utilization, "bound": bound,
+            "passes": utilization <= bound}

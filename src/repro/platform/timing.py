@@ -1,0 +1,141 @@
+"""End-to-end timing analysis across tasks and bus frames.
+
+Paper Sec. 3.2: "computations 'happening at the same time' in the FAA-, FDA-
+or LA-level models are perfectly valid abstractions of sequential,
+time-consuming computations on the level of the Operational Architecture if
+the abstract model's computations are observed with a delay, such as the
+delays introduced by SSD composition.  The duration of the delay then
+defines the deadline for the sequential computation in the OA."
+
+This module closes that loop for a deployed system: given a chain of
+clusters (and the delays the abstract model grants along the chain), it
+computes the end-to-end latency on the Technical Architecture -- task
+response times plus CAN frame latencies -- and checks it against the
+deadline implied by the logical delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import SchedulingError
+from .can import CANBus
+from .ecu import TechnicalArchitecture
+from .osek import response_time_analysis
+
+
+@dataclass
+class ChainStep:
+    """One hop of an end-to-end cause-effect chain."""
+
+    cluster: str
+    ecu: Optional[str] = None
+    task: Optional[str] = None
+    response_time: Optional[float] = None
+    frame: Optional[str] = None
+    frame_latency: Optional[float] = None
+
+
+@dataclass
+class ChainAnalysis:
+    """End-to-end latency of a cluster chain against its logical deadline."""
+
+    chain: List[str]
+    steps: List[ChainStep] = field(default_factory=list)
+    logical_delays: int = 0
+    base_period: int = 1
+
+    @property
+    def deadline(self) -> float:
+        """Deadline implied by the abstract model's delays.
+
+        Every logical delay grants one period of the *slowest* sampling along
+        the chain (conservatively, the base period times the delay count when
+        rates are uniform).
+        """
+        return float(max(1, self.logical_delays) * self.base_period)
+
+    @property
+    def end_to_end_latency(self) -> float:
+        total = 0.0
+        for step in self.steps:
+            if step.response_time is not None:
+                total += step.response_time
+            if step.frame_latency is not None:
+                total += step.frame_latency
+        return total
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.end_to_end_latency <= self.deadline
+
+    def describe(self) -> str:
+        lines = [f"end-to-end chain {' -> '.join(self.chain)}:"]
+        for step in self.steps:
+            parts = [f"  {step.cluster}"]
+            if step.ecu:
+                parts.append(f"on {step.ecu}/{step.task} "
+                             f"(R={step.response_time:g})")
+            if step.frame:
+                parts.append(f"via frame {step.frame} "
+                             f"(latency {step.frame_latency:g})")
+            lines.append(" ".join(parts))
+        lines.append(f"  total latency {self.end_to_end_latency:g} vs deadline "
+                     f"{self.deadline:g} -> "
+                     f"{'OK' if self.meets_deadline else 'VIOLATION'}")
+        return "\n".join(lines)
+
+
+def analyze_chain(chain: Sequence[str], architecture: TechnicalArchitecture,
+                  bus: Optional[CANBus] = None,
+                  frame_of_signal: Optional[Dict[str, str]] = None,
+                  logical_delays: int = 1, base_period: int = 1) -> ChainAnalysis:
+    """Compute the end-to-end latency of a cluster chain on a deployment.
+
+    *frame_of_signal* maps ``"producer->consumer"`` cluster pairs to the CAN
+    frame carrying the signal; pairs on the same ECU need no frame.
+    """
+    analysis = ChainAnalysis(chain=list(chain), logical_delays=logical_delays,
+                             base_period=base_period)
+    frame_of_signal = frame_of_signal or {}
+
+    response_cache: Dict[str, Dict[str, float]] = {}
+    for ecu in architecture.ecu_list():
+        response_cache[ecu.name] = {
+            result.task: (result.wcrt if result.wcrt is not None else float("inf"))
+            for result in response_time_analysis(ecu)}
+
+    for index, cluster_name in enumerate(chain):
+        step = ChainStep(cluster=cluster_name)
+        ecu_name = architecture.ecu_of_cluster(cluster_name)
+        task = architecture.task_of_cluster(cluster_name)
+        if ecu_name is None or task is None:
+            raise SchedulingError(
+                f"cluster {cluster_name!r} is not deployed to any task")
+        step.ecu = ecu_name
+        step.task = task.name
+        step.response_time = response_cache[ecu_name][task.name]
+
+        if index + 1 < len(chain):
+            successor = chain[index + 1]
+            successor_ecu = architecture.ecu_of_cluster(successor)
+            if successor_ecu is not None and successor_ecu != ecu_name:
+                key = f"{cluster_name}->{successor}"
+                frame_name = frame_of_signal.get(key)
+                if frame_name is None:
+                    raise SchedulingError(
+                        f"chain hop {key} crosses ECUs but no CAN frame is "
+                        "assigned to the signal")
+                if bus is None:
+                    raise SchedulingError(
+                        "a CAN bus is required for cross-ECU chain analysis")
+                step.frame = frame_name
+                step.frame_latency = bus.worst_case_latency(frame_name)
+        analysis.steps.append(step)
+    return analysis
+
+
+def deadline_from_delays(delay_count: int, sample_period: int) -> int:
+    """Deadline (in base ticks) granted by *delay_count* logical delays."""
+    return max(1, delay_count) * sample_period

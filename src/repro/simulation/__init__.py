@@ -1,0 +1,24 @@
+"""Synchronous simulation of AutoMoDe models.
+
+* :mod:`repro.simulation.engine` -- the tick-based simulator and rate gating
+* :mod:`repro.simulation.trace` -- recorded traces, trace tables, equivalence
+* :mod:`repro.simulation.causality` -- hierarchical instantaneous-loop check
+* :mod:`repro.simulation.multirate` -- stimulus generators and resampling
+"""
+
+from .causality import (CausalityAnalysis, CausalityResult, analyze_causality,
+                        assert_causal, instantaneous_path_exists)
+from .engine import (ClockGatedComponent, Simulator, simulate, simulate_ccd)
+from .multirate import (align_lengths, constant, presence_ratio, pulse, ramp,
+                        resample, sine, sporadic, step)
+from .trace import (SimulationTrace, first_difference, streams_equal,
+                    traces_equivalent)
+
+__all__ = [
+    "CausalityAnalysis", "CausalityResult", "ClockGatedComponent",
+    "SimulationTrace", "Simulator", "align_lengths", "analyze_causality",
+    "assert_causal", "constant", "first_difference",
+    "instantaneous_path_exists", "presence_ratio", "pulse", "ramp",
+    "resample", "simulate", "simulate_ccd", "sine", "sporadic", "step",
+    "streams_equal", "traces_equivalent",
+]

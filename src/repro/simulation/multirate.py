@@ -1,0 +1,132 @@
+"""Multi-rate stimuli and helpers (paper Sec. 2).
+
+AutoMoDe explicitly supports multi-rate systems: "each message flow is
+associated with an abstract clock" indicating the frequency or the event
+pattern of message exchange.  This module provides
+
+* stimulus generators (constant, step, ramp, pulse, sine, sporadic) that
+  produce :class:`~repro.core.values.Stream` objects aligned with a clock,
+* helpers to resample streams between clocks (``when`` + ``hold``) used by
+  the LA-level rate-transition machinery and the Fig.-2 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence
+
+from ..core.clocks import Clock, BASE_CLOCK
+from ..core.errors import SimulationError
+from ..core.values import ABSENT, Stream, is_absent, is_present
+
+
+def _clock_pattern(clock: Optional[Clock], ticks: int) -> List[bool]:
+    if clock is None:
+        clock = BASE_CLOCK
+    return clock.pattern(ticks)
+
+
+def constant(value: Any, ticks: int, clock: Optional[Clock] = None) -> Stream:
+    """A constant signal, present at the ticks of *clock*."""
+    pattern = _clock_pattern(clock, ticks)
+    return Stream([value if present else ABSENT for present in pattern])
+
+
+def step(ticks: int, step_tick: int, before: float = 0.0, after: float = 1.0,
+         clock: Optional[Clock] = None) -> Stream:
+    """A step signal switching from *before* to *after* at *step_tick*."""
+    pattern = _clock_pattern(clock, ticks)
+    values = []
+    for tick in range(ticks):
+        if not pattern[tick]:
+            values.append(ABSENT)
+        else:
+            values.append(after if tick >= step_tick else before)
+    return Stream(values)
+
+
+def ramp(ticks: int, slope: float = 1.0, start: float = 0.0,
+         clock: Optional[Clock] = None) -> Stream:
+    """A ramp ``start + slope * tick`` sampled on *clock*."""
+    pattern = _clock_pattern(clock, ticks)
+    return Stream([start + slope * tick if pattern[tick] else ABSENT
+                   for tick in range(ticks)])
+
+
+def sine(ticks: int, amplitude: float = 1.0, period: float = 20.0,
+         offset: float = 0.0, clock: Optional[Clock] = None) -> Stream:
+    """A sampled sine wave (period in base ticks)."""
+    if period <= 0:
+        raise SimulationError("sine period must be positive")
+    pattern = _clock_pattern(clock, ticks)
+    return Stream([
+        offset + amplitude * math.sin(2.0 * math.pi * tick / period)
+        if pattern[tick] else ABSENT
+        for tick in range(ticks)
+    ])
+
+
+def pulse(ticks: int, high_ticks: Sequence[int], low: Any = False,
+          high: Any = True, clock: Optional[Clock] = None) -> Stream:
+    """A boolean-style pulse train: *high* at the listed ticks, *low* elsewhere."""
+    highs = set(high_ticks)
+    pattern = _clock_pattern(clock, ticks)
+    return Stream([(high if tick in highs else low) if pattern[tick] else ABSENT
+                   for tick in range(ticks)])
+
+
+def sporadic(ticks: int, events: Iterable[tuple]) -> Stream:
+    """An event stream: present only at the given ``(tick, value)`` pairs."""
+    values = [ABSENT] * ticks
+    for tick, value in events:
+        if 0 <= tick < ticks:
+            values[tick] = value
+    return Stream(values)
+
+
+def resample(stream: Stream, target_clock: Clock,
+             hold_last: bool = True, initial: Any = ABSENT) -> Stream:
+    """Re-time a stream onto another clock.
+
+    At ticks where *target_clock* is present, the output carries the most
+    recent present value of the input (sample and hold) or, with
+    ``hold_last=False``, only the value if it happens to be present at that
+    very tick.  At all other ticks the output is absent.  This is the
+    combination of ``when`` and ``hold`` that the LA-level rate transitions
+    are built from.
+    """
+    ticks = len(stream)
+    pattern = target_clock.pattern(ticks)
+    output = []
+    last = initial
+    for tick in range(ticks):
+        value = stream[tick]
+        if is_present(value):
+            last = value
+        if not pattern[tick]:
+            output.append(ABSENT)
+        elif hold_last:
+            output.append(last)
+        else:
+            output.append(value)
+    return Stream(output)
+
+
+def presence_ratio(stream: Stream) -> float:
+    """Fraction of ticks at which the stream carries a message."""
+    if len(stream) == 0:
+        return 0.0
+    return stream.presence_count() / len(stream)
+
+
+def align_lengths(streams: Sequence[Stream]) -> List[Stream]:
+    """Pad all streams with absence so they have equal length."""
+    if not streams:
+        return []
+    length = max(len(stream) for stream in streams)
+    padded = []
+    for stream in streams:
+        values = stream.values()
+        values.extend([ABSENT] * (length - len(values)))
+        padded.append(Stream(values))
+    return padded

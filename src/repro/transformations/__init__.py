@@ -1,0 +1,47 @@
+"""Formalised transformation steps of the AutoMoDe methodology (Sec. 4).
+
+* :mod:`repro.transformations.base` -- the framework and classification
+* :mod:`repro.transformations.reengineering` -- white-box / black-box lifts
+* :mod:`repro.transformations.refactoring` -- same-level restructurings
+* :mod:`repro.transformations.mtd_to_dataflow` -- the Sec.-3.3 algorithm
+* :mod:`repro.transformations.dissolve` -- SSD hierarchy to flat CCD
+* :mod:`repro.transformations.clustering` -- clock-based clustering
+* :mod:`repro.transformations.refinement` -- implementation-type choice
+* :mod:`repro.transformations.deployment` -- CCD to ECUs/tasks/CAN
+"""
+
+from .base import (Transformation, TransformationKind, TransformationPipeline,
+                   TransformationResult)
+from .clustering import ClockBasedClustering, block_period, cluster_by_clock
+from .deployment import ClusterDeployment, DeploymentResult, deploy
+from .dissolve import DissolveToCcd, dissolve_to_ccd
+from .mtd_to_dataflow import (ModeActivatedBehavior, ModeControllerBlock,
+                              MtdToDataflowTransformation, PresentMerge,
+                              transform_mtd_to_dataflow, verify_equivalence)
+from .reengineering import (BlackBoxReengineering, WhiteBoxReengineering,
+                            blackbox_reengineer, literal_bindings,
+                            reengineer_module, reengineer_process,
+                            reengineer_project, statements_to_expressions,
+                            substitute)
+from .refactoring import (FlattenHierarchyRefactoring,
+                          IntroduceCoordinatorRefactoring,
+                          MtdToModePortsRefactoring, flatten_hierarchy,
+                          introduce_coordinator, mtd_to_mode_port_dfds)
+from .refinement import (SignalTypeRefinement, quantization_report,
+                         refine_signal_types)
+
+__all__ = [
+    "BlackBoxReengineering", "ClockBasedClustering", "ClusterDeployment",
+    "DeploymentResult", "DissolveToCcd", "FlattenHierarchyRefactoring",
+    "IntroduceCoordinatorRefactoring", "ModeActivatedBehavior",
+    "ModeControllerBlock", "MtdToDataflowTransformation",
+    "MtdToModePortsRefactoring", "PresentMerge", "SignalTypeRefinement",
+    "Transformation", "TransformationKind", "TransformationPipeline",
+    "TransformationResult", "WhiteBoxReengineering", "blackbox_reengineer",
+    "block_period", "cluster_by_clock", "deploy", "dissolve_to_ccd",
+    "flatten_hierarchy", "introduce_coordinator", "literal_bindings",
+    "mtd_to_mode_port_dfds", "quantization_report", "reengineer_module",
+    "reengineer_process", "reengineer_project", "refine_signal_types",
+    "statements_to_expressions", "substitute", "transform_mtd_to_dataflow",
+    "verify_equivalence",
+]

@@ -1,0 +1,142 @@
+"""The transformation framework (paper Sec. 4).
+
+"Besides adequate modeling means, the core of the AutoMoDe approach is the
+investigation of and tool support for model transformations."  Three kinds
+of transformation steps are distinguished:
+
+* **reengineering** -- from implementation-level descriptions up to FAA/FDA,
+* **refactoring** -- structural transformation on the same abstraction level,
+* **refinement** -- from higher to lower abstraction levels.
+
+Every concrete transformation in this package is an instance of
+:class:`Transformation`: it declares its kind and the levels it bridges, can
+check its applicability, produces a :class:`TransformationResult`, and can
+record itself into an :class:`~repro.core.model.AutoModeModel` audit trail --
+the "formalized transformation steps" the paper calls for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import TransformationError
+from ..core.model import AbstractionLevel, AutoModeModel
+from ..core.validation import ValidationReport
+
+
+class TransformationKind(enum.Enum):
+    """The paper's classification of transformation steps."""
+
+    REENGINEERING = "reengineering"
+    REFACTORING = "refactoring"
+    REFINEMENT = "refinement"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class TransformationResult:
+    """Outcome of applying one transformation step."""
+
+    transformation: str
+    kind: TransformationKind
+    output: Any
+    source_level: Optional[AbstractionLevel] = None
+    target_level: Optional[AbstractionLevel] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+    report: Optional[ValidationReport] = None
+
+    def describe(self) -> str:
+        src = self.source_level.short_name if self.source_level else "-"
+        dst = self.target_level.short_name if self.target_level else "-"
+        extra = ", ".join(f"{key}={value}" for key, value in self.details.items())
+        return (f"{self.kind}: {self.transformation} ({src} -> {dst})"
+                + (f" [{extra}]" if extra else ""))
+
+
+class Transformation:
+    """Base class of all concrete transformation steps."""
+
+    name: str = "transformation"
+    kind: TransformationKind = TransformationKind.REFACTORING
+    source_level: Optional[AbstractionLevel] = None
+    target_level: Optional[AbstractionLevel] = None
+
+    def check_applicable(self, subject: Any) -> ValidationReport:
+        """Check pre-conditions; errors mean the step cannot be applied."""
+        return ValidationReport(f"applicability of {self.name}")
+
+    def apply(self, subject: Any, **options: Any) -> TransformationResult:
+        """Perform the transformation; subclasses implement ``_transform``."""
+        applicability = self.check_applicable(subject)
+        if not applicability.is_valid():
+            raise TransformationError(
+                f"transformation {self.name!r} is not applicable: "
+                f"{applicability.summary()}")
+        output, details = self._transform(subject, **options)
+        return TransformationResult(
+            transformation=self.name, kind=self.kind, output=output,
+            source_level=self.source_level, target_level=self.target_level,
+            details=details, report=applicability)
+
+    def _transform(self, subject: Any, **options: Any):
+        raise NotImplementedError
+
+    def apply_and_record(self, subject: Any, model: AutoModeModel,
+                         **options: Any) -> TransformationResult:
+        """Apply the step and append it to the model's audit trail."""
+        result = self.apply(subject, **options)
+        model.record(self.name, str(self.kind), self.source_level,
+                     self.target_level, **result.details)
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, kind={self.kind})"
+
+
+class TransformationPipeline:
+    """A sequence of transformation steps applied one after the other.
+
+    Each step receives the output of the previous step.  The pipeline
+    collects all results so the full derivation of a concrete model from an
+    abstract one can be inspected.
+    """
+
+    def __init__(self, name: str, steps: Optional[List[Transformation]] = None):
+        self.name = name
+        self.steps: List[Transformation] = list(steps or [])
+        self.results: List[TransformationResult] = []
+
+    def add_step(self, step: Transformation) -> "TransformationPipeline":
+        self.steps.append(step)
+        return self
+
+    def run(self, subject: Any, model: Optional[AutoModeModel] = None,
+            **options: Any) -> TransformationResult:
+        """Run all steps; returns the final result."""
+        if not self.steps:
+            raise TransformationError(f"pipeline {self.name!r} has no steps")
+        self.results = []
+        current = subject
+        result: Optional[TransformationResult] = None
+        for step in self.steps:
+            if model is not None:
+                result = step.apply_and_record(current, model, **options)
+            else:
+                result = step.apply(current, **options)
+            self.results.append(result)
+            current = result.output
+        assert result is not None
+        return result
+
+    def describe(self) -> str:
+        lines = [f"pipeline {self.name!r}:"]
+        for step in self.steps:
+            lines.append(f"  - {step.kind}: {step.name}")
+        if self.results:
+            lines.append("  results:")
+            lines.extend(f"    {result.describe()}" for result in self.results)
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Clock-based clustering refinement (paper Sec. 4).
+
+One of the refinement examples the paper names is the "clustering of DFDs
+according to their clocks neglecting their functional coherency": blocks
+that share a rate are grouped into one cluster regardless of which function
+they belong to, because they will end up in the same periodic OS task anyway.
+
+:func:`cluster_by_clock` partitions the blocks of a composite by the period
+of their clock (taken from the ``rate`` annotation, the block's port clocks,
+or a supplied mapping) and builds a :class:`ClusterCommunicationDiagram`
+with one cluster per distinct period.  Channels crossing a cluster boundary
+become inter-cluster channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.clocks import every
+from ..core.components import Component, CompositeComponent
+from ..core.errors import TransformationError
+from ..core.model import AbstractionLevel
+from ..core.types import FLOAT
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from .base import Transformation, TransformationKind
+
+
+def block_period(component: Component,
+                 explicit: Optional[Mapping[str, int]] = None) -> int:
+    """Determine the rate period of one block.
+
+    Precedence: explicit mapping, the ``rate`` annotation, the period of the
+    block's port clocks (if periodic and uniform), else the base period 1.
+    """
+    if explicit and component.name in explicit:
+        return int(explicit[component.name])
+    if "rate" in component.annotations:
+        return int(component.annotations["rate"])
+    periods = {port.clock.period for port in component.ports()
+               if port.clock.is_periodic() and port.clock.period is not None}
+    if len(periods) == 1:
+        return int(periods.pop())
+    return 1
+
+
+def cluster_by_clock(composite: CompositeComponent,
+                     periods: Optional[Mapping[str, int]] = None,
+                     name: Optional[str] = None
+                     ) -> Tuple[ClusterCommunicationDiagram, Dict[int, List[str]]]:
+    """Group the blocks of *composite* into one cluster per rate period.
+
+    Returns the resulting CCD plus the partition (period -> block names).
+    Boundary ports of the composite are preserved on the CCD and connected to
+    the cluster that contains the block they feed (or read).
+    """
+    if not composite.subcomponents():
+        raise TransformationError(
+            f"composite {composite.name!r} has no blocks to cluster")
+
+    partition: Dict[int, List[str]] = {}
+    for component in composite.subcomponents():
+        period = block_period(component, periods)
+        partition.setdefault(period, []).append(component.name)
+
+    ccd = ClusterCommunicationDiagram(name or f"{composite.name}_clustered",
+                                      description="clock-based clustering of "
+                                                  f"{composite.name!r}")
+    for port in composite.input_ports():
+        ccd.add_input(port.name, port.port_type, port.clock, port.description)
+    for port in composite.output_ports():
+        ccd.add_output(port.name, port.port_type, port.clock, port.description)
+
+    cluster_of_block: Dict[str, str] = {}
+    clusters: Dict[int, Cluster] = {}
+    for period in sorted(partition):
+        cluster = Cluster(f"{composite.name}_T{period}", rate=every(period),
+                          description=f"all blocks with period {period}")
+        cluster.annotations["members"] = list(partition[period])
+        clusters[period] = cluster
+        for block_name in partition[period]:
+            block = composite.subcomponent(block_name)
+            cluster.add_subcomponent(block)
+            cluster_of_block[block_name] = cluster.name
+        ccd.add_cluster(cluster)
+
+    # Re-create the channels.  Within a cluster they stay internal; across
+    # clusters the signal is exported/imported through fresh cluster ports.
+    for channel in composite.channels():
+        src_component = channel.source.component
+        dst_component = channel.destination.component
+        source_cluster = cluster_of_block.get(src_component) if src_component else None
+        dest_cluster = cluster_of_block.get(dst_component) if dst_component else None
+
+        if source_cluster is not None and source_cluster == dest_cluster:
+            cluster = _cluster_by_name(clusters, source_cluster)
+            cluster.connect(f"{src_component}.{channel.source.port}",
+                            f"{dst_component}.{channel.destination.port}",
+                            delayed=channel.delayed,
+                            initial_value=channel.initial_value)
+            continue
+
+        # export from the source side
+        if source_cluster is None:
+            source_ref = channel.source.port  # CCD boundary input
+        else:
+            cluster = _cluster_by_name(clusters, source_cluster)
+            export_port = f"{src_component}_{channel.source.port}"
+            if not cluster.has_port(export_port):
+                block = cluster.subcomponent(src_component)
+                port = block.port(channel.source.port)
+                port_type = port.port_type if port.is_statically_typed() else FLOAT
+                cluster.add_output(export_port, port_type, cluster.rate)
+                cluster.connect(f"{src_component}.{channel.source.port}",
+                                export_port)
+            source_ref = f"{cluster.name}.{export_port}"
+
+        # import on the destination side
+        if dest_cluster is None:
+            dest_ref = channel.destination.port  # CCD boundary output
+        else:
+            cluster = _cluster_by_name(clusters, dest_cluster)
+            import_port = f"{dst_component}_{channel.destination.port}"
+            if not cluster.has_port(import_port):
+                block = cluster.subcomponent(dst_component)
+                port = block.port(channel.destination.port)
+                port_type = port.port_type if port.is_statically_typed() else FLOAT
+                cluster.add_input(import_port, port_type, cluster.rate)
+                cluster.connect(import_port,
+                                f"{dst_component}.{channel.destination.port}")
+            dest_ref = f"{cluster.name}.{import_port}"
+
+        ccd.connect(source_ref, dest_ref, delayed=channel.delayed,
+                    initial_value=channel.initial_value)
+
+    return ccd, {period: sorted(names) for period, names in partition.items()}
+
+
+def _cluster_by_name(clusters: Dict[int, Cluster], name: str) -> Cluster:
+    for cluster in clusters.values():
+        if cluster.name == name:
+            return cluster
+    raise TransformationError(f"internal error: unknown cluster {name!r}")
+
+
+class ClockBasedClustering(Transformation):
+    """The clock-based clustering refinement as a recorded step."""
+
+    name = "clock-based-clustering"
+    kind = TransformationKind.REFINEMENT
+    source_level = AbstractionLevel.FDA
+    target_level = AbstractionLevel.LA
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, CompositeComponent):
+            report.error(self.name, "subject must be a composite component")
+        elif not subject.subcomponents():
+            report.error(self.name, "the composite has no blocks")
+        return report
+
+    def _transform(self, subject: CompositeComponent, **options):
+        ccd, partition = cluster_by_clock(subject, options.get("periods"),
+                                          options.get("name"))
+        return ccd, {"clusters": len(ccd.clusters()),
+                     "partition": {str(k): v for k, v in partition.items()}}

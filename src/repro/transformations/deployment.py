@@ -1,0 +1,214 @@
+"""Deployment refinement: mapping CCD clusters to ECUs and tasks.
+
+"... and last but not least the mapping of CCDs to ECUs and tasks"
+(paper Sec. 4); "several clusters may be mapped to a given operating system
+task, but a given cluster will not be split across several tasks"
+(Sec. 3.3); "all signals between clusters deployed to different ECUs will be
+mapped to a communication network, e.g. CAN, possibly considering an
+existing communication matrix" (Sec. 3.4).
+
+:func:`deploy` builds the Technical Architecture for a CCD:
+
+* clusters are allocated to ECUs either by an explicit allocation map or by a
+  greedy load-balancing heuristic on their WCET estimates,
+* on each ECU one OSEK task is created per distinct cluster rate
+  (rate-monotonic priorities), and every cluster is placed into the task of
+  its rate -- never split,
+* every inter-ECU channel becomes a signal in a CAN frame; frames are created
+  per (sender ECU, period) pair and filled up to 8 bytes,
+* a communication matrix documenting the network is produced.
+
+The result bundles the architecture, bus, matrix and the cluster-to-task map
+so the OA generator and the timing analysis can consume it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import DeploymentError
+from ..core.impl_types import ImplementationType
+from ..core.model import AbstractionLevel
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..platform.can import CANBus, CANFrame, CANSignal
+from ..platform.ecu import ECU, Task, TechnicalArchitecture
+from ..ascet.comm_matrix import CommunicationMatrix
+from .base import Transformation, TransformationKind
+
+
+@dataclass
+class DeploymentResult:
+    """Everything produced by deploying one CCD onto a set of ECUs."""
+
+    ccd_name: str
+    architecture: TechnicalArchitecture
+    bus: CANBus
+    matrix: CommunicationMatrix
+    ecu_of_cluster: Dict[str, str] = field(default_factory=dict)
+    task_of_cluster: Dict[str, str] = field(default_factory=dict)
+    frame_of_signal: Dict[str, str] = field(default_factory=dict)
+
+    def local_signals(self) -> int:
+        """Number of inter-cluster signals that stayed ECU-local."""
+        return len([1 for key in self._all_signal_keys()
+                    if key not in self.frame_of_signal])
+
+    def remote_signals(self) -> int:
+        return len(self.frame_of_signal)
+
+    def _all_signal_keys(self) -> List[str]:
+        return list(self.ecu_of_cluster.keys())
+
+    def describe(self) -> str:
+        lines = [f"deployment of CCD {self.ccd_name!r}:"]
+        for cluster, ecu in sorted(self.ecu_of_cluster.items()):
+            lines.append(f"  {cluster} -> {ecu} / {self.task_of_cluster[cluster]}")
+        lines.append(f"  inter-ECU signals: {len(self.frame_of_signal)} in "
+                     f"{len(self.bus.frames)} CAN frame(s), bus utilization "
+                     f"{self.bus.utilization():.1%}")
+        for ecu in self.architecture.ecu_list():
+            lines.append(f"  {ecu.name}: utilization {ecu.utilization():.1%}, "
+                         f"{len(ecu.tasks)} task(s)")
+        return "\n".join(lines)
+
+
+def _allocate_clusters(clusters: Sequence[Cluster], ecu_names: Sequence[str],
+                       allocation: Optional[Mapping[str, str]]
+                       ) -> Dict[str, str]:
+    """Explicit allocation where given, greedy WCET balancing otherwise."""
+    result: Dict[str, str] = {}
+    loads = {name: 0.0 for name in ecu_names}
+    remaining: List[Cluster] = []
+    for cluster in clusters:
+        if allocation and cluster.name in allocation:
+            ecu_name = allocation[cluster.name]
+            if ecu_name not in loads:
+                raise DeploymentError(
+                    f"cluster {cluster.name!r} is allocated to unknown ECU "
+                    f"{ecu_name!r}")
+            result[cluster.name] = ecu_name
+            loads[ecu_name] += cluster.worst_case_execution_time() / cluster.period
+        else:
+            remaining.append(cluster)
+    for cluster in sorted(remaining,
+                          key=lambda c: -c.worst_case_execution_time() / c.period):
+        ecu_name = min(loads, key=lambda name: loads[name])
+        result[cluster.name] = ecu_name
+        loads[ecu_name] += cluster.worst_case_execution_time() / cluster.period
+    return result
+
+
+def deploy(ccd: ClusterCommunicationDiagram, ecu_names: Sequence[str],
+           allocation: Optional[Mapping[str, str]] = None,
+           bus_bits_per_tick: float = 500.0,
+           base_can_id: int = 0x100,
+           architecture_name: Optional[str] = None) -> DeploymentResult:
+    """Map the clusters of *ccd* onto the named ECUs (see module docstring)."""
+    if not ecu_names:
+        raise DeploymentError("at least one ECU is required")
+    clusters = ccd.clusters()
+    if not clusters:
+        raise DeploymentError(f"CCD {ccd.name!r} has no clusters to deploy")
+
+    architecture = TechnicalArchitecture(architecture_name or f"{ccd.name}_TA")
+    for ecu_name in ecu_names:
+        architecture.add_ecu(ECU(ecu_name))
+    bus = CANBus(architecture.bus_name, bits_per_tick=bus_bits_per_tick)
+    matrix = CommunicationMatrix(f"{ccd.name}_comm_matrix")
+
+    ecu_of_cluster = _allocate_clusters(clusters, list(ecu_names), allocation)
+
+    # one task per (ECU, rate); rate-monotonic priorities per ECU
+    task_of_cluster: Dict[str, str] = {}
+    for ecu_name in ecu_names:
+        ecu = architecture.ecu(ecu_name)
+        periods = sorted({cluster.period for cluster in clusters
+                          if ecu_of_cluster[cluster.name] == ecu_name})
+        for priority, period in enumerate(periods, start=1):
+            ecu.add_task(Task(f"{ecu_name}_T{period}", period=period,
+                              priority=priority))
+        for cluster in clusters:
+            if ecu_of_cluster[cluster.name] != ecu_name:
+                continue
+            task = ecu.task(f"{ecu_name}_T{cluster.period}")
+            task.add_cluster(cluster.name, cluster.worst_case_execution_time())
+            task_of_cluster[cluster.name] = task.name
+
+    # map inter-ECU signals to CAN frames
+    frame_of_signal: Dict[str, str] = {}
+    frames_by_key: Dict[Tuple[str, int], CANFrame] = {}
+    next_can_id = base_can_id
+    for entry in ccd.rate_transitions():
+        source_cluster = ccd.cluster(entry["source"])
+        dest_cluster = ccd.cluster(entry["destination"])
+        source_ecu = ecu_of_cluster[source_cluster.name]
+        dest_ecu = ecu_of_cluster[dest_cluster.name]
+        channel = entry["channel"]
+        signal_key = f"{source_cluster.name}->{dest_cluster.name}"
+        signal_name = f"{source_cluster.name}_{channel.source.port}"
+
+        matrix_signal = f"{signal_name}__{dest_cluster.name}"
+        if source_ecu == dest_ecu:
+            matrix.add(matrix_signal, source_cluster.name, [dest_cluster.name],
+                       frame=None, period=source_cluster.period)
+            continue
+
+        bits = _signal_bits(source_cluster, channel.source.port)
+        frame_key = (source_ecu, source_cluster.period)
+        frame = frames_by_key.get(frame_key)
+        if frame is None or frame.payload_bits() + bits > 64:
+            frame = CANFrame(f"F_{source_ecu}_{source_cluster.period}_"
+                             f"{next_can_id - base_can_id}",
+                             can_id=next_can_id, period=source_cluster.period,
+                             sender_ecu=source_ecu)
+            next_can_id += 1
+            frames_by_key[frame_key] = frame
+            bus.add_frame(frame)
+        frame.add_signal(CANSignal(signal_name, bits,
+                                   sender_cluster=source_cluster.name,
+                                   receiver_clusters=[dest_cluster.name]))
+        frame_of_signal[signal_key] = frame.name
+        matrix.add(matrix_signal, source_cluster.name, [dest_cluster.name],
+                   frame=frame.name, period=source_cluster.period,
+                   length_bits=bits)
+
+    return DeploymentResult(
+        ccd_name=ccd.name, architecture=architecture, bus=bus, matrix=matrix,
+        ecu_of_cluster=ecu_of_cluster, task_of_cluster=task_of_cluster,
+        frame_of_signal=frame_of_signal)
+
+
+def _signal_bits(cluster: Cluster, port_name: str) -> int:
+    """Payload size of one signal: from the implementation mapping if known."""
+    if port_name in cluster.implementation:
+        impl = cluster.implementation.lookup(port_name).implementation_type
+        if isinstance(impl, ImplementationType):
+            return 8 * impl.storage_bytes()
+    return 16
+
+
+class ClusterDeployment(Transformation):
+    """CCD -> Technical Architecture deployment as a recorded step."""
+
+    name = "cluster-deployment"
+    kind = TransformationKind.REFINEMENT
+    source_level = AbstractionLevel.LA
+    target_level = AbstractionLevel.TA
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, ClusterCommunicationDiagram):
+            report.error(self.name, "subject must be a CCD")
+        elif not subject.clusters():
+            report.error(self.name, "the CCD has no clusters")
+        return report
+
+    def _transform(self, subject: ClusterCommunicationDiagram, **options):
+        result = deploy(subject,
+                        ecu_names=options.get("ecu_names", ["ECU1"]),
+                        allocation=options.get("allocation"),
+                        bus_bits_per_tick=options.get("bus_bits_per_tick", 500.0))
+        return result, {"ecus": len(result.architecture.ecus),
+                        "frames": len(result.bus.frames),
+                        "remote_signals": result.remote_signals()}

@@ -1,0 +1,115 @@
+"""SSD-to-CCD transition: dissolving top SSD hierarchies (paper Sec. 3.3).
+
+"When transitioning from an SSD representation on the FDA level to a
+LA-level CCD, some of the topmost SSD hierarchies may be dissolved in favor
+of a flat CCD representation."
+
+:func:`dissolve_to_ccd` takes an FDA-level SSD and produces a flat
+:class:`ClusterCommunicationDiagram`: every (remaining) top-level component
+becomes one cluster with the component as its internal behaviour, the SSD
+channels become inter-cluster channels (keeping their delay), and every
+cluster is assigned an explicit periodic rate -- either from the supplied
+rate map or from the component's ``rate`` annotation, falling back to the
+base period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..core.clocks import Clock, every
+from ..core.errors import TransformationError
+from ..core.types import FLOAT
+from ..core.model import AbstractionLevel
+from ..notations.ccd import Cluster, ClusterCommunicationDiagram
+from ..notations.ssd import SSDComponent
+from ..core.components import CompositeComponent
+from .base import Transformation, TransformationKind
+from .refactoring import flatten_hierarchy
+
+
+def dissolve_to_ccd(ssd: SSDComponent,
+                    rates: Optional[Mapping[str, int]] = None,
+                    dissolve_levels: int = 0,
+                    name: Optional[str] = None) -> ClusterCommunicationDiagram:
+    """Produce a flat CCD from an FDA-level SSD.
+
+    *rates* maps component names to rate periods (in base ticks);
+    *dissolve_levels* > 0 first flattens that many levels of nested SSD
+    hierarchy so that more fine-grained clusters result.
+    """
+    rates = dict(rates or {})
+    working = ssd
+    for _ in range(dissolve_levels):
+        nested = [component.name for component in working.subcomponents()
+                  if isinstance(component, CompositeComponent)
+                  and isinstance(component, SSDComponent)]
+        if not nested:
+            break
+        flatten_hierarchy(working, nested)
+
+    ccd = ClusterCommunicationDiagram(name or f"{ssd.name}_CCD",
+                                      description=f"flat CCD dissolved from "
+                                                  f"SSD {ssd.name!r}")
+    for port in ssd.input_ports():
+        ccd.add_input(port.name, port.port_type, port.clock, port.description)
+    for port in ssd.output_ports():
+        ccd.add_output(port.name, port.port_type, port.clock, port.description)
+
+    for component in working.subcomponents():
+        period = rates.get(component.name,
+                           int(component.annotations.get("rate", 1)))
+        cluster = Cluster(f"C_{component.name}", rate=every(period),
+                          description=f"cluster around {component.name!r}")
+        cluster.annotations["members"] = [component.name]
+        # Dynamically typed FDA ports (e.g. of reengineered MTDs) default to
+        # float physical signals on the statically typed LA interface.
+        for port in component.input_ports():
+            port_type = port.port_type if port.is_statically_typed() else FLOAT
+            cluster.add_input(port.name, port_type, cluster.rate,
+                              port.description)
+        for port in component.output_ports():
+            port_type = port.port_type if port.is_statically_typed() else FLOAT
+            cluster.add_output(port.name, port_type, cluster.rate,
+                               port.description)
+        cluster.add_subcomponent(component)
+        for port in component.input_ports():
+            cluster.connect(port.name, f"{component.name}.{port.name}")
+        for port in component.output_ports():
+            cluster.connect(f"{component.name}.{port.name}", port.name)
+        ccd.add_cluster(cluster)
+
+    for channel in working.channels():
+        source = (channel.source.port if channel.source.is_boundary()
+                  else f"C_{channel.source.component}.{channel.source.port}")
+        destination = (channel.destination.port
+                       if channel.destination.is_boundary()
+                       else f"C_{channel.destination.component}."
+                            f"{channel.destination.port}")
+        ccd.connect(source, destination, delayed=channel.delayed,
+                    initial_value=channel.initial_value)
+    return ccd
+
+
+class DissolveToCcd(Transformation):
+    """SSD (FDA) -> flat CCD (LA) as a recorded refinement step."""
+
+    name = "dissolve-ssd-to-ccd"
+    kind = TransformationKind.REFINEMENT
+    source_level = AbstractionLevel.FDA
+    target_level = AbstractionLevel.LA
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, SSDComponent):
+            report.error(self.name, "subject must be an FDA-level SSD")
+        elif not subject.subcomponents():
+            report.error(self.name, "the SSD has no components to cluster")
+        return report
+
+    def _transform(self, subject: SSDComponent, **options):
+        ccd = dissolve_to_ccd(subject, rates=options.get("rates"),
+                              dissolve_levels=options.get("dissolve_levels", 0),
+                              name=options.get("name"))
+        return ccd, {"clusters": len(ccd.clusters()),
+                     "channels": len(ccd.channels())}

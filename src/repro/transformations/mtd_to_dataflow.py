@@ -1,0 +1,222 @@
+"""MTD to partitionable data-flow transformation (paper Sec. 3.3).
+
+"In order to represent high-level MTDs as a network of clusters on the LA
+level, the AutoMoDe tool prototype features an algorithm to transform an MTD
+into a semantically equivalent, partitionable data-flow model."
+
+The algorithm implemented here produces a flat :class:`DataFlowDiagram` with
+
+* one **mode controller** block holding the transition logic and emitting the
+  active mode on an explicit ``mode`` flow,
+* one **mode-activated behaviour** block per mode, which steps the original
+  mode behaviour only while its mode is selected (state is frozen otherwise)
+  and emits absence when inactive,
+* one **merge** block per MTD output that forwards whichever activated
+  behaviour produced a value.
+
+Because each of these blocks is an ordinary data-flow block with explicit
+ports, the result can be cut along any channel -- i.e. it is *partitionable*
+into clusters, unlike the monolithic MTD.  Semantic equivalence is checked
+by simulation (see :func:`verify_equivalence`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.components import Component, StatefulComponent
+from ..core.errors import TransformationError
+from ..core.expr_eval import ExpressionEvaluator
+from ..core.model import AbstractionLevel
+from ..core.values import ABSENT, is_present
+from ..notations.dfd import DataFlowDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from ..simulation.engine import simulate
+from ..simulation.trace import first_difference, traces_equivalent
+from .base import Transformation, TransformationKind
+
+
+class ModeControllerBlock(StatefulComponent):
+    """Data-flow block computing the active mode from the MTD's transitions."""
+
+    direct_feedthrough = True
+
+    def __init__(self, mtd: ModeTransitionDiagram, name: Optional[str] = None):
+        super().__init__(name or f"{mtd.name}_ModeController",
+                         description=f"mode controller extracted from MTD {mtd.name!r}")
+        self._transitions_from = {mode.name: mtd.transitions_from(mode.name)
+                                  for mode in mtd.modes()}
+        self._initial_mode = mtd.initial_mode
+        self._evaluator = ExpressionEvaluator()
+        for input_name in mtd.input_names():
+            self.add_input(input_name)
+        self.add_output("mode")
+
+    def initial_state(self):
+        return self._initial_mode
+
+    def step(self, inputs, state, tick):
+        current = state or self._initial_mode
+        environment = dict(inputs)
+        for transition in self._transitions_from.get(current, []):
+            value = self._evaluator.evaluate(transition.guard, environment)
+            if is_present(value) and bool(value):
+                current = transition.target
+                break
+        return {"mode": current}, current
+
+    def instantaneous_dependencies(self):
+        return {"mode": set(self.input_names())}
+
+
+class ModeActivatedBehavior(StatefulComponent):
+    """Wraps one mode's behaviour; active only when the mode flow selects it."""
+
+    direct_feedthrough = True
+    MODE_INPUT = "mode_sel"
+
+    def __init__(self, mode_name: str, behavior: Optional[Component],
+                 mtd_inputs: List[str], mtd_outputs: List[str],
+                 name: Optional[str] = None):
+        super().__init__(name or f"Behavior_{mode_name}",
+                         description=f"behaviour of mode {mode_name!r} with an "
+                                     "explicit mode port")
+        self.mode_name = mode_name
+        self.behavior = behavior
+        self._outputs = list(mtd_outputs)
+        self.add_input(self.MODE_INPUT)
+        behavior_inputs = behavior.input_names() if behavior is not None else []
+        for input_name in mtd_inputs:
+            if input_name in behavior_inputs:
+                self.add_input(input_name)
+        for output_name in self._outputs:
+            self.add_output(output_name)
+
+    def initial_state(self):
+        return self.behavior.initial_state() if self.behavior is not None else None
+
+    def step(self, inputs, state, tick):
+        outputs = {name: ABSENT for name in self.output_names()}
+        selected = inputs.get(self.MODE_INPUT)
+        if not is_present(selected) or selected != self.mode_name:
+            return outputs, state
+        if self.behavior is None:
+            return outputs, state
+        behavior_inputs = {name: inputs.get(name, ABSENT)
+                           for name in self.behavior.input_names()}
+        behavior_outputs, new_state = self.behavior.react(behavior_inputs, state, tick)
+        for name, value in behavior_outputs.items():
+            if name in outputs:
+                outputs[name] = value
+        return outputs, new_state
+
+    def instantaneous_dependencies(self):
+        return {name: set(self.input_names()) for name in self.output_names()}
+
+
+class PresentMerge(Component):
+    """Forwards the first present input (the outputs of the mode behaviours)."""
+
+    def __init__(self, name: str, n_inputs: int):
+        super().__init__(name, description="merge of mutually exclusive flows")
+        if n_inputs < 1:
+            raise TransformationError("PresentMerge needs at least one input")
+        for index in range(1, n_inputs + 1):
+            self.add_input(f"in{index}")
+        self.add_output("out")
+
+    def react(self, inputs, state, tick):
+        for name in self.input_names():
+            value = inputs[name]
+            if is_present(value):
+                return {"out": value}, state
+        return {"out": ABSENT}, state
+
+
+class MtdToDataflowTransformation(Transformation):
+    """The Sec.-3.3 algorithm as a refinement-kind transformation step."""
+
+    name = "mtd-to-partitionable-dataflow"
+    kind = TransformationKind.REFINEMENT
+    source_level = AbstractionLevel.FDA
+    target_level = AbstractionLevel.LA
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, ModeTransitionDiagram):
+            report.error("mtd-to-dataflow", "subject is not an MTD")
+            return report
+        if not subject.modes():
+            report.error("mtd-to-dataflow", "the MTD has no modes")
+        for mode in subject.modes():
+            if mode.behavior is not None and not mode.behavior.has_behavior():
+                report.error("mtd-to-dataflow",
+                             f"mode {mode.name!r} has a non-executable behaviour")
+        return report
+
+    def _transform(self, subject: ModeTransitionDiagram, **options):
+        dfd = transform_mtd_to_dataflow(subject)
+        details = {
+            "modes": len(subject.modes()),
+            "transitions": len(subject.transitions()),
+            "generated_blocks": len(dfd.subcomponents()),
+            "generated_channels": len(dfd.channels()),
+        }
+        return dfd, details
+
+
+def transform_mtd_to_dataflow(mtd: ModeTransitionDiagram,
+                              name: Optional[str] = None) -> DataFlowDiagram:
+    """Build the semantically equivalent, partitionable data-flow model."""
+    if not mtd.modes():
+        raise TransformationError(f"MTD {mtd.name!r} has no modes to transform")
+    dfd = DataFlowDiagram(name or f"{mtd.name}_dataflow",
+                          description=f"partitionable data-flow form of MTD "
+                                      f"{mtd.name!r}")
+    for port in mtd.input_ports():
+        dfd.add_input(port.name, port.port_type, port.clock, port.description)
+    for port in mtd.output_ports():
+        dfd.add_output(port.name, port.port_type, port.clock, port.description)
+
+    data_outputs = [name for name in mtd.output_names()
+                    if name != ModeTransitionDiagram.MODE_PORT]
+
+    controller = ModeControllerBlock(mtd)
+    dfd.add_subcomponent(controller)
+    for input_name in controller.input_names():
+        dfd.connect(input_name, f"{controller.name}.{input_name}")
+    if ModeTransitionDiagram.MODE_PORT in mtd.output_names():
+        dfd.connect(f"{controller.name}.mode", ModeTransitionDiagram.MODE_PORT)
+
+    behavior_blocks: List[ModeActivatedBehavior] = []
+    for mode in mtd.modes():
+        block = ModeActivatedBehavior(mode.name, mode.behavior,
+                                      mtd.input_names(), data_outputs)
+        dfd.add_subcomponent(block)
+        behavior_blocks.append(block)
+        dfd.connect(f"{controller.name}.mode",
+                    f"{block.name}.{ModeActivatedBehavior.MODE_INPUT}")
+        for input_name in block.input_names():
+            if input_name == ModeActivatedBehavior.MODE_INPUT:
+                continue
+            dfd.connect(input_name, f"{block.name}.{input_name}")
+
+    for output_name in data_outputs:
+        merge = PresentMerge(f"Merge_{output_name}", len(behavior_blocks))
+        dfd.add_subcomponent(merge)
+        for index, block in enumerate(behavior_blocks, start=1):
+            dfd.connect(f"{block.name}.{output_name}", f"{merge.name}.in{index}")
+        dfd.connect(f"{merge.name}.out", output_name)
+    return dfd
+
+
+def verify_equivalence(mtd: ModeTransitionDiagram, dataflow: DataFlowDiagram,
+                       stimuli: Mapping[str, Any], ticks: int = 50,
+                       tolerance: float = 0.0) -> Tuple[bool, Optional[Dict]]:
+    """Simulate both models on the same stimuli and compare their traces."""
+    trace_mtd = simulate(mtd, stimuli, ticks)
+    trace_dfd = simulate(dataflow, stimuli, ticks)
+    signals = [name for name in mtd.output_names()]
+    equivalent = traces_equivalent(trace_mtd, trace_dfd, signals, tolerance)
+    difference = None if equivalent else first_difference(trace_mtd, trace_dfd, signals)
+    return equivalent, difference

@@ -1,0 +1,265 @@
+"""Refactoring transformations (paper Sec. 4).
+
+"Refactoring is mainly seen as a structural transformation on the same
+abstraction level."  The steps named in the paper and implemented here:
+
+* **integrating an independently designed function** into an FAA-level
+  functional network when another function accesses the same actuator --
+  realised as :func:`introduce_coordinator`, which inserts the coordinating
+  functionality the conflict analysis suggests and re-routes the competing
+  channels through it,
+* **replacing an MTD by several DFDs with explicit mode-ports**
+  (:func:`mtd_to_mode_port_dfds` / :class:`MtdToModePortsRefactoring`),
+  built on the MTD-to-dataflow algorithm of Sec. 3.3,
+* **changing the structural hierarchy** to facilitate a more efficient
+  implementation -- :func:`flatten_hierarchy` dissolves nested composites
+  into their parent diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.components import Component, CompositeComponent, FunctionComponent
+from ..core.errors import TransformationError
+from ..core.model import AbstractionLevel
+from ..core.values import ABSENT, is_present
+from ..notations.dfd import DataFlowDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.ssd import SSDComponent
+from .base import Transformation, TransformationKind
+from .mtd_to_dataflow import (ModeActivatedBehavior, ModeControllerBlock,
+                              transform_mtd_to_dataflow)
+
+
+# --------------------------------------------------------------------------
+# coordinator introduction (FAA-level conflict countermeasure)
+# --------------------------------------------------------------------------
+
+def introduce_coordinator(network: SSDComponent, actuator: str,
+                          strategy: str = "priority",
+                          coordinator_name: Optional[str] = None) -> Component:
+    """Insert a coordinating functionality in front of a contended actuator.
+
+    All channels currently driving the actuator component are re-routed into
+    a new coordinator component with one input per competing function; a
+    single channel leads from the coordinator to the actuator.  Two built-in
+    arbitration strategies exist:
+
+    * ``"priority"`` -- the first (highest-priority) present request wins,
+    * ``"last-wins"`` -- the most recently added function's request wins.
+
+    The function mutates *network* and returns the coordinator component.
+    """
+    if not network.has_subcomponent(actuator):
+        raise TransformationError(
+            f"network {network.name!r} has no actuator component {actuator!r}")
+    actuator_component = network.subcomponent(actuator)
+    incoming = [channel for channel in network.channels()
+                if channel.destination.component == actuator]
+    if len(incoming) < 2:
+        raise TransformationError(
+            f"actuator {actuator!r} is driven by {len(incoming)} channel(s); "
+            "a coordinator is only needed for conflicting access")
+    if strategy not in ("priority", "last-wins"):
+        raise TransformationError(f"unknown arbitration strategy {strategy!r}")
+
+    destination_port = incoming[0].destination.port
+    request_sources = [(channel.source.component, channel.source.port)
+                       for channel in incoming]
+
+    name = coordinator_name or f"{actuator}Coordinator"
+    input_names = [f"request{index + 1}" for index in range(len(request_sources))]
+
+    def arbitrate(environment):
+        ordered = input_names if strategy == "priority" else list(reversed(input_names))
+        for request in ordered:
+            value = environment.get(request, ABSENT)
+            if is_present(value):
+                return {"command": value}
+        return {"command": ABSENT}
+
+    coordinator = FunctionComponent(name, arbitrate, inputs=input_names,
+                                    outputs=["command"],
+                                    description=f"coordinates access to "
+                                                f"actuator {actuator!r} "
+                                                f"({strategy} arbitration)")
+    coordinator.annotate("introduced_by", "refactoring:introduce-coordinator")
+
+    # remove the conflicting channels, then rewire through the coordinator
+    for channel in incoming:
+        network._channels.remove(channel)  # noqa: SLF001 - deliberate surgery
+    network.add_subcomponent(coordinator)
+    for index, (source_component, source_port) in enumerate(request_sources):
+        source = (source_port if source_component is None
+                  else f"{source_component}.{source_port}")
+        network.connect(source, f"{name}.request{index + 1}", delayed=True)
+    network.connect(f"{name}.command", f"{actuator}.{destination_port}",
+                    delayed=True)
+    return coordinator
+
+
+class IntroduceCoordinatorRefactoring(Transformation):
+    """The conflict-resolution refactoring as a recorded step."""
+
+    name = "introduce-coordinator"
+    kind = TransformationKind.REFACTORING
+    source_level = AbstractionLevel.FAA
+    target_level = AbstractionLevel.FAA
+
+    def _transform(self, subject: SSDComponent, **options):
+        actuator = options.get("actuator")
+        if not actuator:
+            raise TransformationError("the 'actuator' option is required")
+        coordinator = introduce_coordinator(
+            subject, actuator, strategy=options.get("strategy", "priority"),
+            coordinator_name=options.get("coordinator_name"))
+        return subject, {"actuator": actuator, "coordinator": coordinator.name}
+
+
+# --------------------------------------------------------------------------
+# MTD -> DFDs with explicit mode ports
+# --------------------------------------------------------------------------
+
+def mtd_to_mode_port_dfds(mtd: ModeTransitionDiagram
+                          ) -> Tuple[DataFlowDiagram, List[Component]]:
+    """Replace an MTD by several DFD blocks with explicit mode ports.
+
+    Returns the containing data-flow diagram plus the list of per-mode
+    behaviour blocks (each carrying an explicit ``mode_sel`` port), which is
+    the refactored representation the paper mentions ("replace an MTD by
+    several DFDs having explicit mode-ports").
+    """
+    dfd = transform_mtd_to_dataflow(mtd, name=f"{mtd.name}_mode_ports")
+    mode_blocks = [component for component in dfd.subcomponents()
+                   if isinstance(component, ModeActivatedBehavior)]
+    return dfd, mode_blocks
+
+
+class MtdToModePortsRefactoring(Transformation):
+    """Same-level structural refactoring of an MTD into mode-port DFDs."""
+
+    name = "mtd-to-mode-port-dfds"
+    kind = TransformationKind.REFACTORING
+    source_level = AbstractionLevel.FDA
+    target_level = AbstractionLevel.FDA
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, ModeTransitionDiagram):
+            report.error(self.name, "subject must be an MTD")
+        return report
+
+    def _transform(self, subject: ModeTransitionDiagram, **options):
+        dfd, mode_blocks = mtd_to_mode_port_dfds(subject)
+        return dfd, {"mode_blocks": len(mode_blocks),
+                     "controller": f"{subject.name}_ModeController"}
+
+
+# --------------------------------------------------------------------------
+# hierarchy restructuring
+# --------------------------------------------------------------------------
+
+def flatten_hierarchy(composite: CompositeComponent,
+                      component_names: Optional[List[str]] = None
+                      ) -> CompositeComponent:
+    """Dissolve nested composite sub-components into their parent diagram.
+
+    The children of each dissolved composite are lifted into the parent with
+    prefixed names (``Outer_Inner``); boundary-forwarding channels of the
+    dissolved composite are replaced by direct channels.  Only composites
+    whose boundary connections are pure forwarding (no internal fan-in onto a
+    boundary port) can be dissolved.  Returns the mutated parent.
+    """
+    targets = component_names
+    if targets is None:
+        targets = [component.name for component in composite.subcomponents()
+                   if isinstance(component, CompositeComponent)]
+    for target_name in targets:
+        child = composite.subcomponent(target_name)
+        if not isinstance(child, CompositeComponent):
+            raise TransformationError(
+                f"{target_name!r} is not a composite and cannot be dissolved")
+        _dissolve_child(composite, child)
+    return composite
+
+
+def _dissolve_child(parent: CompositeComponent, child: CompositeComponent) -> None:
+    prefix = child.name
+
+    # lift grandchildren
+    renaming: Dict[str, str] = {}
+    for grandchild in child.subcomponents():
+        new_name = f"{prefix}_{grandchild.name}"
+        renaming[grandchild.name] = new_name
+        grandchild.name = new_name
+        parent.add_subcomponent(grandchild)
+
+    # resolve the child's boundary ports to internal endpoints
+    inward: Dict[str, List[Tuple[str, str]]] = {}
+    outward: Dict[str, Tuple[str, str]] = {}
+    for channel in child.channels():
+        if channel.source.is_boundary() and not channel.destination.is_boundary():
+            inward.setdefault(channel.source.port, []).append(
+                (renaming[channel.destination.component], channel.destination.port))
+        elif channel.destination.is_boundary() and not channel.source.is_boundary():
+            outward[channel.destination.port] = (
+                renaming[channel.source.component], channel.source.port)
+        elif not channel.source.is_boundary() and not channel.destination.is_boundary():
+            parent.connect(
+                f"{renaming[channel.source.component]}.{channel.source.port}",
+                f"{renaming[channel.destination.component]}.{channel.destination.port}",
+                delayed=channel.delayed, initial_value=channel.initial_value)
+        else:
+            raise TransformationError(
+                f"composite {child.name!r} forwards a boundary input directly "
+                "to a boundary output; dissolve is not supported for pure "
+                "pass-through composites")
+
+    # re-route the parent's channels that touched the dissolved child
+    old_channels = [channel for channel in parent.channels()
+                    if channel.source.component == prefix
+                    or channel.destination.component == prefix]
+    for channel in old_channels:
+        parent._channels.remove(channel)  # noqa: SLF001 - deliberate surgery
+    for channel in old_channels:
+        if channel.destination.component == prefix:
+            internal_targets = inward.get(channel.destination.port, [])
+            source = (channel.source.port if channel.source.is_boundary()
+                      else f"{channel.source.component}.{channel.source.port}")
+            for component_name, port_name in internal_targets:
+                parent.connect(source, f"{component_name}.{port_name}",
+                               delayed=channel.delayed,
+                               initial_value=channel.initial_value)
+        elif channel.source.component == prefix:
+            internal_source = outward.get(channel.source.port)
+            if internal_source is None:
+                continue
+            destination = (channel.destination.port
+                           if channel.destination.is_boundary()
+                           else f"{channel.destination.component}."
+                                f"{channel.destination.port}")
+            parent.connect(f"{internal_source[0]}.{internal_source[1]}",
+                           destination, delayed=channel.delayed,
+                           initial_value=channel.initial_value)
+
+    del parent._subcomponents[prefix]  # noqa: SLF001 - deliberate surgery
+
+
+class FlattenHierarchyRefactoring(Transformation):
+    """Hierarchy restructuring as a recorded refactoring step."""
+
+    name = "flatten-hierarchy"
+    kind = TransformationKind.REFACTORING
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, CompositeComponent):
+            report.error(self.name, "subject must be a composite component")
+        return report
+
+    def _transform(self, subject: CompositeComponent, **options):
+        before = len(subject.subcomponents())
+        flatten_hierarchy(subject, options.get("component_names"))
+        return subject, {"components_before": before,
+                         "components_after": len(subject.subcomponents())}

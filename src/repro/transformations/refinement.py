@@ -1,0 +1,116 @@
+"""Signal refinement: physical types to implementation types (paper Sec. 4).
+
+"Examples for refinement transformations include the transformation of
+physical signals to implementation signals (i.e. the choice of encoding and
+data type)."  On the LA level "abstract data types such as int are typically
+mapped to implementation, e.g. int16 or int32.  Similarly, a floating-point
+message on the FDA level may be mapped to a fixed-point or integer message"
+(Sec. 3.3).
+
+:func:`refine_signal_types` performs this choice for the ports of a cluster
+(or any component), records the decisions in an
+:class:`~repro.core.impl_types.ImplementationMapping` and optionally rewrites
+the port types; :func:`quantization_report` measures the error the chosen
+fixed-point encodings introduce on a given value trace -- the evidence that a
+refinement preserved the signal within its tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.components import Component
+from ..core.errors import TransformationError
+from ..core.impl_types import (FixedPointType, ImplementationMapping,
+                               choose_implementation_type)
+from ..core.model import AbstractionLevel
+from ..core.types import Type
+from ..core.values import Stream, is_present
+from ..notations.ccd import Cluster
+from .base import Transformation, TransformationKind
+
+
+#: Per-signal refinement hints: physical range and required resolution.
+SignalRange = Mapping[str, Mapping[str, float]]
+
+
+def refine_signal_types(component: Component,
+                        signal_ranges: Optional[SignalRange] = None,
+                        retype_ports: bool = False) -> ImplementationMapping:
+    """Choose implementation types for every port of *component*.
+
+    *signal_ranges* may provide ``{"low": .., "high": .., "resolution": ..}``
+    per port name; unbounded float ports without a range hint are rejected,
+    because no sensible fixed-point encoding exists for them.
+    """
+    signal_ranges = signal_ranges or {}
+    mapping = ImplementationMapping()
+    for port in component.ports():
+        hints = signal_ranges.get(port.name, {})
+        impl = choose_implementation_type(
+            port.port_type,
+            resolution=hints.get("resolution"),
+            low=hints.get("low"),
+            high=hints.get("high"))
+        rationale = ("range hint" if hints else "type bounds / default policy")
+        mapping.assign(port.name, port.port_type, impl, rationale)
+        if retype_ports:
+            port.retype(impl)
+    if isinstance(component, Cluster):
+        for entry in mapping.entries():
+            component.implementation.assign(
+                entry.signal, entry.abstract_type, entry.implementation_type,
+                entry.rationale)
+    return mapping
+
+
+def quantization_report(mapping: ImplementationMapping,
+                        traces: Mapping[str, Stream]) -> Dict[str, Dict[str, float]]:
+    """Measure the quantization error of fixed-point signals on real traces.
+
+    For every signal with a fixed-point implementation type, the report gives
+    the maximal and mean absolute error over the present values of the trace,
+    and the encoding's theoretical resolution.
+    """
+    report: Dict[str, Dict[str, float]] = {}
+    for signal, stream in traces.items():
+        if signal not in mapping:
+            continue
+        impl = mapping.lookup(signal).implementation_type
+        if not isinstance(impl, FixedPointType):
+            continue
+        errors = [impl.quantization_error(value)
+                  for value in stream if is_present(value)]
+        if not errors:
+            continue
+        report[signal] = {
+            "max_error": max(errors),
+            "mean_error": sum(errors) / len(errors),
+            "resolution": impl.resolution,
+            "samples": float(len(errors)),
+        }
+    return report
+
+
+class SignalTypeRefinement(Transformation):
+    """Physical-to-implementation signal refinement as a recorded step."""
+
+    name = "signal-type-refinement"
+    kind = TransformationKind.REFINEMENT
+    source_level = AbstractionLevel.FDA
+    target_level = AbstractionLevel.LA
+
+    def check_applicable(self, subject):
+        report = super().check_applicable(subject)
+        if not isinstance(subject, Component):
+            report.error(self.name, "subject must be a component")
+        elif not subject.ports():
+            report.error(self.name, "the component has no ports to refine")
+        return report
+
+    def _transform(self, subject: Component, **options):
+        mapping = refine_signal_types(subject,
+                                      signal_ranges=options.get("signal_ranges"),
+                                      retype_ports=options.get("retype_ports", False))
+        return mapping, {"signals": len(mapping),
+                         "payload_bytes": mapping.total_payload_bytes()}

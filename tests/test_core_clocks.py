@@ -1,0 +1,113 @@
+"""Tests for abstract clocks and the clock calculus (paper Sec. 2)."""
+
+import pytest
+
+from repro.core.clocks import (BASE_CLOCK, BaseClock, ClockError, EventClock,
+                               PeriodicClock, SampledClock, are_synchronous,
+                               every, hyperperiod, is_subclock, merge_patterns,
+                               rate_ratio, relate, slower_than)
+
+
+class TestBaseClock:
+    def test_always_present(self):
+        assert BASE_CLOCK.pattern(5) == [True] * 5
+
+    def test_periodic_with_period_one(self):
+        assert BASE_CLOCK.is_periodic()
+        assert BASE_CLOCK.period == 1
+        assert BASE_CLOCK.expression() == "true"
+
+
+class TestPeriodicClock:
+    def test_every_two(self):
+        clock = every(2)
+        assert clock.pattern(6) == [True, False, True, False, True, False]
+        assert clock.expression() == "every(2, true)"
+
+    def test_phase(self):
+        clock = PeriodicClock(3, phase=1)
+        assert clock.pattern(7) == [False, True, False, False, True, False, False]
+        assert "@ 1" in clock.expression()
+
+    def test_every_one_returns_base_clock(self):
+        assert every(1) is BASE_CLOCK
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ClockError):
+            PeriodicClock(0)
+        with pytest.raises(ClockError):
+            PeriodicClock(4, phase=4)
+
+    def test_equality_by_expression(self):
+        assert every(4) == PeriodicClock(4)
+        assert every(4) != every(5)
+        assert len({every(4), PeriodicClock(4)}) == 1
+
+
+class TestEventAndSampledClocks:
+    def test_event_clock_pattern(self):
+        clock = EventClock([1, 4, 4, 7])
+        assert clock.pattern(6) == [False, True, False, False, True, False]
+        assert not clock.is_periodic()
+
+    def test_event_clock_rejects_negative_ticks(self):
+        with pytest.raises(ClockError):
+            EventClock([-1])
+
+    def test_sampled_clock(self):
+        clock = SampledClock(every(2), lambda tick: tick >= 4, "late")
+        assert clock.pattern(8) == [False, False, False, False, True, False,
+                                    True, False]
+        assert "when" in clock.expression()
+
+
+class TestClockRelations:
+    def test_subclock_periodic(self):
+        assert is_subclock(every(4), every(2))
+        assert not is_subclock(every(2), every(4))
+        assert is_subclock(every(2), BASE_CLOCK)
+
+    def test_subclock_with_phase(self):
+        assert is_subclock(PeriodicClock(4, phase=1), PeriodicClock(2, phase=1))
+        assert not is_subclock(PeriodicClock(4, phase=1), PeriodicClock(2, phase=0))
+
+    def test_subclock_aperiodic_uses_horizon(self):
+        events = EventClock([0, 2, 4])
+        assert is_subclock(events, every(2), horizon=10)
+        assert not is_subclock(EventClock([1]), every(2), horizon=10)
+
+    def test_synchronous(self):
+        assert are_synchronous(every(3), PeriodicClock(3))
+        assert not are_synchronous(every(3), PeriodicClock(3, phase=1))
+        assert are_synchronous(EventClock([0, 2]), EventClock([0, 2]))
+
+    def test_rate_ratio(self):
+        assert rate_ratio(every(2), every(10)) == 5
+        with pytest.raises(ClockError):
+            rate_ratio(every(4), every(10))
+        with pytest.raises(ClockError):
+            rate_ratio(EventClock([1]), every(2))
+
+    def test_slower_than(self):
+        assert slower_than(every(10), every(2))
+        assert not slower_than(every(2), every(10))
+        with pytest.raises(ClockError):
+            slower_than(EventClock([0]), every(2))
+
+    def test_relate(self):
+        relation = relate(every(10), every(2))
+        assert relation.slower == every(10)
+        assert relation.faster == every(2)
+        assert relation.ratio == 5
+        assert "5x slower" in relation.describe()
+
+    def test_hyperperiod(self):
+        assert hyperperiod([every(2), every(3), every(4)]) == 12
+        assert hyperperiod([]) == 1
+        with pytest.raises(ClockError):
+            hyperperiod([EventClock([0])])
+
+    def test_merge_patterns(self):
+        merged = merge_patterns([[True, False, False], [False, True]])
+        assert merged == [True, True, False]
+        assert merge_patterns([]) == []

@@ -1,0 +1,288 @@
+"""Tests for ports, channels and the component metamodel."""
+
+import pytest
+
+from repro.core.channels import ChannelEnd, connect
+from repro.core.clocks import every
+from repro.core.components import (Component, CompositeComponent,
+                                   ExpressionComponent, FunctionComponent,
+                                   StatefulComponent)
+from repro.core.errors import (CausalityError, ModelError, NameConflictError,
+                               SimulationError, UnknownElementError)
+from repro.core.ports import PortDirection, input_port, output_port
+from repro.core.types import BOOL, FLOAT, INT
+from repro.core.values import ABSENT, is_present
+
+
+class TestPorts:
+    def test_port_construction_and_direction(self):
+        port = input_port("n", INT, every(2), "engine speed")
+        assert port.is_input() and not port.is_output()
+        assert port.clock == every(2)
+        assert port.is_statically_typed()
+
+    def test_dynamic_port_is_not_statically_typed(self):
+        assert not input_port("x").is_statically_typed()
+
+    def test_invalid_port_name(self):
+        with pytest.raises(ModelError):
+            input_port("bad name")
+
+    def test_qualified_name(self):
+        component = Component("Ctrl")
+        port = component.add_input("n", INT)
+        assert port.qualified_name == "Ctrl.n"
+        assert port.owner is component
+
+    def test_accepts_checks_type(self):
+        port = output_port("flag", BOOL)
+        assert port.accepts(True)
+        assert not port.accepts(3)
+
+    def test_retype_and_reclock(self):
+        port = input_port("x")
+        port.retype(FLOAT)
+        port.reclock(every(4))
+        assert port.port_type == FLOAT
+        assert port.clock == every(4)
+
+
+class TestChannels:
+    def test_connect_builds_endpoints(self):
+        channel = connect("A", "out", "B", "in1", delayed=True)
+        assert channel.source == ChannelEnd("A", "out")
+        assert channel.destination == ChannelEnd("B", "in1")
+        assert channel.delayed
+        assert "delayed" in channel.describe()
+
+    def test_boundary_endpoint(self):
+        channel = connect(None, "in", "A", "x")
+        assert channel.source.is_boundary()
+        assert not channel.destination.is_boundary()
+
+    def test_self_connection_rejected(self):
+        with pytest.raises(ModelError):
+            connect("A", "p", "A", "p")
+
+    def test_auto_naming_unique(self):
+        first = connect("A", "o", "B", "i")
+        second = connect("A", "o", "C", "i")
+        assert first.name != second.name
+
+
+class TestComponentInterface:
+    def test_port_management(self):
+        component = Component("C")
+        component.add_input("a")
+        component.add_output("b")
+        assert component.input_names() == ["a"]
+        assert component.output_names() == ["b"]
+        assert component.has_port("a")
+        with pytest.raises(UnknownElementError):
+            component.port("missing")
+
+    def test_duplicate_port_rejected(self):
+        component = Component("C")
+        component.add_input("a")
+        with pytest.raises(NameConflictError):
+            component.add_output("a")
+
+    def test_invalid_component_name(self):
+        with pytest.raises(ModelError):
+            Component("")
+        with pytest.raises(ModelError):
+            Component("bad name")
+
+    def test_annotations_chain(self):
+        component = Component("C").annotate("role", "actuator")
+        assert component.annotations["role"] == "actuator"
+
+    def test_structure_only_component_has_no_behavior(self):
+        component = Component("C")
+        assert not component.has_behavior()
+        with pytest.raises(NotImplementedError):
+            component.react({}, None, 0)
+
+
+class TestExpressionComponent:
+    def test_reacts_with_expression(self):
+        block = ExpressionComponent("ADD", {"out": "a + b"})
+        block.declare_interface_from_expressions()
+        outputs, _ = block.react({"a": 2, "b": 5}, None, 0)
+        assert outputs == {"out": 7}
+
+    def test_interface_derived_from_expressions(self):
+        block = ExpressionComponent("F", {"y": "x * k", "z": "x - 1"})
+        block.declare_interface_from_expressions()
+        assert sorted(block.input_names()) == ["k", "x"]
+        assert sorted(block.output_names()) == ["y", "z"]
+
+    def test_instantaneous_dependencies_follow_variables(self):
+        block = ExpressionComponent("F", {"y": "a + 1", "z": "b"})
+        block.declare_interface_from_expressions()
+        deps = block.instantaneous_dependencies()
+        assert deps["y"] == {"a"}
+        assert deps["z"] == {"b"}
+
+    def test_invalid_expression_type(self):
+        with pytest.raises(ModelError):
+            ExpressionComponent("F", {"y": 42})
+
+
+class TestFunctionAndStatefulComponents:
+    def test_function_component(self):
+        double = FunctionComponent("Double",
+                                   lambda env: {"out": env["in1"] * 2},
+                                   inputs=["in1"], outputs=["out"])
+        outputs, _ = double.react({"in1": 4}, None, 0)
+        assert outputs == {"out": 8}
+
+    def test_function_component_missing_output_becomes_absent(self):
+        partial = FunctionComponent("P", lambda env: {}, inputs=["x"],
+                                    outputs=["y"])
+        outputs, _ = partial.react({"x": 1}, None, 0)
+        assert outputs["y"] is ABSENT
+
+    def test_stateful_component_default_breaks_feedthrough(self):
+        class Hold(StatefulComponent):
+            def __init__(self):
+                super().__init__("H")
+                self.add_input("u")
+                self.add_output("y")
+
+            def initial_state(self):
+                return 0
+
+            def step(self, inputs, state, tick):
+                new = inputs["u"] if is_present(inputs["u"]) else state
+                return {"y": state}, new
+
+        hold = Hold()
+        assert hold.instantaneous_dependencies() == {"y": set()}
+
+
+def _build_accumulator():
+    """inc -> ADD -> delay -> back to ADD: the canonical feedback loop."""
+    from repro.notations.blocks import UnitDelay
+
+    top = CompositeComponent("Acc")
+    top.add_input("inc")
+    top.add_output("total")
+    adder = ExpressionComponent("ADD", {"sum": "a + b"})
+    adder.declare_interface_from_expressions()
+    delay = UnitDelay("Z", initial=0)
+    top.add(adder, delay)
+    top.connect("inc", "ADD.a")
+    top.connect("Z.out", "ADD.b")
+    top.connect("ADD.sum", "Z.in1")
+    top.connect("ADD.sum", "total")
+    return top
+
+
+class TestCompositeComponent:
+    def test_subcomponent_management(self):
+        composite = CompositeComponent("C")
+        composite.add_subcomponent(Component("A"))
+        assert composite.has_subcomponent("A")
+        with pytest.raises(NameConflictError):
+            composite.add_subcomponent(Component("A"))
+        with pytest.raises(UnknownElementError):
+            composite.subcomponent("B")
+        with pytest.raises(ModelError):
+            composite.add_subcomponent(composite)
+
+    def test_connect_validates_directions(self):
+        composite = CompositeComponent("C")
+        composite.add_input("x")
+        composite.add_output("y")
+        block = ExpressionComponent("F", {"out": "in1"})
+        block.declare_interface_from_expressions()
+        composite.add_subcomponent(block)
+        composite.connect("x", "F.in1")
+        composite.connect("F.out", "y")
+        with pytest.raises(ModelError):
+            composite.connect("F.in1", "y")  # input used as source
+        with pytest.raises(ModelError):
+            composite.connect("x", "F.out")  # output used as destination
+
+    def test_destination_driven_once(self):
+        composite = CompositeComponent("C")
+        composite.add_input("a")
+        composite.add_input("b")
+        block = ExpressionComponent("F", {"out": "in1"})
+        block.declare_interface_from_expressions()
+        composite.add_subcomponent(block)
+        composite.connect("a", "F.in1")
+        with pytest.raises(ModelError):
+            composite.connect("b", "F.in1")
+
+    def test_feedback_through_delay_is_causal_and_correct(self):
+        accumulator = _build_accumulator()
+        order = accumulator.evaluation_order()
+        assert set(order) == {"ADD", "Z"}
+        state = accumulator.initial_state()
+        totals = []
+        for tick in range(5):
+            outputs, state = accumulator.react({"inc": 1}, state, tick)
+            totals.append(outputs["total"])
+        assert totals == [1, 2, 3, 4, 5]
+
+    def test_instantaneous_loop_detected(self):
+        composite = CompositeComponent("Loop")
+        first = ExpressionComponent("A", {"out": "in1"})
+        first.declare_interface_from_expressions()
+        second = ExpressionComponent("B", {"out": "in1"})
+        second.declare_interface_from_expressions()
+        composite.add(first, second)
+        composite.connect("A.out", "B.in1")
+        composite.connect("B.out", "A.in1")
+        with pytest.raises(CausalityError):
+            composite.evaluation_order()
+
+    def test_delayed_channel_breaks_loop(self):
+        composite = CompositeComponent("Loop")
+        first = ExpressionComponent("A", {"out": "in1 + 1"})
+        first.declare_interface_from_expressions()
+        second = ExpressionComponent("B", {"out": "in1"})
+        second.declare_interface_from_expressions()
+        composite.add(first, second)
+        composite.connect("A.out", "B.in1")
+        composite.connect("B.out", "A.in1", delayed=True, initial_value=0)
+        assert composite.evaluation_order() == ["A", "B"]
+
+    def test_instantaneous_dependencies_through_network(self):
+        accumulator = _build_accumulator()
+        deps = accumulator.instantaneous_dependencies()
+        assert deps == {"total": {"inc"}}
+
+    def test_missing_behavior_raises_simulation_error(self):
+        composite = CompositeComponent("C")
+        composite.add_output("y")
+        empty = Component("E")
+        empty.add_output("out")
+        composite.add_subcomponent(empty)
+        composite.connect("E.out", "y")
+        with pytest.raises(SimulationError):
+            composite.react({}, None, 0)
+
+    def test_walk_and_depth(self):
+        outer = CompositeComponent("Outer")
+        inner = CompositeComponent("Inner")
+        inner.add_subcomponent(Component("Leaf"))
+        outer.add_subcomponent(inner)
+        paths = [path for path, _ in outer.walk()]
+        assert paths == ["Outer", "Outer/Inner", "Outer/Inner/Leaf"]
+        # depth counts nested composite levels: Outer (1) containing Inner (2)
+        assert outer.hierarchy_depth() == 2
+        assert len(outer.flatten_leaves()) == 1
+
+    def test_unconnected_input_reads_absence(self):
+        composite = CompositeComponent("C")
+        composite.add_output("y")
+        probe = FunctionComponent(
+            "Probe", lambda env: {"out": is_present(env["in1"])},
+            inputs=["in1"], outputs=["out"])
+        composite.add_subcomponent(probe)
+        composite.connect("Probe.out", "y")
+        outputs, _ = composite.react({}, None, 0)
+        assert outputs["y"] is False

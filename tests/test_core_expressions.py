@@ -1,0 +1,161 @@
+"""Tests for the base-language AST, parser and evaluator (paper Sec. 3.2)."""
+
+import pytest
+
+from repro.core.errors import (ExpressionEvalError, ExpressionParseError)
+from repro.core.expr_eval import ExpressionEvaluator, evaluate
+from repro.core.expr_parser import parse_expression
+from repro.core.expressions import (BinaryOp, Call, Conditional, Literal,
+                                    Present, UnaryOp, Variable,
+                                    conditional_count, depth, operator_count,
+                                    walk)
+from repro.core.values import ABSENT, is_absent
+
+
+class TestParser:
+    def test_fig5_add_expression(self):
+        expression = parse_expression("ch1 + ch2 + ch3")
+        assert expression.variables() == frozenset({"ch1", "ch2", "ch3"})
+        assert evaluate(expression, {"ch1": 1, "ch2": 2, "ch3": 3}) == 6
+
+    def test_precedence_multiplication_before_addition(self):
+        assert evaluate("2 + 3 * 4", {}) == 14
+        assert evaluate("(2 + 3) * 4", {}) == 20
+
+    def test_unary_minus(self):
+        assert evaluate("-x + 1", {"x": 5}) == -4
+
+    def test_comparisons(self):
+        assert evaluate("n >= 400", {"n": 400}) is True
+        assert evaluate("n < 400", {"n": 400}) is False
+        assert evaluate("a != b", {"a": 1, "b": 2}) is True
+        assert evaluate("a = b", {"a": 3, "b": 3}) is True  # '=' alias
+
+    def test_boolean_operators_and_not(self):
+        assert evaluate("a and not b", {"a": True, "b": False}) is True
+        assert evaluate("a or b", {"a": False, "b": False}) is False
+
+    def test_conditional_expression(self):
+        expression = parse_expression("if x > 0 then x else 0 - x")
+        assert evaluate(expression, {"x": -5}) == 5
+        assert evaluate(expression, {"x": 5}) == 5
+
+    def test_nested_conditionals(self):
+        expression = parse_expression(
+            "if a then 1 else if b then 2 else 3")
+        assert evaluate(expression, {"a": False, "b": True}) == 2
+        assert conditional_count(expression) == 2
+
+    def test_function_call(self):
+        assert evaluate("limit(x, 0, 10)", {"x": 22}) == 10
+        assert evaluate("max(a, b, 3)", {"a": 1, "b": 2}) == 3
+
+    def test_present_construct(self):
+        expression = parse_expression("present(ch)")
+        assert isinstance(expression, Present)
+        assert evaluate(expression, {"ch": 5}) is True
+        assert evaluate(expression, {"ch": ABSENT}) is False
+        assert evaluate(expression, {}) is False
+
+    def test_string_literal(self):
+        assert evaluate("mode == 'crash'", {"mode": "crash"}) is True
+
+    def test_float_and_bool_literals(self):
+        assert evaluate("1.5 * 2", {}) == 3.0
+        assert evaluate("true and false", {}) is False
+
+    def test_roundtrip_to_source(self):
+        source = "if a > 1 then limit(a, 0, 5) else -(b)"
+        expression = parse_expression(source)
+        reparsed = parse_expression(expression.to_source())
+        assert expression == reparsed
+
+    @pytest.mark.parametrize("bad", ["", "1 +", "foo(", "a ? b", "(a", "x 3",
+                                     "if a then b", "present(1)"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ExpressionParseError):
+            parse_expression(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ExpressionParseError):
+            parse_expression(None)
+
+
+class TestEvaluator:
+    def test_absence_propagates_through_arithmetic(self):
+        assert is_absent(evaluate("a + 1", {"a": ABSENT}))
+        assert is_absent(evaluate("-a", {"a": ABSENT}))
+        assert is_absent(evaluate("limit(a, 0, 1)", {"a": ABSENT}))
+
+    def test_absence_in_condition_makes_result_absent(self):
+        assert is_absent(evaluate("if c then 1 else 2", {"c": ABSENT}))
+
+    def test_short_circuit_and(self):
+        # the right operand is absent but irrelevant
+        assert evaluate("a and b", {"a": False, "b": ABSENT}) is False
+        assert is_absent(evaluate("a and b", {"a": True, "b": ABSENT}))
+
+    def test_short_circuit_or(self):
+        assert evaluate("a or b", {"a": True, "b": ABSENT}) is True
+        assert is_absent(evaluate("a or b", {"a": False, "b": ABSENT}))
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ExpressionEvalError):
+            evaluate("missing + 1", {})
+
+    def test_division(self):
+        assert evaluate("a / b", {"a": 7, "b": 2}) == 3.5
+        assert evaluate("a / b", {"a": 8, "b": 2}) == 4
+        with pytest.raises(ExpressionEvalError):
+            evaluate("a / b", {"a": 1, "b": 0})
+
+    def test_modulo(self):
+        assert evaluate("a % 3", {"a": 7}) == 1
+
+    def test_type_error_reported(self):
+        with pytest.raises(ExpressionEvalError):
+            evaluate("a + b", {"a": 1, "b": "text"})
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionEvalError):
+            evaluate("nosuch(1)", {})
+
+    def test_custom_function_registration(self):
+        evaluator = ExpressionEvaluator({"double": lambda value: value * 2})
+        assert evaluator.evaluate(parse_expression("double(x)"), {"x": 4}) == 8
+
+    def test_builtin_functions(self):
+        assert evaluate("abs(0 - 4)", {}) == 4
+        assert evaluate("sign(0 - 3)", {}) == -1
+        assert evaluate("sqrt(16)", {}) == 4.0
+        assert evaluate("floor(2.7)", {}) == 2
+        assert evaluate("interpolate(5, 0, 0, 10, 100)", {}) == 50.0
+
+
+class TestAstHelpers:
+    def test_walk_and_depth(self):
+        expression = parse_expression("a + b * c")
+        nodes = walk(expression)
+        assert len(nodes) == 5
+        assert depth(expression) == 3
+        assert depth(Literal(1)) == 1
+
+    def test_operator_count(self):
+        assert operator_count(parse_expression("a + b + c")) == 2
+        assert operator_count(parse_expression("limit(a, 0, 1)")) == 1
+        assert operator_count(Variable("x")) == 0
+
+    def test_expression_equality(self):
+        assert parse_expression("a + b") == parse_expression("a + b")
+        assert parse_expression("a + b") != parse_expression("b + a")
+
+    def test_literal_to_source(self):
+        assert Literal(True).to_source() == "true"
+        assert Literal("lock").to_source() == "'lock'"
+        assert Literal(3).to_source() == "3"
+
+    def test_call_and_unary_to_source(self):
+        call = Call("max", (Variable("a"), Literal(2)))
+        assert call.to_source() == "max(a, 2)"
+        negation = UnaryOp("not", Variable("b"))
+        assert "not" in negation.to_source()

@@ -1,0 +1,253 @@
+"""Tests for the abstract and implementation type systems."""
+
+import pytest
+
+from repro.core.errors import QuantizationError, TypeCheckError, TypeMappingError
+from repro.core.impl_types import (BOOL8, INT8, INT16, INT32, UINT8,
+                                   FixedPointType, ImplEnumType,
+                                   ImplementationMapping, MachineIntType,
+                                   choose_implementation_type)
+from repro.core.types import (ANY, BOOL, FLOAT, INT, EnumType, FloatType,
+                              IntType, StructType, TypeEnvironment,
+                              check_value, infer_type, is_assignable, unify)
+from repro.core.values import ABSENT
+
+
+class TestAbstractTypes:
+    def test_bool_membership(self):
+        assert BOOL.contains(True)
+        assert not BOOL.contains(1)
+
+    def test_int_membership_excludes_bool(self):
+        assert INT.contains(5)
+        assert not INT.contains(True)
+        assert not INT.contains(2.5)
+
+    def test_ranged_int(self):
+        speed = IntType(0, 8000)
+        assert speed.contains(0) and speed.contains(8000)
+        assert not speed.contains(-1) and not speed.contains(8001)
+        assert speed.name == "int[0..8000]"
+
+    def test_float_membership(self):
+        voltage = FloatType(0.0, 48.0)
+        assert voltage.contains(12.0)
+        assert voltage.contains(12)
+        assert not voltage.contains(50.0)
+        assert not voltage.contains(float("nan"))
+
+    def test_enum(self):
+        status = EnumType("LockStatus", ["unlocked", "locked"])
+        assert status.contains("locked")
+        assert not status.contains("open")
+        assert status.ordinal("locked") == 1
+        with pytest.raises(TypeCheckError):
+            status.ordinal("open")
+
+    def test_enum_requires_unique_literals(self):
+        with pytest.raises(TypeCheckError):
+            EnumType("Bad", ["a", "a"])
+        with pytest.raises(TypeCheckError):
+            EnumType("Empty", [])
+
+    def test_struct(self):
+        frame = StructType("Frame", [("id", INT), ("value", FLOAT)])
+        assert frame.contains({"id": 1, "value": 2.0})
+        assert not frame.contains({"id": 1})
+        assert frame.field_type("value") == FLOAT
+        with pytest.raises(TypeCheckError):
+            frame.field_type("missing")
+
+    def test_defaults(self):
+        assert BOOL.default() is False
+        assert IntType(5, 10).default() == 5
+        assert FloatType(-10.0, -1.0).default() == -1.0
+        assert EnumType("E", ["a", "b"]).default() == "a"
+
+    def test_type_equality_and_hash(self):
+        assert IntType(0, 10) == IntType(0, 10)
+        assert IntType(0, 10) != IntType(0, 11)
+        assert len({IntType(0, 10), IntType(0, 10)}) == 1
+
+
+class TestAssignability:
+    def test_anything_into_any(self):
+        assert is_assignable(INT, ANY)
+        assert is_assignable(EnumType("E", ["x"]), ANY)
+
+    def test_int_into_float(self):
+        assert is_assignable(IntType(0, 10), FloatType(0.0, 100.0))
+        assert not is_assignable(IntType(-5, 10), FloatType(0.0, 100.0))
+
+    def test_narrow_into_wide_int(self):
+        assert is_assignable(IntType(0, 10), IntType(0, 100))
+        assert not is_assignable(IntType(0, 200), IntType(0, 100))
+
+    def test_unbounded_int_only_into_unbounded(self):
+        assert is_assignable(INT, INT)
+        assert not is_assignable(INT, IntType(0, 10))
+
+    def test_enum_only_into_same_enum(self):
+        first = EnumType("A", ["x", "y"])
+        second = EnumType("B", ["x", "y"])
+        assert is_assignable(first, first)
+        assert not is_assignable(first, second)
+        assert not is_assignable(first, INT)
+
+    def test_bool_not_into_int(self):
+        assert not is_assignable(BOOL, INT)
+
+
+class TestUnify:
+    def test_unify_identical(self):
+        assert unify(BOOL, BOOL) == BOOL
+
+    def test_unify_with_any(self):
+        assert unify(ANY, INT) == INT
+        assert unify(FLOAT, ANY) == FLOAT
+
+    def test_unify_int_float_gives_float(self):
+        merged = unify(IntType(0, 10), FloatType(5.0, 20.0))
+        assert isinstance(merged, FloatType)
+        assert merged.low == 0 and merged.high == 20.0
+
+    def test_unify_incompatible_raises(self):
+        with pytest.raises(TypeCheckError):
+            unify(BOOL, INT)
+
+
+class TestCheckAndInfer:
+    def test_check_value_allows_absence(self):
+        check_value(ABSENT, IntType(0, 1))
+
+    def test_check_value_rejects_wrong_type(self):
+        with pytest.raises(TypeCheckError):
+            check_value("text", INT, context="port x")
+
+    def test_infer_type(self):
+        assert infer_type(True) == BOOL
+        assert infer_type(3) == IntType(3, 3)
+        assert isinstance(infer_type(2.5), FloatType)
+        assert infer_type(ABSENT) == ANY
+
+    def test_type_environment(self):
+        env = TypeEnvironment()
+        lock = env.define_enum("LockStatus", ["locked", "unlocked"])
+        assert env.lookup("LockStatus") is lock
+        with pytest.raises(TypeCheckError):
+            env.define("LockStatus", BOOL)
+        with pytest.raises(TypeCheckError):
+            env.lookup("Missing")
+        assert env.names() == ["LockStatus"]
+
+
+class TestMachineIntegers:
+    def test_ranges(self):
+        assert INT8.min_value == -128 and INT8.max_value == 127
+        assert INT16.max_value == 32767
+        assert UINT8.min_value == 0 and UINT8.max_value == 255
+
+    def test_membership(self):
+        assert INT8.contains(-128)
+        assert not INT8.contains(128)
+        assert not INT8.contains(True)
+
+    def test_saturate(self):
+        assert INT8.saturate(300) == 127
+        assert INT8.saturate(-300) == -128
+
+    def test_invalid_width(self):
+        with pytest.raises(TypeMappingError):
+            MachineIntType(12)
+
+    def test_storage_bytes(self):
+        assert INT16.storage_bytes() == 2
+        assert INT32.storage_bytes() == 4
+        assert BOOL8.storage_bytes() == 1
+
+
+class TestFixedPoint:
+    def test_encode_decode_roundtrip(self):
+        encoding = FixedPointType(16, scale=0.1)
+        raw = encoding.encode(123.4)
+        assert abs(encoding.decode(raw) - 123.4) <= encoding.resolution / 2
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        encoding = FixedPointType(16, scale=0.25)
+        for value in (0.0, 1.1, 100.37, -55.55):
+            assert encoding.quantization_error(value) <= 0.125 + 1e-12
+
+    def test_saturation_and_strict_mode(self):
+        encoding = FixedPointType(8, scale=1.0)
+        assert encoding.encode(1000) == 127
+        with pytest.raises(QuantizationError):
+            encoding.encode(1000, saturate=False)
+
+    def test_nan_rejected(self):
+        with pytest.raises(QuantizationError):
+            FixedPointType(16, 0.1).encode(float("nan"))
+
+    def test_offset_encoding(self):
+        encoding = FixedPointType(8, scale=0.5, offset=-40.0, signed=False)
+        assert encoding.decode(encoding.encode(-40.0)) == pytest.approx(-40.0)
+        assert encoding.min_physical == pytest.approx(-40.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(TypeMappingError):
+            FixedPointType(16, scale=0.0)
+
+
+class TestImplEnum:
+    def test_width_follows_literal_count(self):
+        small = ImplEnumType(EnumType("S", ["a", "b", "c"]))
+        assert small.bits == 8
+        wide = ImplEnumType(EnumType("W", [f"l{i}" for i in range(300)]))
+        assert wide.bits == 16
+
+    def test_encode_decode(self):
+        impl = ImplEnumType(EnumType("E", ["x", "y", "z"]))
+        assert impl.decode(impl.encode("y")) == "y"
+        with pytest.raises(QuantizationError):
+            impl.decode(9)
+
+
+class TestImplementationChoice:
+    def test_bool_maps_to_bool8(self):
+        assert choose_implementation_type(BOOL) is BOOL8
+
+    def test_bounded_int_maps_to_smallest_width(self):
+        assert choose_implementation_type(IntType(0, 100)).bits == 8
+        assert choose_implementation_type(IntType(0, 30000)).bits == 16
+        assert choose_implementation_type(IntType(0, 100000)).bits == 32
+
+    def test_unbounded_int_maps_to_int32(self):
+        assert choose_implementation_type(INT).bits == 32
+
+    def test_float_needs_range(self):
+        with pytest.raises(TypeMappingError):
+            choose_implementation_type(FLOAT)
+        impl = choose_implementation_type(FloatType(0.0, 8000.0))
+        assert isinstance(impl, FixedPointType)
+        assert impl.max_physical >= 8000.0
+
+    def test_float_with_explicit_resolution(self):
+        impl = choose_implementation_type(FloatType(0.0, 100.0), resolution=0.01)
+        assert isinstance(impl, FixedPointType)
+        assert impl.resolution == pytest.approx(0.01)
+
+
+class TestImplementationMapping:
+    def test_assign_and_lookup(self):
+        mapping = ImplementationMapping()
+        mapping.assign_default("n", FloatType(0.0, 8000.0))
+        mapping.assign("flag", BOOL, BOOL8, "manual")
+        assert "n" in mapping and "flag" in mapping
+        assert len(mapping) == 2
+        assert mapping.lookup("flag").implementation_type is BOOL8
+        assert mapping.signals() == ["flag", "n"]
+        assert mapping.total_payload_bytes() >= 3
+        assert "flag" in mapping.report()
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(TypeMappingError):
+            ImplementationMapping().lookup("missing")

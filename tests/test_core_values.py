@@ -1,0 +1,160 @@
+"""Tests for the operational model's values and streams (paper Sec. 2)."""
+
+import copy
+
+import pytest
+
+from repro.core.values import (ABSENT, Stream, every, is_absent, is_present,
+                               present_or)
+
+
+class TestAbsence:
+    def test_absent_is_singleton(self):
+        assert type(ABSENT)() is ABSENT
+
+    def test_absent_repr_is_dash(self):
+        assert repr(ABSENT) == "-"
+
+    def test_absent_is_falsy(self):
+        assert not ABSENT
+
+    def test_presence_predicates(self):
+        assert is_absent(ABSENT)
+        assert not is_present(ABSENT)
+        assert is_present(0)
+        assert is_present(False)
+        assert is_present("")
+
+    def test_present_or(self):
+        assert present_or(ABSENT, 7) == 7
+        assert present_or(3, 7) == 3
+
+    def test_deepcopy_preserves_identity(self):
+        assert copy.deepcopy(ABSENT) is ABSENT
+        assert copy.copy(ABSENT) is ABSENT
+
+
+class TestStreamConstruction:
+    def test_present_stream(self):
+        stream = Stream.present([1, 2, 3])
+        assert stream.values() == [1, 2, 3]
+        assert stream.presence_count() == 3
+
+    def test_absent_stream(self):
+        stream = Stream.absent(4)
+        assert len(stream) == 4
+        assert stream.presence_count() == 0
+
+    def test_periodic_stream_spacing(self):
+        stream = Stream.periodic([10, 20, 30], period=3)
+        assert stream.values() == [10, ABSENT, ABSENT, 20, ABSENT, ABSENT, 30,
+                                   ABSENT, ABSENT]
+
+    def test_periodic_with_phase_and_length(self):
+        stream = Stream.periodic([1, 2], period=2, phase=1, length=6)
+        assert stream.values() == [ABSENT, 1, ABSENT, 2, ABSENT, ABSENT]
+
+    def test_periodic_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            Stream.periodic([1], period=0)
+
+    def test_equality_with_list(self):
+        assert Stream([1, ABSENT, 2]) == [1, ABSENT, 2]
+        assert Stream([1]) != Stream([2])
+
+    def test_streams_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Stream([1]))
+
+
+class TestStreamObservation:
+    def test_indexing_and_slicing(self):
+        stream = Stream([1, ABSENT, 3, 4])
+        assert stream[0] == 1
+        assert is_absent(stream[1])
+        sliced = stream[1:3]
+        assert isinstance(sliced, Stream)
+        assert sliced.values() == [ABSENT, 3]
+
+    def test_present_values_filters_absence(self):
+        stream = Stream([ABSENT, 5, ABSENT, 6])
+        assert stream.present_values() == [5, 6]
+
+    def test_presence_pattern(self):
+        stream = Stream([1, ABSENT, 2])
+        assert stream.presence_pattern() == [True, False, True]
+
+    def test_last_present(self):
+        assert Stream([1, ABSENT, 7, ABSENT]).last_present() == 7
+        assert Stream.absent(3).last_present(default="none") == "none"
+
+    def test_append_and_extend(self):
+        stream = Stream()
+        stream.append(1)
+        stream.extend([ABSENT, 2])
+        assert stream.values() == [1, ABSENT, 2]
+
+
+class TestStreamOperators:
+    def test_delayed_shifts_by_one(self):
+        stream = Stream([1, 2, 3])
+        assert stream.delayed(initial=0).values() == [0, 1, 2]
+
+    def test_delayed_by_n(self):
+        stream = Stream([1, 2, 3, 4])
+        assert stream.delayed(initial=ABSENT, amount=2).values() == [ABSENT, ABSENT, 1, 2]
+
+    def test_delayed_zero_is_identity(self):
+        stream = Stream([1, 2])
+        assert stream.delayed(amount=0).values() == [1, 2]
+
+    def test_delayed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Stream([1]).delayed(amount=-1)
+
+    def test_when_keeps_only_clocked_ticks(self):
+        stream = Stream([0, 1, 2, 3, 4, 5])
+        sampled = stream.when(every(2, 6))
+        assert sampled.values() == [0, ABSENT, 2, ABSENT, 4, ABSENT]
+
+    def test_when_beyond_pattern_is_absent(self):
+        stream = Stream([1, 2, 3])
+        assert stream.when([True]).values() == [1, ABSENT, ABSENT]
+
+    def test_hold_fills_absences(self):
+        stream = Stream([1, ABSENT, ABSENT, 4])
+        assert stream.hold(initial=0).values() == [1, 1, 1, 4]
+
+    def test_map_preserves_absence(self):
+        stream = Stream([1, ABSENT, 3])
+        doubled = stream.map(lambda value: value * 2)
+        assert doubled.values() == [2, ABSENT, 6]
+
+    def test_zip_with_strict_presence(self):
+        left = Stream([1, ABSENT, 3])
+        right = Stream([10, 20, 30])
+        combined = left.zip_with(right, lambda a, b: a + b)
+        assert combined.values() == [11, ABSENT, 33]
+
+    def test_zip_with_unequal_lengths(self):
+        left = Stream([1, 2, 3])
+        right = Stream([10])
+        combined = left.zip_with(right, lambda a, b: a + b)
+        assert combined.values() == [11, ABSENT, ABSENT]
+
+
+class TestEveryMacro:
+    def test_every_one_is_base_clock(self):
+        assert every(1, 4) == [True, True, True, True]
+
+    def test_every_two_pattern(self):
+        assert every(2, 5) == [True, False, True, False, True]
+
+    def test_every_with_phase(self):
+        assert every(3, 6, phase=1) == [False, True, False, False, True, False]
+
+    def test_every_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            every(0, 5)
+        with pytest.raises(ValueError):
+            every(2, -1)

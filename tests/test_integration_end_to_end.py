@@ -1,0 +1,121 @@
+"""End-to-end integration test: the full AutoMoDe design flow of the paper.
+
+ASCET model --(white-box reengineering)--> FDA --(dissolve + clustering)-->
+LA/CCD --(well-definedness + repair)--> deployment to a TA --(OA generation)
+--> generated per-ECU projects, with the audit trail recorded in one
+coherent AutoModeModel.
+"""
+
+import pytest
+
+from repro.analysis.metrics import measure_component
+from repro.analysis.mode_analysis import build_global_mode_system
+from repro.analysis.well_definedness import (check_well_definedness,
+                                             missing_delays,
+                                             repair_rate_transitions)
+from repro.casestudy import (ENGINE_MODE_NAMES, build_engine_ascet_project,
+                             compare_behaviour, driving_scenario)
+from repro.core.model import AbstractionLevel, AutoModeModel
+from repro.levels.fda import FunctionalDesignArchitecture
+from repro.levels.la import LogicalArchitecture
+from repro.levels.oa import OperationalArchitecture
+from repro.levels.ta import TechnicalArchitectureLevel
+from repro.transformations.base import TransformationPipeline
+from repro.transformations.deployment import ClusterDeployment, deploy
+from repro.transformations.dissolve import DissolveToCcd
+from repro.transformations.reengineering import WhiteBoxReengineering
+
+
+def test_full_design_flow_from_ascet_to_generated_projects():
+    model = AutoModeModel("GasolineEngineControl",
+                          "end-to-end reproduction of the paper's flow")
+    project = build_engine_ascet_project()
+
+    # 1. white-box reengineering: implementation level -> FDA
+    reengineering = WhiteBoxReengineering()
+    fda_result = reengineering.apply_and_record(project, model,
+                                                mode_names=ENGINE_MODE_NAMES)
+    fda_ssd = fda_result.output
+    fda = FunctionalDesignArchitecture("EngineFDA", fda_ssd)
+    model.set_level(AbstractionLevel.FDA, fda)
+    assert fda.validate().is_valid()
+    assert fda.mode_summary()["explicit_modes"] == 8
+
+    # behavioural preservation of the reengineering (case-study claim)
+    assert max(compare_behaviour(driving_scenario(120)).values()) == 0.0
+
+    # 2. refinement: dissolve the FDA SSD into a flat CCD with explicit rates
+    dissolve = DissolveToCcd()
+    la_result = dissolve.apply_and_record(
+        fda_ssd, model,
+        rates={"IgnitionTiming": 2, "IdleSpeedControl": 10})
+    ccd = la_result.output
+    la = LogicalArchitecture("EngineLA", ccd)
+    model.set_level(AbstractionLevel.LA, la)
+    assert len(la.clusters()) == 6
+
+    # 3. well-definedness for the OSEK target, repairing missing delays
+    if missing_delays(ccd):
+        repair_rate_transitions(ccd)
+    assert check_well_definedness(ccd).is_valid()
+
+    # 4. deployment: clusters -> two ECUs, tasks, CAN frames
+    deployment_step = ClusterDeployment()
+    ta_result = deployment_step.apply_and_record(
+        ccd, model, ecu_names=["ECU_Powertrain", "ECU_Aux"])
+    deployment = ta_result.output
+    ta = TechnicalArchitectureLevel("EngineTA", deployment)
+    model.set_level(AbstractionLevel.TA, ta)
+    assert ta.is_schedulable()
+    assert set(deployment.ecu_of_cluster.values()) <= {"ECU_Powertrain",
+                                                       "ECU_Aux"}
+
+    # 5. OA generation: one ASCET-style project per ECU
+    oa = OperationalArchitecture("EngineOA", ccd, deployment)
+    model.set_level(AbstractionLevel.OA, oa)
+    projects = oa.generate()
+    assert set(projects) == {"ECU_Powertrain", "ECU_Aux"}
+    assert oa.validate().is_valid()
+    for ecu_name, generated in projects.items():
+        assert "os/osek_config.oil" in generated.files
+        cluster_names = deployment.architecture.ecu(ecu_name).cluster_names()
+        for cluster_name in cluster_names:
+            assert f"modules/{cluster_name}.c" in generated.files
+
+    # 6. the coherent model records the whole derivation
+    assert [record.kind for record in model.history] == [
+        "reengineering", "refinement", "refinement"]
+    assert model.defined_levels() == [AbstractionLevel.FDA,
+                                      AbstractionLevel.LA,
+                                      AbstractionLevel.TA,
+                                      AbstractionLevel.OA]
+    description = model.describe()
+    assert "white-box-reengineering" in description
+
+    # 7. the global mode transition system of the FDA is non-trivial
+    system = build_global_mode_system(fda_ssd, scenario_limit=256)
+    assert system.mode_count() >= 2
+
+    # 8. case-study metrics: modes became explicit, If-Then-Else disappeared
+    metrics = measure_component(fda_ssd)
+    assert metrics.mtd_count == 4
+    assert metrics.if_then_else_operators == 0
+    assert build_engine_ascet_project().total_if_then_else() == 4
+
+
+def test_pipeline_variant_of_the_flow():
+    """The same FDA->LA->TA derivation expressed as a TransformationPipeline."""
+    project = build_engine_ascet_project()
+    fda_ssd = WhiteBoxReengineering().apply(
+        project, mode_names=ENGINE_MODE_NAMES).output
+
+    pipeline = TransformationPipeline("fda-to-ta")
+    pipeline.add_step(DissolveToCcd())
+    pipeline.add_step(ClusterDeployment())
+    model = AutoModeModel("PipelineRun")
+    result = pipeline.run(fda_ssd, model,
+                          rates={"IgnitionTiming": 2, "IdleSpeedControl": 10},
+                          ecu_names=["ECU1"])
+    assert result.details["ecus"] == 1
+    assert len(pipeline.results) == 2
+    assert len(model.history) == 2

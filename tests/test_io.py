@@ -1,0 +1,152 @@
+"""Tests for DOT export, text rendering and JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.errors import SerializationError
+from repro.core.types import FloatType
+from repro.io.dot import composite_to_dot, mtd_to_dot, std_to_dot, to_dot
+from repro.io.json_io import (component_to_json, model_from_json,
+                              model_to_json)
+from repro.io.render import (render_ccd, render_interface, render_mtd,
+                             render_std, render_structure, render_table)
+from repro.notations.std import StateTransitionDiagram
+from repro.simulation.engine import simulate
+from repro.simulation.trace import traces_equivalent
+from repro.casestudy import crash_scenario, driving_scenario
+
+
+class TestDotExport:
+    def test_composite_to_dot(self, momentum_controller):
+        dot = composite_to_dot(momentum_controller)
+        assert dot.startswith("digraph")
+        assert '"ADD"' in dot and '"SLEW"' in dot
+        assert "->" in dot and dot.rstrip().endswith("}")
+
+    def test_ccd_to_dot_shows_rates(self, engine_ccd):
+        dot = composite_to_dot(engine_ccd)
+        assert "every(10, true)" in dot
+        assert "style=dashed" not in dot or "delay" not in dot  # no delays yet
+
+    def test_mtd_to_dot(self, engine_modes_mtd):
+        dot = mtd_to_dot(engine_modes_mtd)
+        assert '"Overrun"' in dot
+        assert "__initial" in dot
+        assert dot.count("->") >= len(engine_modes_mtd.transitions())
+
+    def test_std_to_dot(self):
+        std = StateTransitionDiagram("S")
+        std.add_input("x")
+        std.add_output("y")
+        std.add_state("A", initial=True)
+        std.add_state("B")
+        std.add_transition("A", "B", "x > 0", actions={"y": "1"})
+        dot = std_to_dot(std)
+        assert '"A" -> "B"' in dot
+        assert "y:=1" in dot
+
+    def test_to_dot_dispatch(self, engine_modes_mtd, momentum_controller,
+                             door_lock_control):
+        from repro.core.components import Component
+        assert "digraph" in to_dot(engine_modes_mtd)
+        assert "digraph" in to_dot(momentum_controller)
+        assert "digraph" in to_dot(Component("Atom"))
+
+
+class TestTextRendering:
+    def test_render_interface_and_structure(self, momentum_controller):
+        interface = render_interface(momentum_controller)
+        assert "in  ch1" in interface
+        assert "out engine_torque" in interface
+        structure = render_structure(momentum_controller)
+        assert "<<DFD>>" in structure
+        assert "ADD" in structure
+
+    def test_render_mtd_marks_initial_mode(self, engine_modes_mtd):
+        text = render_mtd(engine_modes_mtd)
+        assert "[*] Off" in text
+        assert "-->" in text or "--[" in text
+
+    def test_render_std(self):
+        std = StateTransitionDiagram("S")
+        std.add_state("Init", initial=True)
+        assert "[*] Init" in render_std(std)
+
+    def test_render_ccd_lists_rates_and_transitions(self, engine_ccd):
+        text = render_ccd(engine_ccd)
+        assert "every(20, true)" in text
+        assert "slow-to-fast" in text
+
+    def test_render_table_alignment(self):
+        table = render_table(["metric", "value"],
+                             [["modes", 8], ["transitions", 12]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("metric")
+        assert set(lines[1]) <= {"-", " "}
+
+
+class TestJsonSerialization:
+    def test_roundtrip_momentum_controller(self, momentum_controller):
+        # serialize: structure survives; expression blocks survive with
+        # behaviour, library blocks become opaque structural stubs
+        text = model_to_json(momentum_controller)
+        data = json.loads(text)
+        assert data["name"] == "LongitudinalMomentum"
+        restored = model_from_json(text)
+        assert restored.name == momentum_controller.name
+        assert set(restored.subcomponent_names()) == \
+            set(momentum_controller.subcomponent_names())
+        assert len(restored.channels()) == len(momentum_controller.channels())
+
+    def test_roundtrip_mtd_preserves_behaviour(self, door_lock_control):
+        text = model_to_json(door_lock_control)
+        restored = model_from_json(text)
+        stimuli = crash_scenario(8)
+        original_trace = simulate(door_lock_control, stimuli, ticks=8)
+        restored_trace = simulate(restored, stimuli, ticks=8)
+        assert traces_equivalent(original_trace, restored_trace)
+
+    def test_roundtrip_reengineered_fda(self, reengineered_fda):
+        restored = model_from_json(model_to_json(reengineered_fda))
+        assert set(restored.subcomponent_names()) == \
+            set(reengineered_fda.subcomponent_names())
+        throttle = restored.subcomponent("ThrottleRateOfChange")
+        assert throttle.mode_names() == ["FuelEnabled", "CrankingOverrun"]
+
+    def test_roundtrip_ccd_with_clusters(self, engine_ccd):
+        restored = model_from_json(model_to_json(engine_ccd))
+        assert restored.cluster("Monitoring").period == 20
+        assert len(restored.clusters()) == 4
+        assert len(restored.rate_transitions()) == len(engine_ccd.rate_transitions())
+
+    def test_port_types_and_clocks_roundtrip(self, engine_ccd):
+        restored = model_from_json(model_to_json(engine_ccd))
+        port = restored.cluster("SensorProcessing").port("air_mass")
+        assert isinstance(port.port_type, FloatType)
+        assert port.clock.period == 1
+
+    def test_std_roundtrip(self):
+        std = StateTransitionDiagram("Lock")
+        std.add_input("speed")
+        std.add_output("cmd")
+        std.add_variable("count", 0)
+        std.add_state("U", initial=True, emissions={"cmd": "'none'"})
+        std.add_state("L")
+        std.add_transition("U", "L", "speed > 10",
+                           actions={"cmd": "'lock'", "count": "count + 1"})
+        restored = model_from_json(model_to_json(std))
+        first = simulate(std, {"speed": [5, 20, 20]}, ticks=3)
+        second = simulate(restored, {"speed": [5, 20, 20]}, ticks=3)
+        assert traces_equivalent(first, second)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            model_from_json("{not json")
+
+    def test_opaque_component_serialized_structurally(self):
+        from repro.notations.blocks import PIDController
+        data = component_to_json(PIDController("PID", kp=1.0))
+        assert data["behavior"] == "opaque"
+        assert {port["name"] for port in data["ports"]} == {"error", "out"}

@@ -1,0 +1,190 @@
+"""Tests for the abstraction-level views and the case-study models."""
+
+import pytest
+
+from repro.analysis.metrics import measure_component
+from repro.casestudy import (acceleration_scenario, ascet_reference_outputs,
+                             build_closed_loop, build_door_lock_control,
+                             build_momentum_controller, compare_behaviour,
+                             crash_scenario, driving_scenario, fig1_stimuli,
+                             reengineered_outputs)
+from repro.core.errors import CodeGenError, ModelError
+from repro.core.values import is_absent
+from repro.levels.faa import FunctionalAnalysisArchitecture
+from repro.levels.fda import FunctionalDesignArchitecture
+from repro.levels.la import LogicalArchitecture
+from repro.levels.oa import OperationalArchitecture
+from repro.levels.ta import TechnicalArchitectureLevel
+from repro.notations.ssd import SSDComponent
+from repro.simulation.engine import simulate
+from repro.transformations.deployment import deploy
+
+
+class TestFAALevel:
+    def test_wraps_network_and_classifies_elements(self, door_lock_faa):
+        faa = FunctionalAnalysisArchitecture("DoorLock", door_lock_faa)
+        assert len(faa.vehicle_functions()) == 2
+        assert len(faa.actuators()) == 4
+        assert faa.sensors() == []
+        assert len(faa.functional_dependencies()) == 6
+        assert "DoorLockControl" in faa.describe()
+
+    def test_requires_ssd(self):
+        with pytest.raises(ModelError):
+            FunctionalAnalysisArchitecture("X", object())  # type: ignore[arg-type]
+
+    def test_validation_includes_conflicts(self, door_lock_faa):
+        faa = FunctionalAnalysisArchitecture("DoorLock", door_lock_faa)
+        report = faa.validate()
+        assert report.is_valid()  # conflicts are warnings
+        assert report.by_rule("faa-actuator-conflict")
+
+    def test_conflict_analysis_exposed(self, door_lock_faa):
+        faa = FunctionalAnalysisArchitecture("DoorLock", door_lock_faa)
+        assert faa.conflict_analysis().has_conflicts()
+
+
+class TestFDALevel:
+    def test_case_study_fda_is_behaviorally_complete(self, reengineered_fda):
+        fda = FunctionalDesignArchitecture("Engine", reengineered_fda)
+        fda.add_requirement("reuse", "throttle component shared across lines")
+        assert fda.is_behaviorally_complete()
+        groups = fda.components_by_notation()
+        assert len(groups["MTD"]) == 4
+        assert fda.mode_summary()["explicit_modes"] == 8
+        assert fda.requirements["reuse"]
+        report = fda.validate()
+        assert report.is_valid()
+        assert "software component" in fda.describe()
+
+    def test_incomplete_fda_fails_validation(self):
+        from repro.core.components import Component
+        ssd = SSDComponent("Incomplete")
+        ssd.add_subcomponent(Component("Stub"))
+        fda = FunctionalDesignArchitecture("X", ssd)
+        assert not fda.is_behaviorally_complete()
+        assert not fda.validate().is_valid()
+
+
+class TestLATALevels:
+    def test_la_well_definedness_and_simulation(self, engine_ccd):
+        la = LogicalArchitecture("EngineLA", engine_ccd)
+        assert len(la.clusters()) == 4
+        assert la.cluster_rates()["Monitoring"] == 20
+        assert la.deployable_units() == [c.name for c in engine_ccd.clusters()]
+        assert not la.is_well_defined()
+        assert len(la.missing_rate_transition_delays()) == 1
+        scenario = driving_scenario(40)
+        trace = la.simulate({"n": scenario["n"], "ped": scenario["ped"],
+                             "throttle_angle": scenario["throttle_angle"]},
+                            ticks=40)
+        assert trace.output("ti").presence_count() > 0
+        assert trace.output("idle_correction").presence_count() == 4
+        assert "EngineLA" in la.describe()
+
+    def test_ta_level_schedulability(self, engine_ccd):
+        deployment = deploy(engine_ccd, ["ECU_Engine", "ECU_Body"],
+                            allocation={"SensorProcessing": "ECU_Engine",
+                                        "FuelAndIgnition": "ECU_Engine",
+                                        "IdleSpeed": "ECU_Body",
+                                        "Monitoring": "ECU_Body"})
+        ta = TechnicalArchitectureLevel("EngineTA", deployment)
+        assert set(ta.ecu_names()) == {"ECU_Engine", "ECU_Body"}
+        assert ta.is_schedulable()
+        assert ta.validate().is_valid()
+        schedules = ta.simulate_schedules()
+        assert set(schedules) == {"ECU_Engine", "ECU_Body"}
+        assert all(trace.is_schedulable() for trace in schedules.values())
+        assert ta.task_of_cluster()["FuelAndIgnition"].startswith("ECU_Engine")
+        assert "EngineTA" in ta.describe()
+
+
+class TestOALevel:
+    def test_generation_and_validation(self, engine_ccd, tmp_path):
+        deployment = deploy(engine_ccd, ["ECU_Engine", "ECU_Body"],
+                            allocation={"SensorProcessing": "ECU_Engine",
+                                        "FuelAndIgnition": "ECU_Engine",
+                                        "IdleSpeed": "ECU_Body",
+                                        "Monitoring": "ECU_Body"})
+        oa = OperationalArchitecture("EngineOA", engine_ccd, deployment)
+        projects = oa.generate()
+        assert set(projects) == {"ECU_Engine", "ECU_Body"}
+        assert oa.project("ECU_Engine").total_lines() > 20
+        with pytest.raises(CodeGenError):
+            oa.project("NoSuchEcu")
+        assert oa.validate().is_valid()
+        assert oa.total_generated_lines() > 50
+        assert len(oa.communication_matrix()) >= 1
+        written = oa.write_to(str(tmp_path))
+        assert len(written) == sum(len(p.files) for p in projects.values())
+        assert "generated project" in oa.describe()
+
+
+class TestDoorLockCaseStudy:
+    def test_fig1_trace_reproduces_absence_pattern(self, door_lock_control):
+        trace = simulate(door_lock_control, fig1_stimuli(), ticks=3)
+        voltages = trace.input("FZG_V")
+        assert voltages[0] == 20.0 and voltages[2] == 23.0
+        assert is_absent(voltages[1])
+        table = trace.format_table(["FZG_V"])
+        assert "-" in table
+
+    def test_crash_scenario_unlocks_all_doors(self, door_lock_control):
+        trace = simulate(door_lock_control, crash_scenario(8), ticks=8)
+        modes = trace.output("mode").values()
+        assert "Locked" in modes
+        assert modes[-1] == "CrashUnlocked"
+        final_commands = [trace.output(door).last_present()
+                          for door in ("T1C", "T2C", "T3C", "T4C")]
+        assert final_commands == ["unlock"] * 4
+
+
+class TestMomentumCaseStudy:
+    def test_controller_splits_torque_and_brake(self, momentum_controller):
+        trace = simulate(momentum_controller,
+                         {"ch1": [-2000.0] * 6, "ch2": [0.0] * 6,
+                          "ch3": [0.0] * 6}, ticks=6)
+        assert trace.output("engine_torque").last_present() == 0
+        assert trace.output("brake_momentum").last_present() > 0
+
+    def test_closed_loop_accelerates_towards_setpoint(self):
+        loop = build_closed_loop()
+        trace = simulate(loop, acceleration_scenario(80), ticks=80)
+        speeds = trace.output("speed").present_values()
+        assert speeds[0] == 0.0
+        assert max(speeds) > 10.0
+        # the speed approaches the setpoint region and stays bounded
+        assert all(speed <= 100.0 for speed in speeds)
+
+
+class TestEngineCaseStudy:
+    def test_ascet_project_structure(self, engine_project):
+        assert len(engine_project.module_list()) == 6
+        assert engine_project.total_if_then_else() == 4
+        assert engine_project.total_flags() == 6
+        assert len(engine_project.task_list()) == 3
+
+    def test_driving_scenario_covers_operating_regions(self, engine_scenario):
+        assert len(engine_scenario["n"]) == 120
+        assert max(engine_scenario["n"]) > 4000
+        assert min(engine_scenario["n"]) == 0.0
+        assert max(engine_scenario["ped"]) > 50
+
+    def test_reengineered_model_matches_original(self, engine_scenario):
+        deviations = compare_behaviour(engine_scenario)
+        assert max(deviations.values()) == 0.0
+
+    def test_reference_and_reengineered_outputs_cover_fuel_cut(self,
+                                                               engine_scenario):
+        reference = ascet_reference_outputs(engine_scenario)
+        reengineered = reengineered_outputs(engine_scenario)
+        assert any(value == 0 for value in reference["ti"][60:])  # overrun cut
+        assert reference["ti"] == pytest.approx(reengineered["ti"])
+
+    def test_reengineered_metrics_show_explicit_modes(self, reengineered_fda,
+                                                      engine_project):
+        metrics = measure_component(reengineered_fda)
+        assert metrics.mtd_count == 4
+        assert metrics.explicit_modes == 2 * 4
+        assert metrics.if_then_else_operators == 0
+        assert engine_project.total_if_then_else() == 4

@@ -1,0 +1,195 @@
+"""Tests for the discrete-time block library."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.values import ABSENT, is_absent
+from repro.notations.blocks import (BLOCK_LIBRARY, Add, Constant, Counter,
+                                    EdgeDetector, Every, Gain, Hold,
+                                    Hysteresis, Integrator, Limit,
+                                    LookupTable1D, Multiply, PIDController,
+                                    RateLimiter, Subtract, Switch, UnitDelay,
+                                    When, library_block)
+from repro.simulation.engine import simulate
+
+
+def run_block(block, stimuli, ticks):
+    """Simulate a single block and return its sole output stream values."""
+    trace = simulate(block, stimuli, ticks)
+    output_name = block.output_names()[0]
+    return trace.output(output_name).values()
+
+
+class TestArithmeticBlocks:
+    def test_constant(self):
+        assert run_block(Constant("K", 7), {}, 3) == [7, 7, 7]
+
+    def test_add_sums_present_inputs(self):
+        block = Add("ADD", 3)
+        values = run_block(block, {"in1": [1, 1], "in2": [2, ABSENT],
+                                   "in3": [3, 3]}, 2)
+        assert values == [6, 4]
+
+    def test_add_all_absent_gives_absent(self):
+        block = Add("ADD", 2)
+        values = run_block(block, {}, 2)
+        assert all(is_absent(value) for value in values)
+
+    def test_add_requires_an_input(self):
+        with pytest.raises(ModelError):
+            Add("ADD", 0)
+
+    def test_subtract(self):
+        block = Subtract("SUB")
+        assert run_block(block, {"minuend": [5], "subtrahend": [2]}, 1) == [3]
+        assert is_absent(run_block(block, {"minuend": [5]}, 1)[0])
+
+    def test_multiply(self):
+        block = Multiply("MUL", 2)
+        assert run_block(block, {"in1": [3], "in2": [4]}, 1) == [12]
+        assert is_absent(run_block(block, {"in1": [3]}, 1)[0])
+
+    def test_gain(self):
+        block = Gain("G", 2.5)
+        assert run_block(block, {"in1": [2.0, ABSENT]}, 2) == [5.0, ABSENT]
+
+
+class TestSamplingBlocks:
+    def test_unit_delay(self):
+        block = UnitDelay("Z", initial=9)
+        assert run_block(block, {"in1": [1, 2, 3]}, 3) == [9, 1, 2]
+
+    def test_unit_delay_holds_over_absence(self):
+        block = UnitDelay("Z", initial=0)
+        assert run_block(block, {"in1": [5, ABSENT, ABSENT]}, 3) == [0, 5, 5]
+
+    def test_when_operator(self):
+        block = When("W")
+        values = run_block(block, {"in1": [0, 1, 2, 3],
+                                   "clock": [True, False, True, False]}, 4)
+        assert values == [0, ABSENT, 2, ABSENT]
+
+    def test_every_block_fig2(self):
+        block = Every("EV", 2)
+        assert run_block(block, {}, 5) == [True, False, True, False, True]
+
+    def test_every_with_phase(self):
+        block = Every("EV", 3, phase=1)
+        assert run_block(block, {}, 4) == [False, True, False, False]
+
+    def test_every_rejects_zero(self):
+        with pytest.raises(ModelError):
+            Every("EV", 0)
+
+    def test_hold(self):
+        block = Hold("H", initial=0)
+        assert run_block(block, {"in1": [1, ABSENT, 3, ABSENT]}, 4) == [1, 1, 3, 3]
+
+
+class TestConditioningBlocks:
+    def test_switch(self):
+        block = Switch("SW")
+        values = run_block(block, {"control": [True, False, ABSENT],
+                                   "on_true": [1, 1, 1],
+                                   "on_false": [2, 2, 2]}, 3)
+        assert values == [1, 2, ABSENT]
+
+    def test_limit(self):
+        block = Limit("L", -1.0, 1.0)
+        assert run_block(block, {"in1": [-5, 0.5, 5]}, 3) == [-1.0, 0.5, 1.0]
+        with pytest.raises(ModelError):
+            Limit("L", 2, 1)
+
+    def test_rate_limiter(self):
+        block = RateLimiter("R", max_delta=2.0)
+        assert run_block(block, {"in1": [10, 10, 10]}, 3) == [2.0, 4.0, 6.0]
+        with pytest.raises(ModelError):
+            RateLimiter("R", max_delta=0)
+
+    def test_rate_limiter_holds_on_absence(self):
+        block = RateLimiter("R", max_delta=1.0)
+        assert run_block(block, {"in1": [3, ABSENT, 3]}, 3) == [1.0, 1.0, 2.0]
+
+    def test_hysteresis(self):
+        block = Hysteresis("H", low=2.0, high=5.0)
+        values = run_block(block, {"in1": [0, 6, 4, 1, 3]}, 5)
+        assert values == [False, True, True, False, False]
+        with pytest.raises(ModelError):
+            Hysteresis("H", low=5, high=5)
+
+    def test_counter(self):
+        block = Counter("C")
+        values = run_block(block, {"in1": [True, True, False, True],
+                                   "reset": [False, False, True, False]}, 4)
+        assert values == [1, 2, 0, 1]
+
+    def test_counter_reset_wins_before_count(self):
+        block = Counter("C")
+        values = run_block(block, {"in1": [True, True],
+                                   "reset": [False, True]}, 2)
+        assert values == [1, 1]
+
+    def test_edge_detector(self):
+        block = EdgeDetector("E")
+        values = run_block(block, {"in1": [False, True, True, False, True]}, 5)
+        assert values == [False, True, False, False, True]
+
+
+class TestControllerBlocks:
+    def test_integrator_accumulates(self):
+        block = Integrator("I", gain=0.5)
+        assert run_block(block, {"in1": [2, 2, 2]}, 3) == [1.0, 2.0, 3.0]
+
+    def test_integrator_saturates(self):
+        block = Integrator("I", gain=1.0, high=2.0)
+        assert run_block(block, {"in1": [1, 1, 1, 1]}, 4) == [1.0, 2.0, 2.0, 2.0]
+
+    def test_pid_proportional_only(self):
+        block = PIDController("PID", kp=2.0)
+        assert run_block(block, {"error": [1.0, 2.0]}, 2) == [2.0, 4.0]
+
+    def test_pid_with_integral_and_derivative(self):
+        block = PIDController("PID", kp=1.0, ki=0.5, kd=1.0)
+        values = run_block(block, {"error": [1.0, 1.0]}, 2)
+        # t0: 1*1 + 0.5*1 + 1*(1-0) = 2.5 ; t1: 1 + 0.5*2 + 0 = 2.0
+        assert values == pytest.approx([2.5, 2.0])
+
+    def test_pid_output_limits(self):
+        block = PIDController("PID", kp=10.0, low=-1.0, high=1.0)
+        assert run_block(block, {"error": [5.0]}, 1) == [1.0]
+
+    def test_pid_absent_error(self):
+        block = PIDController("PID", kp=1.0)
+        assert is_absent(run_block(block, {}, 1)[0])
+
+    def test_lookup_table_interpolates(self):
+        block = LookupTable1D("MAP", [0, 10, 20], [0.0, 100.0, 150.0])
+        values = run_block(block, {"in1": [-5, 5, 15, 25]}, 4)
+        assert values == [0.0, 50.0, 125.0, 150.0]
+
+    def test_lookup_table_validation(self):
+        with pytest.raises(ModelError):
+            LookupTable1D("MAP", [0, 1], [1.0])
+        with pytest.raises(ModelError):
+            LookupTable1D("MAP", [1, 0], [1.0, 2.0])
+
+
+class TestBlockLibraryRegistry:
+    def test_every_registered_kind_instantiates(self):
+        parameters = {
+            "constant": {"value": 1}, "add": {}, "subtract": {},
+            "multiply": {}, "gain": {"factor": 2.0}, "unit_delay": {},
+            "when": {}, "every": {"n": 2}, "hold": {}, "switch": {},
+            "limit": {"low": 0, "high": 1}, "rate_limiter": {"max_delta": 1.0},
+            "hysteresis": {"low": 0, "high": 1}, "counter": {},
+            "edge_detector": {}, "integrator": {}, "pid": {"kp": 1.0},
+            "lookup_table_1d": {"breakpoints": [0, 1], "values": [0.0, 1.0]},
+        }
+        assert set(parameters) == set(BLOCK_LIBRARY)
+        for kind, kwargs in parameters.items():
+            block = library_block(kind, f"b_{kind}", **kwargs)
+            assert block.name == f"b_{kind}"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            library_block("nonsense", "x")

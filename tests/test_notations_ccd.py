@@ -1,0 +1,117 @@
+"""Tests for Cluster Communication Diagrams (paper Sec. 3.3)."""
+
+import pytest
+
+from repro.core.clocks import EventClock, every
+from repro.core.components import ExpressionComponent
+from repro.core.errors import ModelError
+from repro.core.types import BOOL, FLOAT, FloatType
+from repro.notations.ccd import Cluster, ClusterCommunicationDiagram
+from repro.notations.dfd import DataFlowDiagram
+
+
+def _cluster(name, period, in_type=FLOAT, out_type=FLOAT):
+    cluster = Cluster(name, rate=every(period))
+    cluster.add_input("u", in_type, every(period))
+    cluster.add_output("y", out_type, every(period))
+    block = ExpressionComponent("F", {"out": "in1"})
+    block.add_input("in1")
+    block.add_output("out")
+    cluster.add_subcomponent(block)
+    cluster.connect("u", "F.in1")
+    cluster.connect("F.out", "y")
+    return cluster
+
+
+class TestCluster:
+    def test_requires_periodic_rate(self):
+        with pytest.raises(ModelError):
+            Cluster("C", rate=EventClock([1, 5]))
+
+    def test_period_and_set_rate(self):
+        cluster = _cluster("C", 2)
+        assert cluster.period == 2
+        cluster.set_rate(every(10))
+        assert cluster.period == 10
+        assert all(port.clock == every(10) for port in cluster.ports())
+        with pytest.raises(ModelError):
+            cluster.set_rate(EventClock([0]))
+
+    def test_wcet_estimate_and_override(self):
+        cluster = _cluster("C", 1)
+        assert cluster.worst_case_execution_time() == pytest.approx(0.1)
+        cluster.annotate("wcet", 3.5)
+        assert cluster.worst_case_execution_time() == 3.5
+
+
+class TestCCDStructure:
+    def test_only_clusters_allowed_via_add_cluster(self):
+        ccd = ClusterCommunicationDiagram("C")
+        with pytest.raises(ModelError):
+            ccd.add_cluster(DataFlowDiagram("D"))  # type: ignore[arg-type]
+
+    def test_no_recursive_ccds(self):
+        ccd = ClusterCommunicationDiagram("Outer")
+        with pytest.raises(ModelError):
+            ccd.add_subcomponent(ClusterCommunicationDiagram("Inner"))
+
+    def test_cluster_lookup(self):
+        ccd = ClusterCommunicationDiagram("C")
+        ccd.add_cluster(_cluster("A", 1))
+        assert ccd.cluster("A").name == "A"
+        assert ccd.rates() == {"A": 1}
+
+    def test_rate_transitions_classification(self):
+        ccd = ClusterCommunicationDiagram("C")
+        fast = _cluster("Fast", 1)
+        slow = _cluster("Slow", 10)
+        same = _cluster("Same", 1)
+        ccd.add_cluster(fast)
+        ccd.add_cluster(slow)
+        ccd.add_cluster(same)
+        ccd.connect("Fast.y", "Slow.u")
+        ccd.connect("Slow.y", "Same.u", delayed=True)
+        transitions = {(t["source"], t["destination"]): t
+                       for t in ccd.rate_transitions()}
+        assert transitions[("Fast", "Slow")]["direction"] == "fast-to-slow"
+        assert transitions[("Slow", "Same")]["direction"] == "slow-to-fast"
+        assert transitions[("Slow", "Same")]["delayed"] is True
+
+
+class TestCCDValidation:
+    def test_engine_ccd_is_structurally_valid(self, engine_ccd):
+        assert engine_ccd.validate().is_valid()
+
+    def test_non_cluster_element_is_error(self):
+        ccd = ClusterCommunicationDiagram("C")
+        # bypass add_cluster deliberately
+        ClusterCommunicationDiagram.__bases__[0].add_subcomponent(
+            ccd, DataFlowDiagram("D"))
+        report = ccd.validate()
+        assert any(issue.rule == "ccd-clusters-only" for issue in report.errors())
+
+    def test_untyped_cluster_port_is_error(self):
+        ccd = ClusterCommunicationDiagram("C")
+        cluster = Cluster("A", rate=every(1))
+        cluster.add_input("u")  # dynamically typed
+        ccd.add_cluster(cluster)
+        report = ccd.validate()
+        assert any(issue.rule == "ccd-static-typing" for issue in report.errors())
+
+    def test_incompatible_channel_types_is_error(self):
+        ccd = ClusterCommunicationDiagram("C")
+        ccd.add_cluster(_cluster("A", 1, out_type=FLOAT))
+        ccd.add_cluster(_cluster("B", 1, in_type=BOOL))
+        ccd.connect("A.y", "B.u")
+        report = ccd.validate()
+        assert any(issue.rule == "ccd-type-compatibility"
+                   for issue in report.errors())
+
+    def test_non_harmonic_rates_is_warning(self):
+        ccd = ClusterCommunicationDiagram("C")
+        ccd.add_cluster(_cluster("A", 3))
+        ccd.add_cluster(_cluster("B", 5))
+        ccd.connect("A.y", "B.u")
+        report = ccd.validate()
+        assert any(issue.rule == "ccd-harmonic-rates"
+                   for issue in report.warnings())

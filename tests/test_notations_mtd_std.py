@@ -1,0 +1,279 @@
+"""Tests for Mode Transition Diagrams and State Transition Diagrams."""
+
+import pytest
+
+from repro.core.components import ExpressionComponent
+from repro.core.errors import ModelError, UnknownElementError
+from repro.core.values import ABSENT, is_absent
+from repro.notations.mtd import ModeTransitionDiagram
+from repro.notations.std import StateTransitionDiagram
+from repro.simulation.engine import simulate
+
+
+def _behavior(name, expression, inputs=(), output="out"):
+    block = ExpressionComponent(name, {output: expression})
+    for input_name in inputs:
+        block.add_input(input_name)
+    block.add_output(output)
+    return block
+
+
+def _simple_mtd():
+    mtd = ModeTransitionDiagram("M")
+    mtd.add_input("x")
+    mtd.add_output("out")
+    mtd.add_output("mode")
+    mtd.add_mode("Low", _behavior("low", "0 - x", ["x"]), initial=True)
+    mtd.add_mode("High", _behavior("high", "x * 10", ["x"]))
+    mtd.add_transition("Low", "High", "x > 5")
+    mtd.add_transition("High", "Low", "x < 2")
+    return mtd
+
+
+class TestMTDConstruction:
+    def test_first_mode_is_initial(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_mode("A")
+        mtd.add_mode("B")
+        assert mtd.initial_mode == "A"
+        mtd.set_initial_mode("B")
+        assert mtd.initial_mode == "B"
+
+    def test_duplicate_mode_rejected(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_mode("A")
+        with pytest.raises(ModelError):
+            mtd.add_mode("A")
+
+    def test_transition_requires_known_modes(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_mode("A")
+        with pytest.raises(UnknownElementError):
+            mtd.add_transition("A", "B", "true")
+
+    def test_behavior_interface_checked_against_mtd(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("x")
+        mtd.add_output("out")
+        with pytest.raises(ModelError):
+            mtd.add_mode("A", _behavior("bad", "y", ["y"]))
+        with pytest.raises(ModelError):
+            mtd.add_mode("B", _behavior("bad2", "x", ["x"], output="other"))
+
+    def test_guard_must_be_expression(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_mode("A")
+        mtd.add_mode("B")
+        with pytest.raises(ModelError):
+            mtd.add_transition("A", "B", 42)
+
+    def test_reachable_modes_and_guard_variables(self):
+        mtd = _simple_mtd()
+        mtd.add_mode("Orphan")
+        assert mtd.reachable_modes() == {"Low", "High"}
+        assert mtd.guard_variables() == {"x"}
+
+
+class TestMTDBehaviour:
+    def test_mode_switching_and_outputs(self):
+        mtd = _simple_mtd()
+        trace = simulate(mtd, {"x": [1, 7, 7, 1, 1]}, ticks=5)
+        assert trace.output("mode").values() == ["Low", "High", "High", "Low",
+                                                 "Low"]
+        assert trace.output("out").values() == [-1, 70, 70, -1, -1]
+
+    def test_strong_preemption_runs_target_mode_behavior(self):
+        mtd = _simple_mtd()
+        trace = simulate(mtd, {"x": [9]}, ticks=1)
+        # the transition fires and the High behaviour computes the output
+        assert trace.output("out").values() == [90]
+        assert trace.output("mode").values() == ["High"]
+
+    def test_priority_orders_transitions(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("x")
+        mtd.add_output("mode")
+        for name in ("A", "B", "C"):
+            mtd.add_mode(name)
+        mtd.add_transition("A", "B", "x > 0", priority=0)
+        mtd.add_transition("A", "C", "x > 0", priority=5)
+        trace = simulate(mtd, {"x": [1]}, ticks=1)
+        assert trace.output("mode").values() == ["C"]
+
+    def test_mode_without_behavior_emits_absence(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("x")
+        mtd.add_output("out")
+        mtd.add_mode("Empty")
+        trace = simulate(mtd, {"x": [1]}, ticks=1)
+        assert is_absent(trace.output("out")[0])
+
+    def test_mode_state_is_kept_per_mode(self):
+        from repro.notations.blocks import Integrator
+
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("in1")
+        mtd.add_input("sel")
+        mtd.add_output("out")
+        mtd.add_mode("Integrate", Integrator("I"), initial=True)
+        mtd.add_mode("Paused")
+        mtd.add_transition("Integrate", "Paused", "sel > 0")
+        mtd.add_transition("Paused", "Integrate", "sel <= 0")
+        trace = simulate(mtd, {"in1": [1, 1, 1, 1], "sel": [0, 0, 1, 0]},
+                         ticks=4)
+        values = trace.output("out").values()
+        # integration pauses at tick 2 and resumes from the frozen state
+        assert values[0] == 1.0 and values[1] == 2.0
+        assert is_absent(values[2])
+        assert values[3] == 3.0
+
+    def test_empty_mtd_cannot_react(self):
+        mtd = ModeTransitionDiagram("M")
+        with pytest.raises(ModelError):
+            mtd.react({}, None, 0)
+
+
+class TestMTDValidation:
+    def test_valid_mtd(self, engine_modes_mtd):
+        assert engine_modes_mtd.validate().is_valid()
+
+    def test_unknown_guard_input_is_error(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_mode("A")
+        mtd.add_mode("B")
+        mtd.add_transition("A", "B", "unknown > 1")
+        report = mtd.validate()
+        assert any(issue.rule == "mtd-guard-inputs" for issue in report.errors())
+
+    def test_unreachable_mode_is_warning(self):
+        mtd = _simple_mtd()
+        mtd.add_mode("Orphan")
+        report = mtd.validate()
+        assert any(issue.rule == "mtd-reachability"
+                   for issue in report.warnings())
+
+    def test_nondeterministic_transitions_is_error(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("x")
+        for name in ("A", "B", "C"):
+            mtd.add_mode(name)
+        mtd.add_transition("A", "B", "x > 0")
+        mtd.add_transition("A", "C", "x > 0")
+        report = mtd.validate()
+        assert any(issue.rule == "mtd-determinism" for issue in report.errors())
+
+    def test_empty_mtd_is_error(self):
+        report = ModeTransitionDiagram("M").validate()
+        assert not report.is_valid()
+
+
+def _lock_std():
+    std = StateTransitionDiagram("Lock")
+    std.add_input("speed")
+    std.add_input("crash")
+    std.add_output("command")
+    std.add_output("state")
+    std.add_variable("lock_count", 0)
+    std.add_state("Unlocked", initial=True,
+                  emissions={"command": "'none'"})
+    std.add_state("Locked", emissions={"command": "'hold'"})
+    std.add_transition("Unlocked", "Locked", "speed > 10",
+                       actions={"command": "'lock'",
+                                "lock_count": "lock_count + 1"})
+    std.add_transition("Locked", "Unlocked", "speed < 1 or crash",
+                       actions={"command": "'unlock'"}, priority=1)
+    return std
+
+
+class TestSTD:
+    def test_construction_rules(self):
+        std = StateTransitionDiagram("S")
+        std.add_state("A")
+        with pytest.raises(ModelError):
+            std.add_state("A")
+        with pytest.raises(UnknownElementError):
+            std.add_transition("A", "missing", "true")
+        std.add_variable("v", 0)
+        with pytest.raises(ModelError):
+            std.add_variable("v", 1)
+        with pytest.raises(ModelError):
+            std.add_transition("A", "A", 3.14)
+
+    def test_execution_with_actions_and_emissions(self):
+        std = _lock_std()
+        trace = simulate(std, {"speed": [0, 20, 20, 0],
+                               "crash": [False, False, False, False]}, ticks=4)
+        assert trace.output("state").values() == ["Unlocked", "Locked",
+                                                  "Locked", "Unlocked"]
+        assert trace.output("command").values() == ["'none'" and "none",
+                                                    "lock", "hold", "unlock"]
+
+    def test_local_variable_updates(self):
+        std = _lock_std()
+        state = std.initial_state()
+        _, state = std.react({"speed": 20, "crash": False}, state, 0)
+        assert state["vars"]["lock_count"] == 1
+        _, state = std.react({"speed": 0, "crash": False}, state, 1)
+        _, state = std.react({"speed": 20, "crash": False}, state, 2)
+        assert state["vars"]["lock_count"] == 2
+
+    def test_priority_resolves_conflicts(self):
+        std = StateTransitionDiagram("S")
+        std.add_input("x")
+        std.add_output("state")
+        std.add_state("A", initial=True)
+        std.add_state("B")
+        std.add_state("C")
+        std.add_transition("A", "B", "x > 0", priority=0)
+        std.add_transition("A", "C", "x > 0", priority=9)
+        trace = simulate(std, {"x": [1]}, ticks=1)
+        assert trace.output("state").values() == ["C"]
+
+    def test_no_enabled_transition_stays(self):
+        std = _lock_std()
+        trace = simulate(std, {"speed": [0, 0], "crash": [False, False]},
+                         ticks=2)
+        assert trace.output("state").values() == ["Unlocked", "Unlocked"]
+
+    def test_action_to_unknown_target_raises(self):
+        std = StateTransitionDiagram("S")
+        std.add_input("x")
+        std.add_state("A", initial=True)
+        std.add_state("B")
+        std.add_transition("A", "B", "x > 0", actions={"nonexistent": "1"})
+        with pytest.raises(ModelError):
+            simulate(std, {"x": [1]}, ticks=1)
+
+    def test_validation_rules(self):
+        std = StateTransitionDiagram("S")
+        report = std.validate()
+        assert not report.is_valid()
+
+        std = _lock_std()
+        assert std.validate().is_valid()
+
+        std.add_state("Orphan")
+        assert any(issue.rule == "std-reachability"
+                   for issue in std.validate().warnings())
+
+        bad = StateTransitionDiagram("Bad")
+        bad.add_input("x")
+        bad.add_state("A", initial=True)
+        bad.add_state("B")
+        bad.add_transition("A", "B", "y > 0")
+        bad.add_transition("A", "B", "x > 0", actions={"zz": "1"})
+        report = bad.validate()
+        rules = {issue.rule for issue in report.errors()}
+        assert "std-guard-names" in rules
+        assert "std-action-targets" in rules
+
+    def test_determinism_rule(self):
+        std = StateTransitionDiagram("S")
+        std.add_input("x")
+        std.add_state("A", initial=True)
+        std.add_state("B")
+        std.add_state("C")
+        std.add_transition("A", "B", "x > 0")
+        std.add_transition("A", "C", "x > 0")
+        report = std.validate()
+        assert any(issue.rule == "std-determinism" for issue in report.errors())

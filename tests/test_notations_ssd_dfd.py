@@ -1,0 +1,187 @@
+"""Tests for System Structure Diagrams and Data Flow Diagrams."""
+
+import pytest
+
+from repro.core.components import Component, ExpressionComponent
+from repro.core.errors import CausalityError, ModelError
+from repro.core.types import ANY, BOOL, FLOAT, EnumType, FloatType, IntType
+from repro.core.values import ABSENT
+from repro.notations.blocks import Gain, UnitDelay
+from repro.notations.dfd import DataFlowDiagram
+from repro.notations.ssd import SSDComponent, interface_signature
+from repro.simulation.engine import simulate
+
+
+def _typed_block(name, in_type=FLOAT, out_type=FLOAT):
+    block = ExpressionComponent(name, {"out": "in1"})
+    block.add_input("in1", in_type)
+    block.add_output("out", out_type)
+    return block
+
+
+class TestSSDStructure:
+    def test_typed_ports_required(self):
+        ssd = SSDComponent("S")
+        ssd.add_typed_input("a", FLOAT)
+        with pytest.raises(ModelError):
+            ssd.add_typed_input("b", ANY)
+        with pytest.raises(ModelError):
+            ssd.add_typed_output("c", ANY)
+
+    def test_internal_channels_delayed_by_default(self):
+        ssd = SSDComponent("S")
+        ssd.add_typed_input("x", FLOAT)
+        ssd.add_typed_output("y", FLOAT)
+        ssd.add(_typed_block("A"), _typed_block("B"))
+        ssd.connect("x", "A.in1")
+        internal = ssd.connect("A.out", "B.in1")
+        ssd.connect("B.out", "y")
+        assert internal.delayed
+        boundary = [c for c in ssd.channels() if c.source.is_boundary()]
+        assert all(not c.delayed for c in boundary)
+
+    def test_connect_delayed_with_initial_value(self):
+        ssd = SSDComponent("S")
+        ssd.add(_typed_block("A"), _typed_block("B"))
+        channel = ssd.connect_delayed("A.out", "B.in1", initial_value=1.0)
+        assert channel.delayed and channel.initial_value == 1.0
+
+    def test_ssd_delay_shifts_messages_by_one_tick(self):
+        ssd = SSDComponent("S")
+        ssd.add_typed_input("x", FLOAT)
+        ssd.add_typed_output("y", FLOAT)
+        ssd.add(_typed_block("A"), _typed_block("B"))
+        ssd.connect("x", "A.in1")
+        ssd.connect("A.out", "B.in1", initial_value=0.0)
+        ssd.connect("B.out", "y")
+        trace = simulate(ssd, {"x": [1.0, 2.0, 3.0]}, ticks=3)
+        assert trace.output("y").values() == [0.0, 1.0, 2.0]
+
+    def test_interface_signature(self):
+        block = _typed_block("A", IntType(0, 10), BOOL)
+        signature = interface_signature(block)
+        assert any("in1: int[0..10]" in line for line in signature)
+
+
+class TestSSDValidation:
+    def test_valid_ssd_has_no_errors(self, door_lock_faa):
+        report = door_lock_faa.validate()
+        assert report.is_valid()
+
+    def test_untyped_boundary_port_is_error(self):
+        ssd = SSDComponent("S")
+        ssd.add_input("x")  # bypasses add_typed_input, dynamically typed
+        report = ssd.validate()
+        assert not report.is_valid()
+        assert report.by_rule("ssd-static-typing")
+
+    def test_type_incompatible_channel_is_error(self):
+        ssd = SSDComponent("S")
+        ssd.add(_typed_block("A", FLOAT, FLOAT),
+                _typed_block("B", EnumType("E", ["x"]), FLOAT))
+        ssd.connect("A.out", "B.in1")
+        report = ssd.validate()
+        assert any(issue.rule == "ssd-type-compatibility"
+                   for issue in report.errors())
+
+    def test_unconnected_input_is_warning(self):
+        ssd = SSDComponent("S")
+        ssd.add(_typed_block("A"))
+        report = ssd.validate()
+        warnings = report.by_rule("ssd-connectivity")
+        assert warnings and all(issue.severity.value != "error"
+                                for issue in warnings)
+
+    def test_instantaneous_internal_channel_is_warning(self):
+        ssd = SSDComponent("S")
+        ssd.add(_typed_block("A"), _typed_block("B"))
+        ssd.connect("A.out", "B.in1", delayed=False)
+        report = ssd.validate()
+        assert report.by_rule("ssd-delay-semantics")
+
+    def test_missing_behavior_info_on_faa_error_on_fda(self):
+        ssd = SSDComponent("S")
+        stub = Component("Stub")
+        stub.add_input("in1", FLOAT)
+        stub.add_output("out", FLOAT)
+        ssd.add_subcomponent(stub)
+        faa_report = ssd.validate(require_behavior=False)
+        assert faa_report.is_valid()
+        fda_report = ssd.validate(require_behavior=True)
+        assert not fda_report.is_valid()
+
+
+class TestDFD:
+    def test_add_expression_block_builds_interface(self):
+        dfd = DataFlowDiagram("D")
+        block = dfd.add_expression_block("ADD", {"out": "ch1 + ch2 + ch3"})
+        assert sorted(block.input_names()) == ["ch1", "ch2", "ch3"]
+        assert block.output_names() == ["out"]
+
+    def test_instantaneous_by_default(self):
+        dfd = DataFlowDiagram("D")
+        dfd.add(Gain("A", 1.0), Gain("B", 1.0))
+        channel = dfd.connect("A.out", "B.in1")
+        assert not channel.delayed
+
+    def test_causality_check_passes_on_acyclic(self, momentum_controller):
+        order = momentum_controller.check_causality()
+        assert order.index("ADD") < order.index("LIMIT") < order.index("SLEW")
+        assert not momentum_controller.has_instantaneous_loop()
+
+    def test_causality_check_detects_loop(self):
+        dfd = DataFlowDiagram("Loop")
+        dfd.add(Gain("A", 1.0), Gain("B", 1.0))
+        dfd.connect("A.out", "B.in1")
+        dfd.connect("B.out", "A.in1")
+        assert dfd.has_instantaneous_loop()
+        with pytest.raises(CausalityError):
+            dfd.check_causality()
+        report = dfd.validate()
+        assert any(issue.rule == "dfd-causality" for issue in report.errors())
+
+    def test_unit_delay_breaks_loop(self):
+        dfd = DataFlowDiagram("Loop")
+        dfd.add(Gain("A", 1.0), UnitDelay("Z"))
+        dfd.connect("A.out", "Z.in1")
+        dfd.connect("Z.out", "A.in1")
+        assert not dfd.has_instantaneous_loop()
+
+    def test_behavior_rule(self):
+        dfd = DataFlowDiagram("D")
+        stub = Component("Stub")
+        stub.add_output("out")
+        dfd.add_subcomponent(stub)
+        report = dfd.validate()
+        assert any(issue.rule == "dfd-behavior" for issue in report.errors())
+
+    def test_undriven_boundary_output_is_error(self):
+        dfd = DataFlowDiagram("D")
+        dfd.add_output("y")
+        report = dfd.validate()
+        assert any(issue.rule == "dfd-boundary" for issue in report.errors())
+
+    def test_unconnected_block_input_is_warning(self):
+        dfd = DataFlowDiagram("D")
+        dfd.add(Gain("A", 1.0))
+        report = dfd.validate()
+        assert report.by_rule("dfd-connectivity")
+        assert report.is_valid()
+
+    def test_type_inference_propagates_static_types(self):
+        dfd = DataFlowDiagram("D")
+        dfd.add_input("x", FloatType(0.0, 10.0))
+        dfd.add_output("y")
+        block = dfd.add_expression_block("F", {"out": "in1 * 2"})
+        dfd.connect("x", "F.in1")
+        dfd.connect("F.out", "y")
+        refined = dfd.infer_port_types()
+        assert block.port("in1").port_type == FloatType(0.0, 10.0)
+        assert "F.in1" in refined
+
+    def test_fig5_momentum_controller_executes(self, momentum_controller):
+        trace = simulate(momentum_controller,
+                         {"ch1": [100.0] * 4, "ch2": [50.0] * 4,
+                          "ch3": [0.0] * 4}, ticks=4)
+        assert trace.output("total_request").values() == [150.0] * 4
+        assert all(value >= 0 for value in trace.output("engine_torque").values())

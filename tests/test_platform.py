@@ -1,0 +1,225 @@
+"""Tests for the simulated platform: ECUs/tasks, OSEK scheduling, CAN, timing."""
+
+import math
+
+import pytest
+
+from repro.core.errors import DeploymentError, SchedulingError
+from repro.platform.can import CANBus, CANFrame, CANSignal
+from repro.platform.ecu import ECU, Task, TechnicalArchitecture
+from repro.platform.osek import (is_schedulable, response_time_analysis,
+                                 simulate_schedule, utilization_bound_check)
+from repro.platform.timing import analyze_chain, deadline_from_delays
+
+
+def _loaded_ecu():
+    ecu = ECU("ECU1")
+    ecu.add_task(Task("T1", period=5, priority=1, wcet=1))
+    ecu.add_task(Task("T2", period=10, priority=2, wcet=3))
+    ecu.add_task(Task("T3", period=20, priority=3, wcet=4))
+    return ecu
+
+
+class TestTasksAndEcus:
+    def test_task_validation(self):
+        with pytest.raises(DeploymentError):
+            Task("T", period=0, priority=1)
+        with pytest.raises(DeploymentError):
+            Task("T", period=5, priority=1, offset=5)
+        task = Task("T", period=10, priority=1, wcet=2)
+        assert task.deadline == 10
+        assert task.utilization() == pytest.approx(0.2)
+        task.add_cluster("C1", wcet=1.5)
+        assert task.wcet == 3.5 and task.clusters == ["C1"]
+        assert "C1" in task.describe()
+
+    def test_ecu_management(self):
+        ecu = _loaded_ecu()
+        assert [task.name for task in ecu.task_list()] == ["T1", "T2", "T3"]
+        assert ecu.utilization() == pytest.approx(1 / 5 + 3 / 10 + 4 / 20)
+        with pytest.raises(DeploymentError):
+            ecu.add_task(Task("T1", period=5, priority=9))
+        with pytest.raises(DeploymentError):
+            ecu.task("missing")
+        assert "ECU1" in ecu.describe()
+
+    def test_technical_architecture(self):
+        architecture = TechnicalArchitecture("TA")
+        ecu = _loaded_ecu()
+        ecu.task("T1").add_cluster("Fast")
+        architecture.add_ecu(ecu)
+        assert architecture.ecu_of_cluster("Fast") == "ECU1"
+        assert architecture.task_of_cluster("Fast").name == "T1"
+        assert architecture.ecu_of_cluster("Unknown") is None
+        assert len(architecture.all_tasks()) == 3
+        with pytest.raises(DeploymentError):
+            architecture.add_ecu(ECU("ECU1"))
+
+
+class TestOsekScheduling:
+    def test_simulation_meets_deadlines_for_low_utilization(self):
+        trace = simulate_schedule(_loaded_ecu())
+        assert trace.is_schedulable()
+        assert trace.horizon == 2 * 20
+        assert trace.worst_case_response_time("T1") == 1
+        assert trace.utilization() == pytest.approx(0.7, abs=0.15)
+
+    def test_preemption_occurs(self):
+        ecu = ECU("E")
+        ecu.add_task(Task("High", period=4, priority=1, wcet=1, offset=1))
+        ecu.add_task(Task("Low", period=8, priority=2, wcet=4))
+        trace = simulate_schedule(ecu, horizon=16)
+        assert trace.preemptions >= 1
+        assert trace.is_schedulable()
+
+    def test_overload_misses_deadlines(self):
+        ecu = ECU("E")
+        ecu.add_task(Task("A", period=4, priority=1, wcet=3))
+        ecu.add_task(Task("B", period=4, priority=2, wcet=3))
+        trace = simulate_schedule(ecu, horizon=24)
+        assert not trace.is_schedulable()
+        assert trace.deadline_misses()
+
+    def test_empty_ecu_rejected(self):
+        with pytest.raises(SchedulingError):
+            simulate_schedule(ECU("E"))
+
+    def test_response_time_analysis_matches_simulation(self):
+        ecu = _loaded_ecu()
+        analytical = {result.task: result.wcrt
+                      for result in response_time_analysis(ecu)}
+        trace = simulate_schedule(ecu)
+        for task_name, wcrt in analytical.items():
+            observed = trace.worst_case_response_time(task_name)
+            assert observed <= math.ceil(wcrt)
+        assert is_schedulable(ecu)
+
+    def test_rta_flags_unschedulable_task(self):
+        ecu = ECU("E")
+        ecu.add_task(Task("A", period=4, priority=1, wcet=3))
+        ecu.add_task(Task("B", period=8, priority=2, wcet=4))
+        results = {result.task: result for result in response_time_analysis(ecu)}
+        assert results["A"].schedulable
+        assert not results["B"].schedulable
+
+    def test_speed_factor_scales_execution(self):
+        slow = ECU("Slow", speed_factor=1.0)
+        slow.add_task(Task("T", period=10, priority=1, wcet=4))
+        fast = ECU("Fast", speed_factor=2.0)
+        fast.add_task(Task("T", period=10, priority=1, wcet=4))
+        assert fast.utilization() == pytest.approx(slow.utilization() / 2)
+
+    def test_utilization_bound(self):
+        check = utilization_bound_check(_loaded_ecu())
+        assert 0 < check["bound"] <= 1
+        assert check["passes"] == (check["utilization"] <= check["bound"])
+
+    def test_schedule_describe(self):
+        text = simulate_schedule(_loaded_ecu()).describe()
+        assert "WCRT" in text and "ECU1" in text
+
+
+class TestCan:
+    def _bus(self):
+        bus = CANBus("CAN1", bits_per_tick=500.0)
+        engine = CANFrame("EngineData", can_id=0x100, period=10,
+                          sender_ecu="ECU1")
+        engine.add_signal(CANSignal("n", 16))
+        engine.add_signal(CANSignal("ti", 16))
+        body = CANFrame("BodyData", can_id=0x200, period=20, sender_ecu="ECU2")
+        body.add_signal(CANSignal("locks", 8))
+        bus.add_frame(engine)
+        bus.add_frame(body)
+        return bus
+
+    def test_frame_validation(self):
+        with pytest.raises(DeploymentError):
+            CANFrame("Bad", can_id=0x800, period=10, sender_ecu="E")
+        with pytest.raises(DeploymentError):
+            CANFrame("Bad", can_id=0x1, period=0, sender_ecu="E")
+        frame = CANFrame("F", can_id=0x1, period=10, sender_ecu="E")
+        frame.add_signal(CANSignal("a", 32))
+        frame.add_signal(CANSignal("b", 32))
+        with pytest.raises(DeploymentError):
+            frame.add_signal(CANSignal("c", 8))
+        assert frame.payload_bytes() == 8
+        assert frame.frame_bits() > 64
+
+    def test_bus_management(self):
+        bus = self._bus()
+        with pytest.raises(DeploymentError):
+            bus.add_frame(CANFrame("EngineData", can_id=0x300, period=5,
+                                   sender_ecu="E"))
+        with pytest.raises(DeploymentError):
+            bus.add_frame(CANFrame("Duplicate", can_id=0x100, period=5,
+                                   sender_ecu="E"))
+        assert [frame.name for frame in bus.frame_list()] == ["EngineData",
+                                                              "BodyData"]
+        assert 0 < bus.utilization() < 1
+
+    def test_latency_analysis_orders_by_priority(self):
+        bus = self._bus()
+        high = bus.worst_case_latency("EngineData")
+        low = bus.worst_case_latency("BodyData")
+        assert high <= low
+        report = bus.latency_report()
+        assert report[0]["frame"] == "EngineData"
+        assert all(entry["worst_case_latency"] >= entry["transmission"]
+                   for entry in report)
+
+    def test_arbitration_simulation(self):
+        bus = self._bus()
+        trace = bus.simulate(horizon=60)
+        assert trace.utilization() > 0
+        assert trace.worst_observed_latency("EngineData") is not None
+        observed = trace.worst_observed_latency("EngineData")
+        analytical = bus.worst_case_latency("EngineData")
+        assert observed <= math.ceil(analytical) + 1
+
+
+class TestEndToEndTiming:
+    def test_chain_analysis_local_and_remote(self):
+        architecture = TechnicalArchitecture("TA")
+        ecu1 = ECU("ECU1")
+        task1 = Task("T1", period=5, priority=1, wcet=1)
+        task1.add_cluster("Sense")
+        ecu1.add_task(task1)
+        ecu2 = ECU("ECU2")
+        task2 = Task("T2", period=10, priority=1, wcet=2)
+        task2.add_cluster("Actuate")
+        ecu2.add_task(task2)
+        architecture.add_ecu(ecu1)
+        architecture.add_ecu(ecu2)
+        bus = CANBus("CAN1", bits_per_tick=200.0)
+        frame = CANFrame("F1", can_id=0x50, period=5, sender_ecu="ECU1")
+        frame.add_signal(CANSignal("x", 16))
+        bus.add_frame(frame)
+
+        analysis = analyze_chain(["Sense", "Actuate"], architecture, bus,
+                                 frame_of_signal={"Sense->Actuate": "F1"},
+                                 logical_delays=2, base_period=5)
+        assert analysis.end_to_end_latency > 0
+        assert analysis.deadline == 10
+        assert analysis.meets_deadline
+        assert "end-to-end chain" in analysis.describe()
+
+    def test_missing_deployment_raises(self):
+        architecture = TechnicalArchitecture("TA")
+        architecture.add_ecu(ECU("ECU1"))
+        with pytest.raises(SchedulingError):
+            analyze_chain(["Ghost"], architecture)
+
+    def test_cross_ecu_without_frame_raises(self):
+        architecture = TechnicalArchitecture("TA")
+        for index, cluster in enumerate(["A", "B"], start=1):
+            ecu = ECU(f"ECU{index}")
+            task = Task(f"T{index}", period=5, priority=1, wcet=1)
+            task.add_cluster(cluster)
+            ecu.add_task(task)
+            architecture.add_ecu(ecu)
+        with pytest.raises(SchedulingError):
+            analyze_chain(["A", "B"], architecture, bus=None)
+
+    def test_deadline_from_delays(self):
+        assert deadline_from_delays(3, 10) == 30
+        assert deadline_from_delays(0, 10) == 10

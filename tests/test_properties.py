@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+key semantic invariants of the operational model and its transformations."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clocks import PeriodicClock, every, hyperperiod, is_subclock
+from repro.core.expr_eval import evaluate
+from repro.core.expr_parser import parse_expression
+from repro.core.expressions import BinaryOp, Literal, Variable
+from repro.core.impl_types import FixedPointType, choose_implementation_type
+from repro.core.types import IntType, FloatType, is_assignable, unify
+from repro.core.values import ABSENT, Stream, every as every_pattern, is_absent
+from repro.transformations.reengineering import substitute
+
+
+# --------------------------------------------------------------------------
+# streams
+# --------------------------------------------------------------------------
+
+values_or_absent = st.one_of(st.integers(-1000, 1000), st.just(ABSENT))
+streams = st.lists(values_or_absent, max_size=40).map(Stream)
+
+
+@given(streams)
+def test_delay_preserves_length_and_shifts_content(stream):
+    delayed = stream.delayed(initial=0)
+    assert len(delayed) == len(stream)
+    if len(stream) > 1:
+        assert delayed.values()[1:] == stream.values()[:-1]
+
+
+@given(streams, st.integers(1, 8))
+def test_when_every_n_keeps_every_nth_present_value(stream, n):
+    pattern = every_pattern(n, len(stream))
+    sampled = stream.when(pattern)
+    assert len(sampled) == len(stream)
+    for tick, value in enumerate(sampled):
+        if tick % n == 0:
+            assert value == stream[tick]
+        else:
+            assert is_absent(value)
+
+
+@given(streams)
+def test_hold_has_no_absence_after_first_present(stream):
+    held = stream.hold(initial=0)
+    assert len(held) == len(stream)
+    assert all(not is_absent(value) for value in held)
+
+
+@given(streams)
+def test_presence_count_matches_pattern(stream):
+    assert stream.presence_count() == sum(stream.presence_pattern())
+    assert len(stream.present_values()) == stream.presence_count()
+
+
+@given(streams, st.integers(0, 5))
+def test_delay_distributes_over_presence(stream, amount):
+    delayed = stream.delayed(initial=ABSENT, amount=amount)
+    assert delayed.presence_count() <= stream.presence_count()
+
+
+# --------------------------------------------------------------------------
+# clocks
+# --------------------------------------------------------------------------
+
+periods = st.integers(1, 16)
+
+
+@given(periods, st.integers(1, 8))
+def test_harmonic_clocks_are_subclocks(period, factor):
+    fast = every(period)
+    slow = every(period * factor)
+    assert is_subclock(slow, fast)
+
+
+@given(periods, periods)
+def test_hyperperiod_is_common_multiple(first, second):
+    lcm = hyperperiod([every(first), every(second)])
+    assert lcm % first == 0 and lcm % second == 0
+    assert lcm <= first * second
+
+
+@given(periods, st.integers(0, 15), st.integers(1, 64))
+def test_periodic_pattern_density(period, phase, length):
+    clock = PeriodicClock(period, phase % period)
+    pattern = clock.pattern(length)
+    assert len(pattern) == length
+    assert sum(pattern) in (length // period, length // period + 1)
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+small_ints = st.integers(-50, 50)
+
+
+@given(small_ints, small_ints, small_ints)
+def test_parser_respects_arithmetic_semantics(a, b, c):
+    result = evaluate("a + b * c - a", {"a": a, "b": b, "c": c})
+    assert result == a + b * c - a
+
+
+@given(small_ints, small_ints)
+def test_expression_roundtrip_through_source(a, b):
+    expression = parse_expression("if a > b then a - b else b - a")
+    reparsed = parse_expression(expression.to_source())
+    environment = {"a": a, "b": b}
+    assert evaluate(expression, environment) == evaluate(reparsed, environment)
+    assert evaluate(expression, environment) == abs(a - b)
+
+
+@given(small_ints)
+def test_absence_is_contagious_in_arithmetic(a):
+    expression = parse_expression("x + missing * 2")
+    assert is_absent(evaluate(expression, {"x": a, "missing": ABSENT}))
+
+
+@given(small_ints, small_ints)
+def test_substitution_equals_environment_binding(a, b):
+    expression = parse_expression("x * 2 + y")
+    substituted = substitute(expression, {"y": Literal(b)})
+    assert "y" not in substituted.variables()
+    assert evaluate(substituted, {"x": a}) == evaluate(expression,
+                                                       {"x": a, "y": b})
+
+
+# --------------------------------------------------------------------------
+# types
+# --------------------------------------------------------------------------
+
+int_ranges = st.tuples(st.integers(-10_000, 10_000),
+                       st.integers(0, 10_000)).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@given(int_ranges, int_ranges)
+def test_assignability_matches_range_inclusion(first, second):
+    source = IntType(*first)
+    target = IntType(*second)
+    included = second[0] <= first[0] and first[1] <= second[1]
+    assert is_assignable(source, target) == included
+
+
+@given(int_ranges, int_ranges)
+def test_unify_is_an_upper_bound(first, second):
+    merged = unify(IntType(*first), IntType(*second))
+    assert is_assignable(IntType(*first), merged)
+    assert is_assignable(IntType(*second), merged)
+
+
+@given(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+       st.floats(min_value=1e-3, max_value=10.0, allow_nan=False))
+def test_fixed_point_quantization_error_is_bounded(value, scale):
+    encoding = FixedPointType(32, scale=scale)
+    if encoding.min_physical <= value <= encoding.max_physical:
+        assert encoding.quantization_error(value) <= scale / 2 + 1e-9
+
+
+@given(st.floats(min_value=-1e4, max_value=0.0, allow_nan=False),
+       st.floats(min_value=0.1, max_value=1e4, allow_nan=False))
+def test_default_float_mapping_covers_declared_range(low, span):
+    high = low + span
+    impl = choose_implementation_type(FloatType(low, high))
+    assert impl.min_physical <= low + impl.resolution
+    assert impl.max_physical >= high - impl.resolution
+
+
+# --------------------------------------------------------------------------
+# MTD -> data-flow equivalence on random threshold machines
+# --------------------------------------------------------------------------
+
+@st.composite
+def threshold_mtds(draw):
+    """Random two-mode MTDs with threshold guards plus a stimulus."""
+    from repro.core.components import ExpressionComponent
+    from repro.notations.mtd import ModeTransitionDiagram
+
+    low_gain = draw(st.integers(1, 5))
+    high_gain = draw(st.integers(6, 10))
+    threshold = draw(st.integers(-20, 20))
+    mtd = ModeTransitionDiagram("Random")
+    mtd.add_input("x")
+    mtd.add_output("y")
+    mtd.add_output("mode")
+    low = ExpressionComponent("low", {"y": f"x * {low_gain}"})
+    low.add_input("x")
+    low.add_output("y")
+    high = ExpressionComponent("high", {"y": f"x * {high_gain}"})
+    high.add_input("x")
+    high.add_output("y")
+    mtd.add_mode("Low", low, initial=True)
+    mtd.add_mode("High", high)
+    mtd.add_transition("Low", "High", f"x > {threshold}")
+    mtd.add_transition("High", "Low", f"x <= {threshold}")
+    stimulus = draw(st.lists(st.integers(-30, 30), min_size=1, max_size=25))
+    return mtd, stimulus
+
+
+@settings(max_examples=25, deadline=None)
+@given(threshold_mtds())
+def test_mtd_to_dataflow_equivalence_on_random_machines(case):
+    from repro.transformations.mtd_to_dataflow import (
+        transform_mtd_to_dataflow, verify_equivalence)
+
+    mtd, stimulus = case
+    dataflow = transform_mtd_to_dataflow(mtd)
+    equivalent, difference = verify_equivalence(mtd, dataflow, {"x": stimulus},
+                                                ticks=len(stimulus))
+    assert equivalent, f"difference: {difference}"
+
+
+# --------------------------------------------------------------------------
+# scheduling invariant
+# --------------------------------------------------------------------------
+
+@st.composite
+def task_sets(draw):
+    from repro.platform.ecu import ECU, Task
+
+    ecu = ECU("E")
+    count = draw(st.integers(1, 4))
+    for index in range(count):
+        period = draw(st.sampled_from([4, 5, 8, 10, 20]))
+        wcet = draw(st.integers(1, 2))
+        ecu.add_task(Task(f"T{index}", period=period, priority=index + 1,
+                          wcet=wcet))
+    return ecu
+
+
+@settings(max_examples=25, deadline=None)
+@given(task_sets())
+def test_simulated_wcrt_never_exceeds_analytical_bound(ecu):
+    from repro.platform.osek import response_time_analysis, simulate_schedule
+
+    analytical = {result.task: result for result in response_time_analysis(ecu)}
+    trace = simulate_schedule(ecu)
+    for task_name, result in analytical.items():
+        observed = trace.worst_case_response_time(task_name)
+        if result.schedulable and observed is not None:
+            assert observed <= math.ceil(result.wcrt) + 1e-9

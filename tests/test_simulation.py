@@ -1,0 +1,232 @@
+"""Tests for the simulation engine, traces, causality and multi-rate helpers."""
+
+import pytest
+
+from repro.core.clocks import every
+from repro.core.components import (CompositeComponent, ExpressionComponent)
+from repro.core.errors import CausalityError, SimulationError, TypeCheckError
+from repro.core.types import FloatType
+from repro.core.values import ABSENT, Stream, is_absent
+from repro.notations.blocks import Gain, UnitDelay
+from repro.notations.ccd import Cluster, ClusterCommunicationDiagram
+from repro.notations.dfd import DataFlowDiagram
+from repro.simulation.causality import (analyze_causality, assert_causal,
+                                        instantaneous_path_exists)
+from repro.simulation.engine import (ClockGatedComponent, Simulator, simulate,
+                                     simulate_ccd)
+from repro.simulation.multirate import (constant, presence_ratio, pulse, ramp,
+                                        resample, sine, sporadic, step)
+from repro.simulation.trace import (first_difference, streams_equal,
+                                    traces_equivalent)
+
+
+def _identity_block(name="F"):
+    block = ExpressionComponent(name, {"out": "in1"})
+    block.declare_interface_from_expressions()
+    return block
+
+
+class TestSimulator:
+    def test_scalar_sequence_stream_and_callable_stimuli(self):
+        block = ExpressionComponent("Sum", {"out": "a + b + c + d"})
+        block.declare_interface_from_expressions()
+        trace = simulate(block, {
+            "a": 1,                       # scalar constant
+            "b": [10, 20, 30],            # list
+            "c": Stream([100, 200, 300]),  # stream
+            "d": lambda tick: tick,       # callable
+        }, ticks=3)
+        assert trace.output("out").values() == [111, 222, 333]
+
+    def test_sequence_shorter_than_horizon_pads_with_absence(self):
+        block = _identity_block()
+        trace = simulate(block, {"in1": [1]}, ticks=3)
+        assert trace.output("out").values() == [1, ABSENT, ABSENT]
+
+    def test_unknown_stimulus_port_rejected(self):
+        block = _identity_block()
+        with pytest.raises(SimulationError):
+            simulate(block, {"nope": [1]}, ticks=1)
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(_identity_block()).run({}, ticks=-1)
+
+    def test_component_without_behavior_rejected(self):
+        from repro.core.components import Component
+        stub = Component("S")
+        with pytest.raises(SimulationError):
+            Simulator(stub)
+
+    def test_type_checking_mode(self):
+        block = ExpressionComponent("F", {"out": "in1"})
+        block.add_input("in1", FloatType(0.0, 10.0))
+        block.add_output("out", FloatType(0.0, 10.0))
+        with pytest.raises(TypeCheckError):
+            simulate(block, {"in1": [99.0]}, ticks=1, check_types=True)
+        trace = simulate(block, {"in1": [5.0]}, ticks=1, check_types=True)
+        assert trace.output("out").values() == [5.0]
+
+    def test_mode_history_recorded_for_mtds(self, door_lock_control):
+        from repro.casestudy import crash_scenario
+        trace = simulate(door_lock_control, crash_scenario(8), ticks=8)
+        assert len(trace.mode_history) == 8
+        assert "CrashUnlocked" in trace.mode_history
+
+
+class TestTrace:
+    def test_signal_lookup_and_rows(self):
+        block = _identity_block()
+        trace = simulate(block, {"in1": [1, 2]}, ticks=2)
+        assert trace.signal("out").values() == [1, 2]
+        assert trace.signal("in1").values() == [1, 2]
+        with pytest.raises(SimulationError):
+            trace.signal("missing")
+        rows = trace.as_rows(["in1", "out"])
+        assert rows[0][0] == "in1" and rows[1][0] == "out"
+
+    def test_format_table_shows_absence_as_dash(self):
+        block = _identity_block()
+        trace = simulate(block, {"in1": [20, ABSENT, 23]}, ticks=3)
+        table = trace.format_table(["in1"])
+        assert "-" in table and "20" in table and "23" in table
+        assert "t+2" in table
+
+    def test_streams_equal_with_tolerance(self):
+        assert streams_equal(Stream([1.0, ABSENT]), Stream([1.0000001, ABSENT]),
+                             tolerance=1e-3)
+        assert not streams_equal(Stream([1.0]), Stream([1.1]), tolerance=1e-3)
+        assert not streams_equal(Stream([1.0]), Stream([ABSENT]))
+        assert not streams_equal(Stream([1.0]), Stream([1.0, 2.0]))
+
+    def test_traces_equivalent_and_first_difference(self):
+        block = _identity_block()
+        first = simulate(block, {"in1": [1, 2, 3]}, ticks=3)
+        second = simulate(block, {"in1": [1, 2, 3]}, ticks=3)
+        third = simulate(block, {"in1": [1, 9, 3]}, ticks=3)
+        assert traces_equivalent(first, second)
+        assert not traces_equivalent(first, third)
+        difference = first_difference(first, third)
+        assert difference == {"signal": "out", "tick": 1, "first": 2, "second": 9}
+        assert first_difference(first, second) is None
+
+
+class TestCausalityAnalysis:
+    def test_hierarchical_analysis(self):
+        outer = DataFlowDiagram("Outer")
+        inner = DataFlowDiagram("Inner")
+        inner.add_input("x")
+        inner.add_output("y")
+        inner.add(Gain("G", 2.0))
+        inner.connect("x", "G.in1")
+        inner.connect("G.out", "y")
+        outer.add_subcomponent(inner)
+        outer.add(Gain("H", 1.0))
+        outer.connect("Inner.y", "H.in1")
+        analysis = analyze_causality(outer)
+        assert analysis.is_causal
+        assert analysis.composite_count() == 2
+        assert assert_causal(outer).is_causal
+        assert analysis.to_report().is_valid()
+
+    def test_cycle_is_located(self):
+        dfd = DataFlowDiagram("Loop")
+        dfd.add(Gain("A", 1.0), Gain("B", 1.0), Gain("C", 1.0))
+        dfd.connect("A.out", "B.in1")
+        dfd.connect("B.out", "A.in1")
+        analysis = analyze_causality(dfd)
+        assert not analysis.is_causal
+        cycle = analysis.cycles()[0]
+        assert set(cycle.cycle) == {"A", "B"}
+        with pytest.raises(CausalityError):
+            assert_causal(dfd)
+        assert not analysis.to_report().is_valid()
+
+    def test_instantaneous_path_exists(self):
+        dfd = DataFlowDiagram("Chain")
+        dfd.add(Gain("A", 1.0), Gain("B", 1.0), UnitDelay("Z"))
+        dfd.connect("A.out", "B.in1")
+        dfd.connect("B.out", "Z.in1")
+        assert instantaneous_path_exists(dfd, "A", "B")
+        assert not instantaneous_path_exists(dfd, "B", "A")
+
+    def test_atomic_component_trivially_causal(self):
+        analysis = analyze_causality(Gain("G", 1.0))
+        assert analysis.is_causal and analysis.composite_count() == 0
+
+
+class TestClockGating:
+    def test_gated_component_reacts_only_on_clock(self):
+        gated = ClockGatedComponent(Gain("G", 2.0), every(2))
+        trace = simulate(gated, {"in1": [1, 2, 3, 4]}, ticks=4)
+        assert trace.output("out").values() == [2, ABSENT, 6, ABSENT]
+
+    def test_gated_state_frozen_between_activations(self):
+        gated = ClockGatedComponent(UnitDelay("Z", initial=0), every(2))
+        trace = simulate(gated, {"in1": [1, 2, 3, 4]}, ticks=4)
+        assert trace.output("out").values() == [0, ABSENT, 1, ABSENT]
+
+    def test_simulate_ccd_applies_cluster_rates(self):
+        ccd = ClusterCommunicationDiagram("C")
+        cluster = Cluster("Fast", rate=every(1))
+        cluster.add_input("u", FloatType(0, 10), every(1))
+        cluster.add_output("y", FloatType(0, 10), every(1))
+        block = ExpressionComponent("F", {"out": "in1"})
+        block.declare_interface_from_expressions()
+        cluster.add_subcomponent(block)
+        cluster.connect("u", "F.in1")
+        cluster.connect("F.out", "y")
+        slow = Cluster("Slow", rate=every(3))
+        slow.add_input("u", FloatType(0, 10), every(3))
+        slow.add_output("y", FloatType(0, 10), every(3))
+        slow_block = ExpressionComponent("G", {"out": "in1"})
+        slow_block.declare_interface_from_expressions()
+        slow.add_subcomponent(slow_block)
+        slow.connect("u", "G.in1")
+        slow.connect("G.out", "y")
+        ccd.add_cluster(cluster)
+        ccd.add_cluster(slow)
+        ccd.add_input("x", FloatType(0, 10), every(1))
+        ccd.add_output("fast_y", FloatType(0, 10), every(1))
+        ccd.add_output("slow_y", FloatType(0, 10), every(3))
+        ccd.connect("x", "Fast.u")
+        ccd.connect("x", "Slow.u")
+        ccd.connect("Fast.y", "fast_y")
+        ccd.connect("Slow.y", "slow_y")
+        trace = simulate_ccd(ccd, {"x": [1.0] * 6}, ticks=6)
+        assert trace.output("fast_y").presence_count() == 6
+        assert trace.output("slow_y").presence_count() == 2
+
+
+class TestMultirateStimuli:
+    def test_constant_and_clock(self):
+        stream = constant(5, 4, every(2))
+        assert stream.values() == [5, ABSENT, 5, ABSENT]
+        assert presence_ratio(stream) == 0.5
+
+    def test_step_ramp_sine_pulse_sporadic(self):
+        assert step(4, 2, 0.0, 1.0).values() == [0.0, 0.0, 1.0, 1.0]
+        assert ramp(3, slope=2.0).values() == [0.0, 2.0, 4.0]
+        wave = sine(8, amplitude=1.0, period=8)
+        assert wave[0] == pytest.approx(0.0)
+        assert wave[2] == pytest.approx(1.0)
+        assert pulse(4, [1, 3]).values() == [False, True, False, True]
+        events = sporadic(5, [(1, "a"), (3, "b"), (9, "late")])
+        assert events.values() == [ABSENT, "a", ABSENT, "b", ABSENT]
+
+    def test_sine_rejects_bad_period(self):
+        with pytest.raises(SimulationError):
+            sine(4, period=0)
+
+    def test_resample_sample_and_hold(self):
+        fast = Stream([1, 2, 3, 4, 5, 6])
+        slow = resample(fast, every(3))
+        assert slow.values() == [1, ABSENT, ABSENT, 4, ABSENT, ABSENT]
+        gappy = Stream([1, ABSENT, ABSENT, ABSENT, 5, ABSENT])
+        held = resample(gappy, every(2))
+        assert held.values() == [1, ABSENT, 1, ABSENT, 5, ABSENT]
+        strict = resample(gappy, every(2), hold_last=False)
+        assert is_absent(strict[2])
+
+    def test_presence_ratio_empty(self):
+        assert presence_ratio(Stream()) == 0.0

@@ -1,0 +1,453 @@
+"""Tests for the transformation framework and the concrete steps of Sec. 4."""
+
+import pytest
+
+from repro.ascet.comm_matrix import CommunicationMatrix
+from repro.ascet.model import (AscetInterpreter, AscetModule, assign,
+                               if_then_else)
+from repro.core.clocks import every
+from repro.core.components import Component, ExpressionComponent
+from repro.core.errors import TransformationError
+from repro.core.impl_types import BOOL8, FixedPointType, MachineIntType
+from repro.core.model import (AbstractionLevel, AutoModeModel)
+from repro.core.types import BOOL, FloatType, IntType
+from repro.core.values import ABSENT, Stream
+from repro.notations.ccd import Cluster, ClusterCommunicationDiagram
+from repro.notations.dfd import DataFlowDiagram
+from repro.notations.mtd import ModeTransitionDiagram
+from repro.notations.ssd import SSDComponent
+from repro.simulation.engine import simulate
+from repro.transformations.base import (Transformation, TransformationKind,
+                                        TransformationPipeline)
+from repro.transformations.clustering import block_period, cluster_by_clock
+from repro.transformations.deployment import ClusterDeployment, deploy
+from repro.transformations.dissolve import DissolveToCcd, dissolve_to_ccd
+from repro.transformations.mtd_to_dataflow import (MtdToDataflowTransformation,
+                                                   transform_mtd_to_dataflow,
+                                                   verify_equivalence)
+from repro.transformations.reengineering import (BlackBoxReengineering,
+                                                 WhiteBoxReengineering,
+                                                 blackbox_reengineer,
+                                                 reengineer_module,
+                                                 reengineer_process,
+                                                 statements_to_expressions,
+                                                 substitute)
+from repro.transformations.refactoring import (flatten_hierarchy,
+                                               introduce_coordinator,
+                                               mtd_to_mode_port_dfds)
+from repro.transformations.refinement import (quantization_report,
+                                              refine_signal_types)
+from repro.core.expr_parser import parse_expression
+from repro.core.expressions import Literal
+
+
+class TestFramework:
+    def test_kind_enumeration(self):
+        assert str(TransformationKind.REENGINEERING) == "reengineering"
+        assert str(TransformationKind.REFINEMENT) == "refinement"
+
+    def test_apply_and_record(self):
+        class Renamer(Transformation):
+            name = "rename"
+            kind = TransformationKind.REFACTORING
+            source_level = AbstractionLevel.FDA
+            target_level = AbstractionLevel.FDA
+
+            def _transform(self, subject, **options):
+                subject.name = options.get("to", subject.name)
+                return subject, {"new_name": subject.name}
+
+        model = AutoModeModel("M")
+        component = Component("Old")
+        result = Renamer().apply_and_record(component, model, to="New")
+        assert component.name == "New"
+        assert result.details["new_name"] == "New"
+        assert model.history[0].kind == "refactoring"
+        assert "FDA -> FDA" in result.describe()
+
+    def test_inapplicable_transformation_raises(self):
+        transformation = MtdToDataflowTransformation()
+        with pytest.raises(TransformationError):
+            transformation.apply(Component("NotAnMtd"))
+
+    def test_pipeline_runs_steps_in_sequence(self, engine_modes_mtd):
+        pipeline = TransformationPipeline("fda-to-la")
+        pipeline.add_step(MtdToDataflowTransformation())
+        model = AutoModeModel("Engine")
+        result = pipeline.run(engine_modes_mtd, model)
+        assert isinstance(result.output, DataFlowDiagram)
+        assert len(pipeline.results) == 1
+        assert len(model.history) == 1
+        assert "fda-to-la" in pipeline.describe()
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(TransformationError):
+            TransformationPipeline("empty").run(Component("X"))
+
+
+class TestExpressionHelpers:
+    def test_substitute_parameters(self):
+        expression = parse_expression("(pos_des - pos) * k")
+        bound = substitute(expression, {"k": Literal(2.0)})
+        assert "2.0" in bound.to_source()
+        assert "k" not in bound.variables()
+
+    def test_statements_to_expressions_inlines_sequence(self):
+        statements = [assign("tmp", "a * 2"), assign("y", "tmp + 1")]
+        result = statements_to_expressions(statements)
+        assert result["y"].variables() == frozenset({"a"})
+
+    def test_statements_to_expressions_nested_conditionals(self):
+        statements = [if_then_else("c1",
+                                   [assign("y", "1")],
+                                   [if_then_else("c2", [assign("y", "2")],
+                                                 [assign("y", "3")])])]
+        result = statements_to_expressions(statements)
+        from repro.core.expr_eval import evaluate
+        assert evaluate(result["y"], {"c1": False, "c2": True}) == 2
+
+    def test_partial_assignment_without_previous_value_rejected(self):
+        statements = [if_then_else("c", [assign("y", "1")], [])]
+        with pytest.raises(TransformationError):
+            statements_to_expressions(statements)
+
+    def test_partial_assignment_with_previous_value_uses_it(self):
+        statements = [assign("y", "0"),
+                      if_then_else("c", [assign("y", "1")], [])]
+        result = statements_to_expressions(statements)
+        from repro.core.expr_eval import evaluate
+        assert evaluate(result["y"], {"c": False}) == 0
+        assert evaluate(result["y"], {"c": True}) == 1
+
+
+class TestWhiteBoxReengineering:
+    def test_process_with_modes_becomes_mtd(self, engine_project):
+        module = engine_project.module("ThrottleRateOfChange")
+        mtd = reengineer_process(module, module.process("calc_rate"),
+                                 ["FuelEnabled", "CrankingOverrun"])
+        assert isinstance(mtd, ModeTransitionDiagram)
+        assert mtd.mode_names() == ["FuelEnabled", "CrankingOverrun"]
+        assert mtd.initial_mode == "FuelEnabled"
+        assert mtd.validate().is_valid()
+        assert mtd.annotations["reengineered_from"].endswith("calc_rate")
+
+    def test_straight_line_process_becomes_expression_component(self,
+                                                                engine_project):
+        module = engine_project.module("AirMassFlow")
+        component = reengineer_module(module)
+        assert isinstance(component, ExpressionComponent)
+        outputs, _ = component.react({"throttle_angle": 10.0, "n": 1000.0},
+                                     None, 0)
+        assert outputs["air_mass"] == pytest.approx(10.0 * 0.06 * 2.0)
+
+    def test_reengineered_mtd_matches_ascet_interpreter(self, engine_project):
+        module = engine_project.module("FuelInjection")
+        mtd = reengineer_module(module, {"calc_ti": ["Injecting", "FuelCut"]})
+        interpreter = AscetInterpreter(module)
+        scenario = [
+            {"n": 900.0, "air_mass": 30.0, "b_fuel": True, "b_overrun": False},
+            {"n": 3500.0, "air_mass": 10.0, "b_fuel": True, "b_overrun": True},
+            {"n": 300.0, "air_mass": 5.0, "b_fuel": False, "b_overrun": False},
+            {"n": 2000.0, "air_mass": 40.0, "b_fuel": True, "b_overrun": False},
+        ]
+        expected = [out["ti"] for out in interpreter.run(scenario)]
+        trace = simulate(mtd, {key: [s[key] for s in scenario]
+                               for key in scenario[0]}, ticks=len(scenario))
+        assert trace.output("ti").values() == pytest.approx(expected)
+
+    def test_multiple_top_level_conditionals_rejected(self):
+        module = AscetModule("TwoIfs")
+        module.receive("a", 0.0)
+        module.send("x", 0.0)
+        module.send("y", 0.0)
+        process = module.new_process("p")
+        process.add(if_then_else("a > 0", [assign("x", "1")], [assign("x", "2")]))
+        process.add(if_then_else("a > 5", [assign("y", "1")], [assign("y", "2")]))
+        with pytest.raises(TransformationError):
+            reengineer_process(module, process)
+
+    def test_module_without_processes_rejected(self):
+        with pytest.raises(TransformationError):
+            reengineer_module(AscetModule("Empty"))
+
+    def test_project_reengineering_produces_ssd(self, reengineered_fda):
+        assert isinstance(reengineered_fda, SSDComponent)
+        names = set(reengineered_fda.subcomponent_names())
+        assert {"CentralState", "ThrottleRateOfChange", "FuelInjection",
+                "IgnitionTiming", "IdleSpeedControl", "AirMassFlow"} <= names
+        # inter-module flag channels exist (CentralState feeds the others)
+        flag_channels = [channel for channel in reengineered_fda.channels()
+                         if channel.source.component == "CentralState"]
+        assert len(flag_channels) >= 3
+
+    def test_transformation_step_wrapper(self, engine_project):
+        step = WhiteBoxReengineering()
+        result = step.apply(engine_project.module("ThrottleRateOfChange"),
+                            mode_names={"calc_rate": ["FuelEnabled",
+                                                      "CrankingOverrun"]})
+        assert isinstance(result.output, ModeTransitionDiagram)
+        assert result.details["implicit_if_then_else"] == 1
+        with pytest.raises(TransformationError):
+            step.apply("not an ascet artefact")
+
+
+class TestBlackBoxReengineering:
+    def _matrix(self):
+        matrix = CommunicationMatrix("BodyNet")
+        matrix.add("speed", "ESP", ["CentralLocking", "Wipers"])
+        matrix.add("lock_cmd", "CentralLocking", ["DoorActuators"])
+        return matrix
+
+    def test_partial_faa_from_matrix(self):
+        faa = blackbox_reengineer(self._matrix())
+        assert isinstance(faa, SSDComponent)
+        assert set(faa.subcomponent_names()) == {"ESP", "CentralLocking",
+                                                 "Wipers", "DoorActuators"}
+        assert len(faa.internal_channels()) == 3
+        esp = faa.subcomponent("ESP")
+        assert not esp.has_behavior()  # behaviour stays unspecified on FAA
+        assert faa.validate(require_behavior=False).is_valid()
+
+    def test_step_wrapper_rejects_empty_matrix(self):
+        step = BlackBoxReengineering()
+        with pytest.raises(TransformationError):
+            step.apply(CommunicationMatrix("Empty"))
+        result = step.apply(self._matrix())
+        assert result.details["functions"] == 4
+
+
+class TestMtdToDataflow:
+    def test_equivalence_on_engine_modes(self, engine_modes_mtd,
+                                         engine_scenario):
+        dataflow = transform_mtd_to_dataflow(engine_modes_mtd)
+        assert dataflow.validate().is_valid()
+        stimuli = {"n": engine_scenario["n"], "ped": engine_scenario["ped"],
+                   "t_eng": engine_scenario["t_eng"]}
+        equivalent, difference = verify_equivalence(engine_modes_mtd, dataflow,
+                                                    stimuli, ticks=120)
+        assert equivalent, f"first difference: {difference}"
+
+    def test_structure_is_partitionable(self, engine_modes_mtd):
+        dataflow = transform_mtd_to_dataflow(engine_modes_mtd)
+        block_names = set(dataflow.subcomponent_names())
+        assert f"{engine_modes_mtd.name}_ModeController" in block_names
+        behaviour_blocks = [name for name in block_names
+                            if name.startswith("Behavior_")]
+        assert len(behaviour_blocks) == len(engine_modes_mtd.modes())
+        merge_blocks = [name for name in block_names if name.startswith("Merge_")]
+        assert merge_blocks == ["Merge_fuel_factor"]
+
+    def test_empty_mtd_rejected(self):
+        with pytest.raises(TransformationError):
+            transform_mtd_to_dataflow(ModeTransitionDiagram("Empty"))
+
+    def test_refactoring_variant_exposes_mode_ports(self, engine_modes_mtd):
+        dataflow, mode_blocks = mtd_to_mode_port_dfds(engine_modes_mtd)
+        assert len(mode_blocks) == 6
+        assert all("mode_sel" in block.input_names() for block in mode_blocks)
+
+
+class TestRefactoring:
+    def test_introduce_coordinator_resolves_conflict(self, door_lock_faa):
+        from repro.analysis.conflicts import analyze_conflicts
+        coordinator = introduce_coordinator(door_lock_faa, "DoorLock1")
+        assert coordinator.name == "DoorLock1Coordinator"
+        incoming = [channel for channel in door_lock_faa.channels()
+                    if channel.destination.component == "DoorLock1"]
+        assert len(incoming) == 1
+        assert incoming[0].source.component == "DoorLock1Coordinator"
+
+    def test_coordinator_requires_conflict(self, door_lock_faa):
+        with pytest.raises(TransformationError):
+            introduce_coordinator(door_lock_faa, "DoorLock3")
+        with pytest.raises(TransformationError):
+            introduce_coordinator(door_lock_faa, "NoSuchActuator")
+
+    def test_coordinator_arbitrates_by_priority(self):
+        ssd = SSDComponent("Net")
+        first = ExpressionComponent("A", {"cmd": "1"})
+        first.add_output("cmd", IntType(0, 10))
+        second = ExpressionComponent("B", {"cmd": "2"})
+        second.add_output("cmd", IntType(0, 10))
+        actuator_stub = ExpressionComponent("Valve", {"echo": "u"})
+        actuator_stub.add_input("u", IntType(0, 10))
+        actuator_stub.add_input("v", IntType(0, 10))
+        actuator_stub.add_output("echo", IntType(0, 10))
+        ssd.add(first, second, actuator_stub)
+        ssd.add_typed_output("echo", IntType(0, 10))
+        ssd.connect("A.cmd", "Valve.u", delayed=True)
+        ssd.connect("B.cmd", "Valve.v", delayed=True)
+        ssd.connect("Valve.echo", "echo")
+
+        coordinator = introduce_coordinator(ssd, "Valve", strategy="priority")
+        assert coordinator.name == "ValveCoordinator"
+        incoming = [channel for channel in ssd.channels()
+                    if channel.destination.component == "Valve"]
+        assert len(incoming) == 1
+        # the first (highest priority) request -- function A's command -- wins
+        trace = simulate(ssd, {}, ticks=3)
+        assert trace.output("echo").last_present() == 1
+
+    def test_coordinator_last_wins_strategy(self, door_lock_faa):
+        coordinator = introduce_coordinator(door_lock_faa, "DoorLock2",
+                                            strategy="last-wins",
+                                            coordinator_name="FrontRightCoord")
+        assert coordinator.name == "FrontRightCoord"
+        with pytest.raises(TransformationError):
+            introduce_coordinator(door_lock_faa, "DoorLock2",
+                                  strategy="unknown-strategy")
+
+    def test_flatten_hierarchy(self):
+        outer = SSDComponent("Outer")
+        outer.add_typed_input("x", FloatType(0, 100))
+        outer.add_typed_output("y", FloatType(0, 100))
+        inner = SSDComponent("Inner")
+        inner.add_typed_input("u", FloatType(0, 100))
+        inner.add_typed_output("v", FloatType(0, 100))
+        gain = ExpressionComponent("G", {"out": "in1 * 2"})
+        gain.add_input("in1", FloatType(0, 100))
+        gain.add_output("out", FloatType(0, 200))
+        inner.add_subcomponent(gain)
+        inner.connect("u", "G.in1")
+        inner.connect("G.out", "v")
+        outer.add_subcomponent(inner)
+        outer.connect("x", "Inner.u")
+        outer.connect("Inner.v", "y")
+
+        before = simulate(outer, {"x": [1.0, 2.0]}, ticks=2)
+        flatten_hierarchy(outer, ["Inner"])
+        assert "Inner_G" in outer.subcomponent_names()
+        assert "Inner" not in outer.subcomponent_names()
+        after = simulate(outer, {"x": [1.0, 2.0]}, ticks=2)
+        assert before.output("y").values() == after.output("y").values()
+
+    def test_flatten_rejects_atomic_target(self):
+        composite = SSDComponent("S")
+        composite.add_subcomponent(Component("Leaf"))
+        with pytest.raises(TransformationError):
+            flatten_hierarchy(composite, ["Leaf"])
+
+
+class TestDissolveAndClustering:
+    def test_dissolve_to_ccd(self, reengineered_fda):
+        ccd = dissolve_to_ccd(reengineered_fda,
+                              rates={"IgnitionTiming": 2,
+                                     "IdleSpeedControl": 10})
+        assert isinstance(ccd, ClusterCommunicationDiagram)
+        assert len(ccd.clusters()) == len(reengineered_fda.subcomponents())
+        assert ccd.cluster("C_IdleSpeedControl").period == 10
+        assert ccd.cluster("C_CentralState").period == 1
+        # SSD delays are preserved on inter-cluster channels
+        assert any(entry["delayed"] for entry in ccd.rate_transitions())
+
+    def test_dissolve_step_wrapper(self, reengineered_fda):
+        step = DissolveToCcd()
+        result = step.apply(reengineered_fda, rates={"IgnitionTiming": 2})
+        assert result.details["clusters"] == len(reengineered_fda.subcomponents())
+        with pytest.raises(TransformationError):
+            step.apply(Component("NotAnSsd"))
+
+    def test_block_period_sources(self):
+        block = Component("B")
+        assert block_period(block) == 1
+        block.annotate("rate", 5)
+        assert block_period(block) == 5
+        assert block_period(block, {"B": 7}) == 7
+        clocked = Component("C")
+        clocked.add_input("x", clock=every(4))
+        clocked.add_output("y", clock=every(4))
+        assert block_period(clocked) == 4
+
+    def test_cluster_by_clock_partitions_and_rewires(self):
+        dfd = DataFlowDiagram("Mixed")
+        dfd.add_input("u", FloatType(0, 10))
+        dfd.add_output("y", FloatType(0, 100))
+        fast = ExpressionComponent("Fast", {"out": "in1 * 2"})
+        fast.declare_interface_from_expressions()
+        fast.annotate("rate", 1)
+        slow = ExpressionComponent("Slow", {"out": "in1 + 1"})
+        slow.declare_interface_from_expressions()
+        slow.annotate("rate", 10)
+        dfd.add(fast, slow)
+        dfd.connect("u", "Fast.in1")
+        dfd.connect("Fast.out", "Slow.in1")
+        dfd.connect("Slow.out", "y")
+        ccd, partition = cluster_by_clock(dfd)
+        assert partition == {1: ["Fast"], 10: ["Slow"]}
+        assert len(ccd.clusters()) == 2
+        assert len(ccd.rate_transitions()) == 1
+        assert ccd.rate_transitions()[0]["direction"] == "fast-to-slow"
+
+    def test_cluster_by_clock_empty_rejected(self):
+        with pytest.raises(TransformationError):
+            cluster_by_clock(DataFlowDiagram("Empty"))
+
+
+class TestRefinementAndDeployment:
+    def test_refine_signal_types(self):
+        cluster = Cluster("C", rate=every(1))
+        cluster.add_input("n", FloatType(0.0, 8000.0))
+        cluster.add_input("enable", BOOL)
+        cluster.add_output("count", IntType(0, 200))
+        mapping = refine_signal_types(cluster,
+                                      signal_ranges={"n": {"resolution": 0.25}})
+        assert isinstance(mapping.lookup("n").implementation_type, FixedPointType)
+        assert mapping.lookup("enable").implementation_type is BOOL8
+        assert isinstance(mapping.lookup("count").implementation_type,
+                          MachineIntType)
+        assert "n" in cluster.implementation
+
+    def test_quantization_report(self):
+        cluster = Cluster("C", rate=every(1))
+        cluster.add_output("n", FloatType(0.0, 8000.0))
+        mapping = refine_signal_types(cluster)
+        impl = mapping.lookup("n").implementation_type
+        traces = {"n": Stream([0.0, 123.456, 7999.9, ABSENT])}
+        report = quantization_report(mapping, traces)
+        assert report["n"]["max_error"] <= impl.resolution / 2 + 1e-9
+        assert report["n"]["samples"] == 3
+
+    def test_deploy_two_ecus(self, engine_ccd):
+        result = deploy(engine_ccd, ["ECU_Engine", "ECU_Body"],
+                        allocation={"SensorProcessing": "ECU_Engine",
+                                    "FuelAndIgnition": "ECU_Engine"})
+        assert set(result.ecu_of_cluster) == {"SensorProcessing",
+                                              "FuelAndIgnition", "IdleSpeed",
+                                              "Monitoring"}
+        assert result.ecu_of_cluster["FuelAndIgnition"] == "ECU_Engine"
+        # every cluster landed in exactly one task whose period matches
+        for cluster in engine_ccd.clusters():
+            task_name = result.task_of_cluster[cluster.name]
+            ecu = result.architecture.ecu(result.ecu_of_cluster[cluster.name])
+            assert cluster.name in ecu.task(task_name).clusters
+            assert ecu.task(task_name).period == cluster.period
+        assert "deployment of CCD" in result.describe()
+
+    def test_cross_ecu_signals_become_can_frames(self, engine_ccd):
+        result = deploy(engine_ccd, ["ECU_Engine", "ECU_Body"],
+                        allocation={"SensorProcessing": "ECU_Engine",
+                                    "FuelAndIgnition": "ECU_Engine",
+                                    "IdleSpeed": "ECU_Body",
+                                    "Monitoring": "ECU_Body"})
+        assert result.remote_signals() >= 1
+        assert len(result.bus.frames) >= 1
+        assert result.bus.utilization() < 1.0
+        assert len(result.matrix) >= len(result.frame_of_signal)
+
+    def test_single_ecu_has_no_frames(self, engine_ccd):
+        result = deploy(engine_ccd, ["OnlyECU"])
+        assert result.remote_signals() == 0
+        assert len(result.bus.frames) == 0
+
+    def test_deploy_validation(self, engine_ccd):
+        with pytest.raises(Exception):
+            deploy(engine_ccd, [])
+        with pytest.raises(Exception):
+            deploy(engine_ccd, ["E1"], allocation={"SensorProcessing": "Ghost"})
+        with pytest.raises(TransformationError):
+            ClusterDeployment().apply(Component("NotACcd"))
+
+    def test_deployment_step_wrapper(self, engine_ccd):
+        result = ClusterDeployment().apply(engine_ccd,
+                                           ecu_names=["ECU_A", "ECU_B"])
+        assert result.details["ecus"] == 2
