@@ -10,7 +10,10 @@ The module implements
 
 * :class:`Clock` and its concrete forms (:class:`BaseClock`,
   :class:`PeriodicClock`, :class:`SampledClock`, :class:`EventClock`),
-* presence-pattern evaluation over a finite horizon,
+* presence-pattern evaluation over a finite horizon, plus the incremental
+  access API (:meth:`Clock.at`, :meth:`Clock.iter_pattern`,
+  :class:`PatternCache`) used by the simulation engines so that per-tick
+  presence queries do not rebuild whole patterns,
 * clock compatibility and sub-clock relations used by the well-definedness
   checks of the LA level,
 * the harmonic-rate reasoning (``slower_than`` / ``rate_ratio``) needed by
@@ -21,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import gcd
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from .errors import ClockError
 
@@ -32,6 +35,36 @@ class Clock:
     def pattern(self, length: int) -> List[bool]:
         """Presence pattern over the first *length* ticks of the base clock."""
         raise NotImplementedError
+
+    def at(self, tick: int) -> bool:
+        """Presence at a single tick of the base clock.
+
+        Concrete clocks override :meth:`_at` with an O(1) predicate where
+        possible; the fallback derives the answer from :meth:`pattern`.
+        """
+        if tick < 0:
+            raise ClockError("clock presence is only defined for ticks >= 0")
+        return self._at(tick)
+
+    def _at(self, tick: int) -> bool:
+        return self.pattern(tick + 1)[tick]
+
+    def iter_pattern(self, start: int = 0) -> Iterator[bool]:
+        """Infinite iterator of presence values from tick *start* onwards."""
+        if start < 0:
+            raise ClockError("clock presence is only defined for ticks >= 0")
+
+        def generate() -> Iterator[bool]:
+            tick = start
+            while True:
+                yield self._at(tick)
+                tick += 1
+
+        return generate()
+
+    def cached(self, initial_length: int = 0) -> "PatternCache":
+        """An incrementally materialized presence pattern for this clock."""
+        return PatternCache(self, initial_length)
 
     def is_periodic(self) -> bool:
         """True if the clock has a fixed period w.r.t. the base clock."""
@@ -67,6 +100,9 @@ class BaseClock(Clock):
     def pattern(self, length: int) -> List[bool]:
         return [True] * length
 
+    def _at(self, tick: int) -> bool:
+        return True
+
     def is_periodic(self) -> bool:
         return True
 
@@ -94,6 +130,9 @@ class PeriodicClock(Clock):
 
     def pattern(self, length: int) -> List[bool]:
         return [tick % self._every == self._phase for tick in range(length)]
+
+    def _at(self, tick: int) -> bool:
+        return tick % self._every == self._phase
 
     def is_periodic(self) -> bool:
         return True
@@ -131,6 +170,9 @@ class SampledClock(Clock):
         base = self.carrier.pattern(length)
         return [base[tick] and bool(self.condition(tick)) for tick in range(length)]
 
+    def _at(self, tick: int) -> bool:
+        return self.carrier._at(tick) and bool(self.condition(tick))
+
     def expression(self) -> str:
         return f"({self.carrier.expression()}) when ({self.description})"
 
@@ -142,14 +184,60 @@ class EventClock(Clock):
         if any(t < 0 for t in ticks):
             raise ClockError("event ticks must be non-negative")
         self.ticks = sorted(set(int(t) for t in ticks))
+        self._tick_set = frozenset(self.ticks)
         self.description = description
 
     def pattern(self, length: int) -> List[bool]:
-        present = set(self.ticks)
-        return [tick in present for tick in range(length)]
+        return [tick in self._tick_set for tick in range(length)]
+
+    def _at(self, tick: int) -> bool:
+        return tick in self._tick_set
 
     def expression(self) -> str:
         return f"event({self.description})"
+
+
+class PatternCache:
+    """Incrementally materialized presence pattern of one clock.
+
+    The cache grows geometrically: :meth:`at` extends the stored pattern via
+    :meth:`Clock.pattern` only when a tick beyond the current horizon is
+    queried, so simulating *n* ticks costs O(log n) pattern constructions
+    instead of the O(n) of calling ``pattern(tick + 1)`` once per tick.
+    Patterns are deterministic, so one cache may be shared by many
+    simulation runs of the same model (the compiled engine does this).
+    """
+
+    __slots__ = ("clock", "_pattern")
+
+    def __init__(self, clock: Clock, initial_length: int = 0):
+        self.clock = clock
+        self._pattern: List[bool] = (clock.pattern(initial_length)
+                                     if initial_length > 0 else [])
+
+    def __len__(self) -> int:
+        return len(self._pattern)
+
+    def at(self, tick: int) -> bool:
+        """Presence at *tick*, extending the materialized pattern on demand."""
+        if tick < 0:
+            raise ClockError("clock presence is only defined for ticks >= 0")
+        pattern = self._pattern
+        if tick >= len(pattern):
+            new_length = max(tick + 1, 2 * len(pattern), 16)
+            pattern = self.clock.pattern(new_length)
+            self._pattern = pattern
+        return pattern[tick]
+
+    def prefix(self, length: int) -> List[bool]:
+        """The presence pattern over the first *length* ticks."""
+        if length > len(self._pattern):
+            self.at(length - 1)
+        return self._pattern[:length]
+
+    def __repr__(self) -> str:
+        return (f"PatternCache({self.clock.expression()}, "
+                f"materialized={len(self._pattern)})")
 
 
 #: The global discrete time base shared by all flows.

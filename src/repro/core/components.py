@@ -15,11 +15,16 @@ to a global, discrete time-base" (paper Sec. 2).  This module defines
 * :class:`CompositeComponent` -- hierarchical composition of sub-components
   connected by channels, with either instantaneous (DFD) or delayed (SSD)
   channel semantics, including the recursive synchronous execution and the
-  instantaneous-dependency analysis used by the causality check.
+  instantaneous-dependency analysis used by the causality check,
+* :class:`ExecutionPlan` -- the precomputed per-composite schedule (topological
+  evaluation order, instantaneous-propagation lists, delayed-channel seed and
+  commit lists, boundary collection) cached on the composite and shared by
+  the interpreter and the compiled simulation engine.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple)
 
@@ -44,6 +49,8 @@ class Component:
         self.name = name
         self.description = description
         self._ports: Dict[str, Port] = {}
+        #: bumped on every structural mutation; plan-cache keys derive from it
+        self._structure_version = 0
         #: free-form annotations (abstraction level, requirements, actuators...)
         self.annotations: Dict[str, Any] = {}
 
@@ -55,6 +62,7 @@ class Component:
                 f"component {self.name!r} already has a port {port.name!r}")
         port.owner = self
         self._ports[port.name] = port
+        self._structure_version += 1
         return port
 
     def add_input(self, name: str, port_type: Type = ANY,
@@ -124,6 +132,17 @@ class Component:
         """
         all_inputs = set(self.input_names())
         return {out: set(all_inputs) for out in self.output_names()}
+
+    def structure_token(self) -> Any:
+        """A hashable token that changes whenever the structure mutates.
+
+        Composite components recurse into their sub-components, so a cached
+        execution plan is invalidated by any structural change anywhere in
+        the subtree that went through the public mutation API.  Code that
+        performs deliberate surgery on private attributes must call
+        :meth:`CompositeComponent.invalidate_plan` afterwards.
+        """
+        return self._structure_version
 
     # -- misc ------------------------------------------------------------------
     def annotate(self, key: str, value: Any) -> "Component":
@@ -244,6 +263,50 @@ class StatefulComponent(Component):
         return {out: set() for out in self.output_names()}
 
 
+#: A (component name, port name) pair; ``None`` names a boundary port.
+PortKey = Tuple[Optional[str], str]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """Precomputed per-sub-component schedule data of an :class:`ExecutionPlan`."""
+
+    name: str
+    input_names: Tuple[str, ...]
+    #: True if any output depends instantaneously on some input (at plan time)
+    has_feedthrough: bool
+    #: instantaneous channels leaving this sub-component: (source, destination)
+    propagate: Tuple[Tuple[PortKey, PortKey], ...]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One composite's schedule, precomputed once per structure version.
+
+    The plan captures everything :meth:`CompositeComponent.react` otherwise
+    recomputes every tick: the topological evaluation order, the
+    instantaneous-propagation lists per source, the delayed-channel seed and
+    commit lists and the boundary-output collection.  Both the reference
+    interpreter and :mod:`repro.simulation.compiled` consume it.
+    """
+
+    token: Any
+    order: Tuple[str, ...]
+    entries: Tuple[PlanEntry, ...]
+    #: instantaneous channels leaving boundary inputs: (source, destination)
+    boundary_propagate: Tuple[Tuple[PortKey, PortKey], ...]
+    #: delayed channels seeding destination ports: (channel name, dest, initial)
+    delayed_seed: Tuple[Tuple[str, PortKey, Any], ...]
+    #: delayed channels committing at end of tick: (channel name, source)
+    delayed_commit: Tuple[Tuple[str, PortKey], ...]
+    #: channels into boundary outputs: (port, delayed, channel name, initial, src)
+    boundary_outputs: Tuple[Tuple[str, bool, str, Any, PortKey], ...]
+
+    def correction_entries(self) -> Tuple[PlanEntry, ...]:
+        """Entries without feedthrough, eligible for the state-correction pass."""
+        return tuple(e for e in self.entries if not e.has_feedthrough)
+
+
 class CompositeComponent(Component):
     """A component recursively defined by a network of sub-components.
 
@@ -260,6 +323,7 @@ class CompositeComponent(Component):
         self.delayed_channels_by_default = delayed_channels_by_default
         self._subcomponents: Dict[str, Component] = {}
         self._channels: List[Channel] = []
+        self._plan_cache: Optional[ExecutionPlan] = None
 
     # -- structure -------------------------------------------------------------
     def add_subcomponent(self, component: Component) -> Component:
@@ -270,6 +334,7 @@ class CompositeComponent(Component):
         if component is self:
             raise ModelError("a component cannot contain itself")
         self._subcomponents[component.name] = component
+        self._structure_version += 1
         return component
 
     def add(self, *components: Component) -> None:
@@ -306,6 +371,7 @@ class CompositeComponent(Component):
                     f"destination {channel.destination!r} in {self.name!r} is "
                     f"already driven by channel {existing.name!r}")
         self._channels.append(channel)
+        self._structure_version += 1
         return channel
 
     def connect(self, source: str, destination: str,
@@ -408,8 +474,12 @@ class CompositeComponent(Component):
 
         Raises :class:`CausalityError` if the instantaneous sub-graph has a
         cycle (the causality check of the AutoMoDe tool prototype,
-        paper Sec. 3.2).
+        paper Sec. 3.2).  The order is cached with the execution plan and
+        recomputed only when the structure token changes.
         """
+        return list(self.execution_plan().order)
+
+    def _compute_evaluation_order(self) -> List[str]:
         graph = self.instantaneous_subgraph()
         in_degree: Dict[str, int] = {name: 0 for name in graph}
         for source, targets in graph.items():
@@ -432,6 +502,68 @@ class CompositeComponent(Component):
                 f"instantaneous loop in {self.name!r} involving: "
                 f"{', '.join(cycle_members)}")
         return order
+
+    # -- execution plan ----------------------------------------------------------
+    def structure_token(self) -> Any:
+        return (self._structure_version,
+                tuple(sub.structure_token()
+                      for sub in self._subcomponents.values()))
+
+    def invalidate_plan(self) -> None:
+        """Drop the cached execution plan after direct structural surgery.
+
+        The public mutation API (:meth:`add_subcomponent`, :meth:`add_channel`,
+        :meth:`add_port`) invalidates automatically; code that edits the
+        private channel or sub-component collections must call this.
+        """
+        self._structure_version += 1
+        self._plan_cache = None
+
+    def execution_plan(self) -> ExecutionPlan:
+        """The cached :class:`ExecutionPlan` for the current structure."""
+        token = self.structure_token()
+        plan = self._plan_cache
+        if plan is None or plan.token != token:
+            plan = self._build_execution_plan(token)
+            self._plan_cache = plan
+        return plan
+
+    def _build_execution_plan(self, token: Any) -> ExecutionPlan:
+        order = self._compute_evaluation_order()
+        propagate_by_source: Dict[Optional[str], List[Tuple[PortKey, PortKey]]] = {}
+        for channel in self._channels:
+            if channel.delayed:
+                continue
+            propagate_by_source.setdefault(channel.source.component, []).append(
+                (channel.source.key, channel.destination.key))
+        entries = []
+        for sub_name in order:
+            component = self._subcomponents[sub_name]
+            has_feedthrough = any(
+                component.instantaneous_dependencies().values())
+            entries.append(PlanEntry(
+                name=sub_name,
+                input_names=tuple(component.input_names()),
+                has_feedthrough=has_feedthrough,
+                propagate=tuple(propagate_by_source.get(sub_name, ()))))
+        delayed_seed = tuple(
+            (channel.name, channel.destination.key, channel.initial_value)
+            for channel in self._channels if channel.delayed)
+        delayed_commit = tuple(
+            (channel.name, channel.source.key)
+            for channel in self._channels if channel.delayed)
+        boundary_outputs = tuple(
+            (channel.destination.port, channel.delayed, channel.name,
+             channel.initial_value, channel.source.key)
+            for channel in self._channels if channel.destination.is_boundary())
+        return ExecutionPlan(
+            token=token,
+            order=tuple(order),
+            entries=tuple(entries),
+            boundary_propagate=tuple(propagate_by_source.get(None, ())),
+            delayed_seed=delayed_seed,
+            delayed_commit=delayed_commit,
+            boundary_outputs=boundary_outputs)
 
     # -- behaviour ---------------------------------------------------------------
     def has_behavior(self) -> bool:

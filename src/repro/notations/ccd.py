@@ -65,6 +65,9 @@ class Cluster(CompositeComponent):
         self.rate = rate
         for port in self.ports():
             port.reclock(rate)
+        # Port clocks changed in place: bump the structure version so cached
+        # execution plans / compiled schedules keyed on it are invalidated.
+        self.invalidate_plan()
 
     def worst_case_execution_time(self) -> float:
         """A simple WCET estimate used by deployment: 0.1 ticks per leaf block.

@@ -1,6 +1,9 @@
 """Synchronous simulation of AutoMoDe models.
 
-* :mod:`repro.simulation.engine` -- the tick-based simulator and rate gating
+* :mod:`repro.simulation.engine` -- the reference tick-based interpreter and
+  rate gating
+* :mod:`repro.simulation.compiled` -- the compiled engine: one-time schedule
+  compilation, batch scenario runs, differential verification
 * :mod:`repro.simulation.trace` -- recorded traces, trace tables, equivalence
 * :mod:`repro.simulation.causality` -- hierarchical instantaneous-loop check
 * :mod:`repro.simulation.multirate` -- stimulus generators and resampling
@@ -8,7 +11,11 @@
 
 from .causality import (CausalityAnalysis, CausalityResult, analyze_causality,
                         assert_causal, instantaneous_path_exists)
-from .engine import (ClockGatedComponent, Simulator, simulate, simulate_ccd)
+from .compiled import (CompiledSchedule, CompiledSimulator, ScenarioSuite,
+                       compile_ccd, compile_component, simulate_ccd_compiled,
+                       simulate_compiled)
+from .engine import (ClockGatedComponent, Simulator, build_gated_ccd,
+                     normalize_stimulus, simulate, simulate_ccd)
 from .multirate import (align_lengths, constant, presence_ratio, pulse, ramp,
                         resample, sine, sporadic, step)
 from .trace import (SimulationTrace, first_difference, streams_equal,
@@ -16,9 +23,11 @@ from .trace import (SimulationTrace, first_difference, streams_equal,
 
 __all__ = [
     "CausalityAnalysis", "CausalityResult", "ClockGatedComponent",
+    "CompiledSchedule", "CompiledSimulator", "ScenarioSuite",
     "SimulationTrace", "Simulator", "align_lengths", "analyze_causality",
-    "assert_causal", "constant", "first_difference",
-    "instantaneous_path_exists", "presence_ratio", "pulse", "ramp",
-    "resample", "simulate", "simulate_ccd", "sine", "sporadic", "step",
-    "streams_equal", "traces_equivalent",
+    "assert_causal", "build_gated_ccd", "compile_ccd", "compile_component",
+    "constant", "first_difference", "instantaneous_path_exists",
+    "normalize_stimulus", "presence_ratio", "pulse", "ramp", "resample",
+    "simulate", "simulate_ccd", "simulate_ccd_compiled", "simulate_compiled",
+    "sine", "sporadic", "step", "streams_equal", "traces_equivalent",
 ]

@@ -1,0 +1,419 @@
+"""The compiled simulation engine: compile once, run many.
+
+The reference :class:`~repro.simulation.engine.Simulator` is a tree-walking
+interpreter: every tick of every composite re-derives the topological
+evaluation order, the instantaneous-dependency information and the channel
+routing from the model structure.  That is the right reference semantics --
+simple, always in sync with the model -- but it makes simulation the
+bottleneck of FAA/FDA validation (paper Sec. 3.1), where one functional
+concept is exercised against many scenarios.
+
+This module splits execution into two phases:
+
+**Compile** (:func:`compile_component`): the component hierarchy is walked
+*once* and translated into a tree of small step closures with every
+schedule decision precomputed:
+
+* each composite becomes a linear step list (its sub-components in the
+  cached :class:`~repro.core.components.ExecutionPlan` order) with
+  prebuilt instantaneous-propagation lists, delayed-channel seed/commit
+  lists and boundary collection lists -- no per-tick graph analysis;
+* each :class:`~repro.simulation.engine.ClockGatedComponent` gets an
+  incrementally materialized clock pattern
+  (:meth:`~repro.core.clocks.Clock.cached`) shared across runs;
+* each mode-transition diagram gets per-mode transition tables and
+  compiled mode behaviours;
+* every other component (expression/function/stateful blocks, STDs...)
+  is already a single ``react`` call and is executed directly.
+
+**Run** (:class:`CompiledSimulator` / :class:`ScenarioSuite`): the compiled
+schedule is a pure function of ``(inputs, state, tick)`` and can therefore
+be reused across any number of simulation runs.  :class:`ScenarioSuite`
+exploits this for scenario sweeps: one compile, many stimulus sets, with
+:meth:`ScenarioSuite.verify_against_reference` as the built-in differential
+check against the interpreter.
+
+The schedule is compiled from a snapshot of the model: structural changes
+made to the model after compilation are not picked up (recompile instead).
+Observable behaviour -- traces, including ``mode_history`` -- is
+tick-for-tick identical to the reference engine; the differential suite in
+``tests/test_compiled_equivalence.py`` and the golden traces in
+``tests/test_golden_traces.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple)
+
+from ..core.components import (Component, CompositeComponent,
+                               ExpressionComponent)
+from ..core.errors import ModelError, SimulationError
+from ..core.values import ABSENT, is_present
+from ..notations.ccd import ClusterCommunicationDiagram
+from ..notations.mtd import ModeTransitionDiagram
+from .engine import (ClockGatedComponent, Simulator, StimulusSpec,
+                     build_gated_ccd, run_stepped)
+from .trace import SimulationTrace, first_difference
+
+#: A compiled step: ``(inputs, state, tick) -> (outputs, next_state)``.
+StepFunction = Callable[[Mapping[str, Any], Any, int], Tuple[Dict[str, Any], Any]]
+
+
+class CompiledSchedule:
+    """A component compiled into an executable schedule.
+
+    ``step`` is the executable form; ``kind`` names the compilation strategy
+    (``"composite"``, ``"gated"``, ``"mtd"`` or ``"atomic"``) and
+    ``children`` holds the compiled sub-schedules, so tests and tools can
+    inspect what the compiler produced.
+    """
+
+    __slots__ = ("component", "kind", "step", "children")
+
+    def __init__(self, component: Component, kind: str, step: StepFunction,
+                 children: Optional[List[Tuple[str, "CompiledSchedule"]]] = None):
+        self.component = component
+        self.kind = kind
+        self.step = step
+        self.children = children or []
+
+    def initial_state(self) -> Any:
+        return self.component.initial_state()
+
+    def linear_steps(self, prefix: str = "") -> List[Tuple[str, str]]:
+        """The flattened schedule: ``(hierarchical path, kind)`` per node."""
+        path = f"{prefix}/{self.component.name}" if prefix else self.component.name
+        steps = [(path, self.kind)]
+        for _, child in self.children:
+            steps.extend(child.linear_steps(path))
+        return steps
+
+    def describe(self) -> str:
+        """Human-readable rendering of the flattened schedule."""
+        return "\n".join(f"{kind:>10}  {path}"
+                         for path, kind in self.linear_steps())
+
+    def __repr__(self) -> str:
+        return (f"CompiledSchedule({self.component.name!r}, kind={self.kind!r}, "
+                f"steps={len(self.linear_steps())})")
+
+
+def compile_component(component: Component) -> CompiledSchedule:
+    """Compile *component* into a reusable execution schedule."""
+    if isinstance(component, CompositeComponent) \
+            and type(component).react is CompositeComponent.react:
+        return _compile_composite(component)
+    if isinstance(component, ClockGatedComponent) \
+            and type(component).react is ClockGatedComponent.react:
+        return _compile_gated(component)
+    if isinstance(component, ModeTransitionDiagram) \
+            and type(component).react is ModeTransitionDiagram.react:
+        return _compile_mtd(component)
+    if isinstance(component, ExpressionComponent) \
+            and type(component).react is ExpressionComponent.react:
+        return _compile_expression(component)
+    return _compile_atomic(component)
+
+
+def _compile_atomic(component: Component) -> CompiledSchedule:
+    """A component with its own ``react`` is already a single step."""
+    return CompiledSchedule(component, "atomic", component.react)
+
+
+def _compile_expression(component: ExpressionComponent) -> CompiledSchedule:
+    """Specialized atomic step for expression blocks.
+
+    The reference ``react`` copies the inputs into a fresh environment dict
+    every tick; the evaluator never mutates its environment, and the input
+    dicts built by the surrounding compiled composite (or simulator loop)
+    are fresh per tick, so evaluating against *inputs* directly is
+    observationally identical and saves one dict copy per block per tick.
+    """
+    items = tuple(component.output_expressions.items())
+    evaluate = component._evaluator.evaluate  # noqa: SLF001 - same evaluator
+
+    def step(inputs: Mapping[str, Any], state: Any,
+             tick: int) -> Tuple[Dict[str, Any], Any]:
+        return {name: evaluate(expression, inputs)
+                for name, expression in items}, state
+
+    return CompiledSchedule(component, "atomic", step)
+
+
+def _compile_composite(component: CompositeComponent) -> CompiledSchedule:
+    """Flatten one composite into a linear step list over its plan."""
+    plan = component.execution_plan()
+    children = [(entry.name, compile_component(component.subcomponent(entry.name)))
+                for entry in plan.entries]
+    steps = {name: schedule.step for name, schedule in children}
+    for entry in plan.entries:
+        sub = component.subcomponent(entry.name)
+        if not sub.has_behavior():
+            raise SimulationError(
+                f"sub-component {entry.name!r} of {component.name!r} has no "
+                f"executable behaviour")
+
+    def _input_keys(entry):
+        # Pre-allocate the (sub, port) lookup keys once per schedule instead
+        # of building a tuple per port per tick on the hot path.
+        return tuple((port_name, (entry.name, port_name))
+                     for port_name in entry.input_names)
+
+    entries = tuple((entry.name, steps[entry.name], _input_keys(entry),
+                     entry.propagate) for entry in plan.entries)
+    corrections = tuple((entry.name, steps[entry.name], _input_keys(entry))
+                        for entry in plan.correction_entries())
+    track_corrections = bool(corrections)
+    boundary_propagate = plan.boundary_propagate
+    delayed_seed = plan.delayed_seed
+    delayed_commit = plan.delayed_commit
+    boundary_outputs = plan.boundary_outputs
+    output_names = tuple(component.output_names())
+    initial_state = component.initial_state
+
+    def step(inputs: Mapping[str, Any], state: Any,
+             tick: int) -> Tuple[Dict[str, Any], Any]:
+        if state is None:
+            state = initial_state()
+        sub_states: Dict[str, Any] = dict(state["subs"])
+        delayed_buffers: Dict[str, Any] = dict(state["delayed"])
+
+        port_values: Dict[Tuple[Optional[str], str], Any] = {}
+        for name, value in inputs.items():
+            port_values[(None, name)] = value
+        for channel_name, dst_key, initial_value in delayed_seed:
+            port_values[dst_key] = delayed_buffers.get(channel_name,
+                                                       initial_value)
+        for src_key, dst_key in boundary_propagate:
+            if src_key in port_values:
+                port_values[dst_key] = port_values[src_key]
+
+        seen_inputs: Dict[str, Dict[str, Any]] = {}
+        for sub_name, sub_step, input_keys, propagate in entries:
+            sub_inputs = {port_name: port_values.get(key, ABSENT)
+                          for port_name, key in input_keys}
+            outputs, new_state = sub_step(sub_inputs,
+                                          sub_states.get(sub_name), tick)
+            if track_corrections:
+                seen_inputs[sub_name] = sub_inputs
+            sub_states[sub_name] = new_state
+            for port_name, value in outputs.items():
+                port_values[(sub_name, port_name)] = value
+            for src_key, dst_key in propagate:
+                if src_key in port_values:
+                    port_values[dst_key] = port_values[src_key]
+
+        # State-correction pass: a non-feedthrough sub-component evaluated
+        # before its producers saw stale inputs in its state update; re-run
+        # it from the original state with the final values (its outputs
+        # cannot change, mirroring the reference interpreter).
+        for sub_name, sub_step, input_keys in corrections:
+            final_inputs = {port_name: port_values.get(key, ABSENT)
+                            for port_name, key in input_keys}
+            if final_inputs != seen_inputs[sub_name]:
+                _, corrected_state = sub_step(
+                    final_inputs, state["subs"].get(sub_name), tick)
+                sub_states[sub_name] = corrected_state
+
+        boundary: Dict[str, Any] = {name: ABSENT for name in output_names}
+        for port_name, is_delayed, channel_name, initial_value, src_key \
+                in boundary_outputs:
+            if is_delayed:
+                boundary[port_name] = delayed_buffers.get(channel_name,
+                                                          initial_value)
+            else:
+                boundary[port_name] = port_values.get(src_key, ABSENT)
+
+        for channel_name, src_key in delayed_commit:
+            delayed_buffers[channel_name] = port_values.get(src_key, ABSENT)
+
+        return boundary, {"subs": sub_states, "delayed": delayed_buffers}
+
+    return CompiledSchedule(component, "composite", step, children)
+
+
+def _compile_gated(component: ClockGatedComponent) -> CompiledSchedule:
+    """Gate a compiled inner schedule by a cached clock pattern."""
+    inner = compile_component(component.inner)
+    inner_step = inner.step
+    pattern = component.clock.cached()
+    output_names = tuple(component.output_names())
+    initial_state = component.initial_state
+
+    def step(inputs: Mapping[str, Any], state: Any,
+             tick: int) -> Tuple[Dict[str, Any], Any]:
+        if state is None:
+            state = initial_state()
+        if not pattern.at(tick):
+            return {name: ABSENT for name in output_names}, state
+        inner_outputs, inner_state = inner_step(inputs, state["inner"], tick)
+        return dict(inner_outputs), {"inner": inner_state,
+                                     "pattern_cache": state.get("pattern_cache")}
+
+    return CompiledSchedule(component, "gated", step,
+                            [(component.inner.name, inner)])
+
+
+def _compile_mtd(component: ModeTransitionDiagram) -> CompiledSchedule:
+    """Precompute per-mode transition tables and compile mode behaviours."""
+    if not component.modes():
+        raise ModelError(f"MTD {component.name!r} has no modes")
+    evaluator = component._evaluator  # noqa: SLF001 - same evaluator as react
+    children: List[Tuple[str, CompiledSchedule]] = []
+    behaviors: Dict[str, Optional[Tuple[StepFunction, Tuple[str, ...]]]] = {}
+    for mode in component.modes():
+        if mode.behavior is None:
+            behaviors[mode.name] = None
+            continue
+        compiled = compile_component(mode.behavior)
+        children.append((mode.name, compiled))
+        behaviors[mode.name] = (compiled.step,
+                                tuple(mode.behavior.input_names()))
+    transition_table = {
+        mode.name: tuple((t.guard, t.target, t.describe())
+                         for t in component.transitions_from(mode.name))
+        for mode in component.modes()}
+    output_names = tuple(component.output_names())
+    mode_port = (component.MODE_PORT if component.MODE_PORT in output_names
+                 else None)
+    initial_mode = component.initial_mode
+    initial_state = component.initial_state
+
+    def step(inputs: Mapping[str, Any], state: Any,
+             tick: int) -> Tuple[Dict[str, Any], Any]:
+        if state is None:
+            state = initial_state()
+        current = state["mode"] or initial_mode
+        mode_states = dict(state["mode_states"])
+
+        fired_description = None
+        environment = dict(inputs)
+        for guard, target, description in transition_table[current]:
+            value = evaluator.evaluate(guard, environment)
+            if is_present(value) and bool(value):
+                fired_description = description
+                current = target
+                break
+
+        outputs: Dict[str, Any] = {name: ABSENT for name in output_names}
+        behavior = behaviors[current]
+        if behavior is not None:
+            behavior_step, behavior_inputs = behavior
+            sub_inputs = {name: inputs.get(name, ABSENT)
+                          for name in behavior_inputs}
+            mode_outputs, new_mode_state = behavior_step(
+                sub_inputs, mode_states.get(current), tick)
+            mode_states[current] = new_mode_state
+            outputs.update(mode_outputs)
+        if mode_port is not None:
+            outputs[mode_port] = current
+
+        return outputs, {"mode": current, "mode_states": mode_states,
+                         "last_transition": fired_description}
+
+    return CompiledSchedule(component, "mtd", step, children)
+
+
+class CompiledSimulator:
+    """Drop-in replacement for :class:`Simulator` backed by a compiled schedule.
+
+    The schedule is built once in the constructor; :meth:`run` may be called
+    any number of times with different stimuli, which is what makes scenario
+    sweeps cheap.  Semantics, including every error path, match the
+    reference engine.
+    """
+
+    def __init__(self, component: Component, check_types: bool = False):
+        if not component.has_behavior():
+            raise SimulationError(
+                f"component {component.name!r} has no executable behaviour and "
+                "cannot be simulated (FAA components may be structure-only)")
+        self.component = component
+        self.check_types = check_types
+        self.schedule = compile_component(component)
+
+    def run(self, stimuli: Optional[Mapping[str, StimulusSpec]] = None,
+            ticks: int = 10) -> SimulationTrace:
+        """Simulate for *ticks* ticks and return the recorded trace."""
+        return run_stepped(self.component, self.schedule.step, stimuli,
+                           ticks, self.check_types)
+
+
+def simulate_compiled(component: Component,
+                      stimuli: Optional[Mapping[str, StimulusSpec]] = None,
+                      ticks: int = 10,
+                      check_types: bool = False) -> SimulationTrace:
+    """Convenience wrapper: compile *component*, run once, return the trace."""
+    return CompiledSimulator(component, check_types=check_types).run(stimuli,
+                                                                     ticks)
+
+
+def compile_ccd(ccd: ClusterCommunicationDiagram,
+                check_types: bool = False) -> CompiledSimulator:
+    """Compile the gated execution view of a CCD (cluster-rate gating)."""
+    return CompiledSimulator(build_gated_ccd(ccd), check_types=check_types)
+
+
+def simulate_ccd_compiled(ccd: ClusterCommunicationDiagram,
+                          stimuli: Optional[Mapping[str, StimulusSpec]] = None,
+                          ticks: int = 20,
+                          check_types: bool = False) -> SimulationTrace:
+    """Compiled counterpart of :func:`~repro.simulation.engine.simulate_ccd`."""
+    return compile_ccd(ccd, check_types=check_types).run(stimuli, ticks)
+
+
+class ScenarioSuite:
+    """A batch of scenarios sharing one compiled schedule.
+
+    This is the scenario-diversity axis of validation: sweep engine-mode
+    sequences, event storms or randomized stimulus sets against the same
+    model while paying the compilation cost once.
+    """
+
+    def __init__(self, component: Component, check_types: bool = False):
+        self.simulator = CompiledSimulator(component, check_types=check_types)
+        self._scenarios: List[Tuple[str, Optional[Mapping[str, StimulusSpec]],
+                                    int]] = []
+
+    def add(self, name: str,
+            stimuli: Optional[Mapping[str, StimulusSpec]] = None,
+            ticks: int = 10) -> "ScenarioSuite":
+        """Register a scenario; returns ``self`` for chaining."""
+        if any(existing == name for existing, _, _ in self._scenarios):
+            raise SimulationError(
+                f"scenario suite already has a scenario {name!r}")
+        self._scenarios.append((name, stimuli, ticks))
+        return self
+
+    def names(self) -> List[str]:
+        return [name for name, _, _ in self._scenarios]
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def run_all(self) -> Dict[str, SimulationTrace]:
+        """Run every scenario against the compiled schedule."""
+        return {name: self.simulator.run(stimuli, ticks)
+                for name, stimuli, ticks in self._scenarios}
+
+    def verify_against_reference(self) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Differential check: compiled vs interpreter, per scenario.
+
+        Returns the :func:`~repro.simulation.trace.first_difference` result
+        for every scenario -- ``None`` everywhere means the engines agree
+        tick-for-tick on all scenarios.
+        """
+        reference = Simulator(self.simulator.component,
+                              check_types=self.simulator.check_types)
+        differences: Dict[str, Optional[Dict[str, Any]]] = {}
+        for name, stimuli, ticks in self._scenarios:
+            compiled_trace = self.simulator.run(stimuli, ticks)
+            reference_trace = reference.run(stimuli, ticks)
+            difference = first_difference(reference_trace, compiled_trace)
+            if difference is None \
+                    and reference_trace.mode_history != compiled_trace.mode_history:
+                difference = {"signal": "mode_history", "tick": None,
+                              "first": reference_trace.mode_history,
+                              "second": compiled_trace.mode_history}
+            differences[name] = difference
+        return differences

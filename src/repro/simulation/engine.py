@@ -32,7 +32,7 @@ from .trace import SimulationTrace
 StimulusSpec = Union[Stream, Sequence[Any], Callable[[int], Any], int, float, bool, str]
 
 
-def _normalize_stimulus(spec: StimulusSpec, ticks: int) -> Callable[[int], Any]:
+def normalize_stimulus(spec: StimulusSpec, ticks: int) -> Callable[[int], Any]:
     """Turn any accepted stimulus specification into a ``tick -> value`` map."""
     if isinstance(spec, Stream):
         values = spec.values()
@@ -44,6 +44,55 @@ def _normalize_stimulus(spec: StimulusSpec, ticks: int) -> Callable[[int], Any]:
         return lambda tick: values[tick] if tick < len(values) else ABSENT
     # scalar constant
     return lambda tick: spec
+
+
+def run_stepped(component: Component,
+                step: Callable[[Mapping[str, Any], Any, int],
+                               "tuple[Dict[str, Any], Any]"],
+                stimuli: Optional[Mapping[str, StimulusSpec]],
+                ticks: int, check_types: bool) -> SimulationTrace:
+    """The driver loop shared by the reference and the compiled engine.
+
+    Validates the stimuli against *component*'s interface, then repeatedly
+    applies *step* -- ``component.react`` for the interpreter, a compiled
+    schedule for :class:`~repro.simulation.compiled.CompiledSimulator` --
+    recording a trace (and mode history for mode-carrying states).  Keeping
+    one loop guarantees both engines agree on stimulus handling, type
+    checking and trace bookkeeping by construction.
+    """
+    if ticks < 0:
+        raise SimulationError("tick count must be non-negative")
+    stimuli = dict(stimuli or {})
+    input_names = component.input_names()
+    unknown = set(stimuli) - set(input_names)
+    if unknown:
+        raise SimulationError(
+            f"stimuli refer to unknown input ports {sorted(unknown)} of "
+            f"component {component.name!r}")
+    generators = {name: normalize_stimulus(spec, ticks)
+                  for name, spec in stimuli.items()}
+    feeds = tuple((name, generators.get(name)) for name in input_names)
+
+    trace = SimulationTrace(component.name)
+    state = component.initial_state()
+    for tick in range(ticks):
+        inputs: Dict[str, Any] = {}
+        for name, generator in feeds:
+            value = generator(tick) if generator is not None else ABSENT
+            if check_types and not is_absent(value):
+                check_value(value, component.port(name).port_type,
+                            context=f"{component.name}.{name}@t{tick}")
+            inputs[name] = value
+        outputs, state = step(inputs, state, tick)
+        if check_types:
+            for name, value in outputs.items():
+                if component.has_port(name) and not is_absent(value):
+                    check_value(value, component.port(name).port_type,
+                                context=f"{component.name}.{name}@t{tick}")
+        trace.record_tick(inputs, outputs)
+        if isinstance(state, dict) and "mode" in state:
+            trace.mode_history.append(state["mode"])
+    return trace
 
 
 class Simulator:
@@ -60,38 +109,8 @@ class Simulator:
     def run(self, stimuli: Optional[Mapping[str, StimulusSpec]] = None,
             ticks: int = 10) -> SimulationTrace:
         """Simulate for *ticks* ticks and return the recorded trace."""
-        if ticks < 0:
-            raise SimulationError("tick count must be non-negative")
-        stimuli = dict(stimuli or {})
-        unknown = set(stimuli) - set(self.component.input_names())
-        if unknown:
-            raise SimulationError(
-                f"stimuli refer to unknown input ports {sorted(unknown)} of "
-                f"component {self.component.name!r}")
-        generators = {name: _normalize_stimulus(spec, ticks)
-                      for name, spec in stimuli.items()}
-
-        trace = SimulationTrace(self.component.name)
-        state = self.component.initial_state()
-        for tick in range(ticks):
-            inputs: Dict[str, Any] = {}
-            for name in self.component.input_names():
-                generator = generators.get(name)
-                value = generator(tick) if generator is not None else ABSENT
-                if self.check_types and not is_absent(value):
-                    check_value(value, self.component.port(name).port_type,
-                                context=f"{self.component.name}.{name}@t{tick}")
-                inputs[name] = value
-            outputs, state = self.component.react(inputs, state, tick)
-            if self.check_types:
-                for name, value in outputs.items():
-                    if self.component.has_port(name) and not is_absent(value):
-                        check_value(value, self.component.port(name).port_type,
-                                    context=f"{self.component.name}.{name}@t{tick}")
-            trace.record_tick(inputs, outputs)
-            if isinstance(state, dict) and "mode" in state:
-                trace.mode_history.append(state["mode"])
-        return trace
+        return run_stepped(self.component, self.component.react, stimuli,
+                           ticks, self.check_types)
 
 
 def simulate(component: Component,
@@ -130,23 +149,32 @@ class ClockGatedComponent(Component):
     def react(self, inputs, state, tick):
         if state is None:
             state = self.initial_state()
-        pattern = self.clock.pattern(tick + 1)
-        active = pattern[tick] if tick < len(pattern) else False
-        if not active:
+        # The presence pattern is materialized incrementally and kept in the
+        # state's pattern_cache slot, so an n-tick simulation queries the
+        # clock O(log n) times instead of rebuilding pattern(tick + 1) per
+        # tick (which made gated simulation O(ticks^2)).
+        cache = state.get("pattern_cache")
+        if getattr(cache, "clock", None) is not self.clock:
+            cache = self.clock.cached()
+        if not cache.at(tick):
             outputs = {name: ABSENT for name in self.output_names()}
-            return outputs, state
+            return outputs, {"inner": state["inner"], "pattern_cache": cache}
         inner_outputs, inner_state = self.inner.react(inputs, state["inner"], tick)
         return dict(inner_outputs), {"inner": inner_state,
-                                     "pattern_cache": state.get("pattern_cache")}
+                                     "pattern_cache": cache}
 
     def instantaneous_dependencies(self):
         return self.inner.instantaneous_dependencies()
 
+    def structure_token(self):
+        # The wrapped component lives in self.inner, not in _subcomponents;
+        # recurse so enclosing composites' cached plans see its mutations.
+        return (self._structure_version, self.inner.structure_token())
 
-def simulate_ccd(ccd: ClusterCommunicationDiagram,
-                 stimuli: Optional[Mapping[str, StimulusSpec]] = None,
-                 ticks: int = 20, check_types: bool = False) -> SimulationTrace:
-    """Simulate a CCD with every cluster gated by its explicit rate clock.
+
+def build_gated_ccd(ccd: ClusterCommunicationDiagram
+                    ) -> ClusterCommunicationDiagram:
+    """Build the gated execution view of a CCD (shared by both engines).
 
     A gated copy of the diagram is built so that each cluster only reacts at
     the ticks of its rate clock; the structure (channels, boundary ports) is
@@ -180,4 +208,11 @@ def simulate_ccd(ccd: ClusterCommunicationDiagram,
             name=channel.name, delayed=channel.delayed,
             initial_value=channel.initial_value)
 
-    return simulate(gated, stimuli, ticks, check_types)
+    return gated
+
+
+def simulate_ccd(ccd: ClusterCommunicationDiagram,
+                 stimuli: Optional[Mapping[str, StimulusSpec]] = None,
+                 ticks: int = 20, check_types: bool = False) -> SimulationTrace:
+    """Simulate a CCD with every cluster gated by its explicit rate clock."""
+    return simulate(build_gated_ccd(ccd), stimuli, ticks, check_types)

@@ -89,6 +89,7 @@ def introduce_coordinator(network: SSDComponent, actuator: str,
     # remove the conflicting channels, then rewire through the coordinator
     for channel in incoming:
         network._channels.remove(channel)  # noqa: SLF001 - deliberate surgery
+    network.invalidate_plan()
     network.add_subcomponent(coordinator)
     for index, (source_component, source_port) in enumerate(request_sources):
         source = (source_port if source_component is None
@@ -222,6 +223,7 @@ def _dissolve_child(parent: CompositeComponent, child: CompositeComponent) -> No
                     or channel.destination.component == prefix]
     for channel in old_channels:
         parent._channels.remove(channel)  # noqa: SLF001 - deliberate surgery
+    parent.invalidate_plan()
     for channel in old_channels:
         if channel.destination.component == prefix:
             internal_targets = inward.get(channel.destination.port, [])
@@ -244,6 +246,7 @@ def _dissolve_child(parent: CompositeComponent, child: CompositeComponent) -> No
                            initial_value=channel.initial_value)
 
     del parent._subcomponents[prefix]  # noqa: SLF001 - deliberate surgery
+    parent.invalidate_plan()
 
 
 class FlattenHierarchyRefactoring(Transformation):

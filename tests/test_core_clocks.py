@@ -111,3 +111,66 @@ class TestClockRelations:
         merged = merge_patterns([[True, False, False], [False, True]])
         assert merged == [True, True, False]
         assert merge_patterns([]) == []
+
+
+class TestIncrementalPresenceAPI:
+    """Clock.at / iter_pattern / PatternCache agree with pattern()."""
+
+    CLOCKS = [
+        BASE_CLOCK,
+        every(3),
+        every(4, phase=2),
+        EventClock([0, 3, 5, 17]),
+        SampledClock(every(2), lambda tick: tick % 3 == 0, "every3rd"),
+    ]
+
+    def test_at_matches_pattern(self):
+        for clock in self.CLOCKS:
+            pattern = clock.pattern(40)
+            assert [clock.at(tick) for tick in range(40)] == pattern
+
+    def test_at_rejects_negative_ticks(self):
+        for clock in self.CLOCKS:
+            with pytest.raises(ClockError):
+                clock.at(-1)
+
+    def test_iter_pattern_matches_pattern(self):
+        for clock in self.CLOCKS:
+            iterator = clock.iter_pattern()
+            assert [next(iterator) for _ in range(25)] == clock.pattern(25)
+
+    def test_iter_pattern_with_start_offset(self):
+        clock = every(3)
+        iterator = clock.iter_pattern(start=5)
+        assert [next(iterator) for _ in range(6)] == clock.pattern(11)[5:]
+        with pytest.raises(ClockError):
+            clock.iter_pattern(start=-1)
+
+    def test_pattern_cache_matches_and_grows_geometrically(self):
+        calls = []
+
+        class Counting(PeriodicClock):
+            def pattern(self, length):
+                calls.append(length)
+                return super().pattern(length)
+
+        clock = Counting(2)
+        cache = clock.cached()
+        assert len(cache) == 0
+        for tick in range(300):
+            assert cache.at(tick) == (tick % 2 == 0)
+        assert len(calls) <= 9, calls  # O(log n), not one call per tick
+        assert len(cache) >= 300
+
+    def test_pattern_cache_prefix_and_negative_tick(self):
+        cache = every(2).cached(initial_length=4)
+        assert len(cache) == 4
+        assert cache.prefix(10) == every(2).pattern(10)
+        with pytest.raises(ClockError):
+            cache.at(-1)
+        assert "every(2, true)" in repr(cache)
+
+    def test_cached_initial_length(self):
+        cache = EventClock([1, 2]).cached(initial_length=8)
+        assert len(cache) == 8
+        assert cache.at(1) is True and cache.at(7) is False

@@ -286,3 +286,124 @@ class TestCompositeComponent:
         composite.connect("Probe.out", "y")
         outputs, _ = composite.react({}, None, 0)
         assert outputs["y"] is False
+
+
+class TestExecutionPlanCaching:
+    """evaluation_order / execution_plan are cached per structure version."""
+
+    def _chain(self):
+        composite = CompositeComponent("Plan")
+        composite.add_input("u")
+        composite.add_output("y")
+        a = ExpressionComponent("A", {"out": "in1 + 1"})
+        a.declare_interface_from_expressions()
+        b = ExpressionComponent("B", {"out": "in1 * 2"})
+        b.declare_interface_from_expressions()
+        composite.add(a, b)
+        composite.connect("u", "A.in1")
+        composite.connect("A.out", "B.in1")
+        composite.connect("B.out", "y")
+        return composite
+
+    def test_plan_is_cached_until_structure_changes(self):
+        composite = self._chain()
+        plan = composite.execution_plan()
+        assert composite.execution_plan() is plan
+        assert plan.order == ("A", "B")
+        # adding structure through the public API invalidates the cache
+        c = ExpressionComponent("C", {"out": "in1"})
+        c.declare_interface_from_expressions()
+        composite.add_subcomponent(c)
+        composite.connect("B.out", "C.in1")
+        new_plan = composite.execution_plan()
+        assert new_plan is not plan
+        assert new_plan.order == ("A", "B", "C")
+
+    def test_submodel_mutation_invalidates_parent_plan(self):
+        composite = self._chain()
+        plan = composite.execution_plan()
+        # adding a port to a sub-component changes the recursive token
+        composite.subcomponent("B").add_input("extra")
+        assert composite.execution_plan() is not plan
+
+    def test_invalidate_plan_after_private_surgery(self):
+        composite = self._chain()
+        plan = composite.execution_plan()
+        channel = [c for c in composite.channels()
+                   if c.destination.component == "B"][0]
+        composite._channels.remove(channel)  # deliberate surgery
+        composite.invalidate_plan()
+        new_plan = composite.execution_plan()
+        assert new_plan is not plan
+        assert all(dst != ("B", "in1")
+                   for _, dst in new_plan.entries[0].propagate)
+
+    def test_plan_contents_describe_the_schedule(self):
+        composite = CompositeComponent("P")
+        composite.add_input("u")
+        composite.add_output("y")
+        gain = ExpressionComponent("G", {"out": "in1"})
+        gain.declare_interface_from_expressions()
+        composite.add_subcomponent(gain)
+        composite.connect("u", "G.in1")
+        composite.connect("G.out", "y", delayed=True, initial_value=7)
+        plan = composite.execution_plan()
+        assert plan.boundary_propagate == (((None, "u"), ("G", "in1")),)
+        assert len(plan.delayed_seed) == 1
+        assert len(plan.delayed_commit) == 1
+        (port, delayed, _, initial, src) = plan.boundary_outputs[0]
+        assert port == "y" and delayed and initial == 7 and src == ("G", "out")
+        entry = plan.entries[0]
+        assert entry.name == "G" and entry.has_feedthrough
+        assert plan.correction_entries() == ()
+
+    def test_evaluation_order_still_detects_cycles_after_mutation(self):
+        composite = CompositeComponent("Cyclic")
+        a = ExpressionComponent("A", {"out": "in1"})
+        a.declare_interface_from_expressions()
+        b = ExpressionComponent("B", {"out": "in1"})
+        b.declare_interface_from_expressions()
+        composite.add(a, b)
+        composite.connect("A.out", "B.in1")
+        assert composite.evaluation_order() == ["A", "B"]
+        composite.connect("B.out", "A.in1")  # closes an instantaneous loop
+        with pytest.raises(CausalityError):
+            composite.evaluation_order()
+
+    def test_structure_token_recurses_into_subtree(self):
+        outer = CompositeComponent("Outer")
+        inner = CompositeComponent("Inner")
+        leaf = ExpressionComponent("Leaf", {"out": "in1"})
+        leaf.declare_interface_from_expressions()
+        inner.add_subcomponent(leaf)
+        outer.add_subcomponent(inner)
+        token = outer.structure_token()
+        leaf.add_output("extra")
+        assert outer.structure_token() != token
+
+    def test_gated_wrapper_mutation_invalidates_enclosing_plan(self):
+        """ClockGatedComponent holds its child in .inner, not _subcomponents;
+        the recursive token must still see mutations through the wrapper."""
+        from repro.core.clocks import every
+        from repro.simulation import ClockGatedComponent
+
+        inner = CompositeComponent("Inner")
+        inner.add_input("u")
+        inner.add_output("y")
+        leaf = ExpressionComponent("L", {"out": "in1"})
+        leaf.declare_interface_from_expressions()
+        inner.add_subcomponent(leaf)
+        inner.connect("u", "L.in1")
+        inner.connect("L.out", "y")
+
+        parent = CompositeComponent("Parent")
+        parent.add_input("u")
+        parent.add_output("y")
+        gated = ClockGatedComponent(inner, every(2), name="GatedInner")
+        parent.add_subcomponent(gated)
+        parent.connect("u", "GatedInner.u")
+        parent.connect("GatedInner.y", "y")
+
+        plan = parent.execution_plan()
+        inner.subcomponent("L").add_input("extra")  # public-API mutation
+        assert parent.execution_plan() is not plan

@@ -1,0 +1,132 @@
+"""Golden-trace regression tests for both simulation engines.
+
+The reference traces of the three case studies (engine control CCD, door
+lock MTD, reengineered FDA) plus the closed-loop momentum controller were
+recorded once and fingerprinted; both the interpreter and the compiled
+engine must reproduce them exactly.  This guards every future engine
+refactor: a fingerprint change means the observable semantics moved, which
+is only acceptable with a deliberate, documented re-record.
+
+Float values are canonicalized with ``%.12g`` before hashing so the
+fingerprints are robust against formatting noise while still catching any
+real numeric drift.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.casestudy import (acceleration_scenario, build_closed_loop,
+                             build_door_lock_control, build_engine_ccd,
+                             build_reengineered_fda, crash_scenario,
+                             driving_scenario)
+from repro.core.values import ABSENT
+from repro.simulation import (CompiledSimulator, Simulator, build_gated_ccd,
+                              simulate, simulate_ccd, simulate_ccd_compiled,
+                              simulate_compiled)
+
+GOLDEN_FINGERPRINTS = {
+    "engine_ccd":
+        "a73ed2f2204535273a8dc7eacc1674d380d686bf029b32376808720a8c6b0add",
+    "door_lock":
+        "4a34f191b4c8e129b72f6e4bdbbace5bcd92f340462e1e25bd050ce032862c69",
+    "reengineered":
+        "90d60622f3147df271292530630b4574a79c7dc6563a4d520394a4745a2caa5e",
+    "momentum":
+        "ac40e6c4ad11160f827a19d864d5aa083a4a70baa87f2551290bcc202b299a46",
+}
+
+GOLDEN_DOOR_LOCK_MODES = [
+    "Unlocked", "Unlocked", "Locked", "Locked", "Locked",
+    "CrashUnlocked", "CrashUnlocked", "CrashUnlocked",
+]
+
+
+def canon(value):
+    """Canonical text form of one trace value (stable across formatting)."""
+    if value is ABSENT:
+        return "-"
+    if isinstance(value, float) and not isinstance(value, bool):
+        return format(value, ".12g")
+    return repr(value)
+
+
+def trace_fingerprint(trace):
+    """SHA-256 over all output streams (and mode history) of a trace."""
+    lines = []
+    for name in sorted(trace.outputs):
+        lines.append(name + ":" +
+                     ",".join(canon(v) for v in trace.outputs[name]))
+    if trace.mode_history:
+        lines.append("modes:" + ",".join(str(m) for m in trace.mode_history))
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _filtered(scenario, component):
+    return {name: values for name, values in scenario.items()
+            if name in component.input_names()}
+
+
+ENGINES = ["interpreter", "compiled"]
+
+
+def _run(engine, component, stimuli, ticks):
+    if engine == "interpreter":
+        return simulate(component, stimuli, ticks=ticks)
+    return simulate_compiled(component, stimuli, ticks=ticks)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_control_ccd_golden_trace(engine):
+    ccd = build_engine_ccd()
+    stimuli = _filtered(driving_scenario(120), ccd)
+    if engine == "interpreter":
+        trace = simulate_ccd(ccd, stimuli, ticks=120)
+    else:
+        trace = simulate_ccd_compiled(ccd, stimuli, ticks=120)
+    assert sorted(trace.outputs) == ["idle_correction", "ignition_angle", "ti"]
+    assert trace.output("ignition_angle")[0] == 10.0
+    assert trace.output("ignition_angle")[5] == pytest.approx(10.08346)
+    assert trace.output("ti")[40] == pytest.approx(0.4)
+    assert trace_fingerprint(trace) == GOLDEN_FINGERPRINTS["engine_ccd"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_door_lock_golden_trace(engine):
+    control = build_door_lock_control()
+    trace = _run(engine, control, crash_scenario(8), 8)
+    assert trace.mode_history == GOLDEN_DOOR_LOCK_MODES
+    assert trace.output("mode").values() == GOLDEN_DOOR_LOCK_MODES
+    assert trace.output("T1C").values() == [
+        "none", "none", "lock", "lock", "lock", "unlock", "unlock", "unlock"]
+    assert trace_fingerprint(trace) == GOLDEN_FINGERPRINTS["door_lock"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_reengineered_fda_golden_trace(engine):
+    fda = build_reengineered_fda()
+    stimuli = _filtered(driving_scenario(120), fda)
+    trace = _run(engine, fda, stimuli, 120)
+    assert trace.output("idle_correction")[0] == 8
+    assert trace.output("ignition_angle").values()[:3] == [5.0, 10.0, 10.0]
+    assert trace_fingerprint(trace) == GOLDEN_FINGERPRINTS["reengineered"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_momentum_closed_loop_golden_trace(engine):
+    loop = build_closed_loop()
+    stimuli = _filtered(acceleration_scenario(60), loop)
+    trace = _run(engine, loop, stimuli, 60)
+    assert trace.output("speed")[28] == pytest.approx(16.859129004136587)
+    assert trace.output("engine_torque")[28] == pytest.approx(128.79478470000961)
+    assert trace_fingerprint(trace) == GOLDEN_FINGERPRINTS["momentum"]
+
+
+def test_both_engines_identical_fingerprints_per_case():
+    """Engines must agree with each other even if a golden is re-recorded."""
+    ccd = build_engine_ccd()
+    gated = build_gated_ccd(ccd)
+    stimuli = _filtered(driving_scenario(120), ccd)
+    reference = Simulator(gated).run(stimuli, 120)
+    compiled = CompiledSimulator(gated).run(stimuli, 120)
+    assert trace_fingerprint(reference) == trace_fingerprint(compiled)
