@@ -13,9 +13,9 @@ from .consistency import (check_faa_fda_coverage, check_fda_la_allocation,
                           check_interface_refinement, check_la_ta_deployment)
 from .metrics import (ModelMetrics, compare_metrics, format_comparison,
                       measure_component)
-from .mode_analysis import (GlobalModeSystem, GlobalTransition,
-                            build_global_mode_system, find_mtds,
-                            mode_explicitness_summary)
+from .mode_analysis import (GlobalModeSystem, GlobalTransition, MachineInfo,
+                            build_global_mode_system, find_mtds, find_stds,
+                            machine_inventory, mode_explicitness_summary)
 from .well_definedness import (OSEK_FIXED_PRIORITY, PROFILES, TIME_TRIGGERED,
                                RateTransitionFinding, TargetProfile,
                                check_rate_transitions, check_well_definedness,
@@ -23,13 +23,13 @@ from .well_definedness import (OSEK_FIXED_PRIORITY, PROFILES, TIME_TRIGGERED,
 
 __all__ = [
     "ActuatorConflict", "ConflictAnalysis", "GlobalModeSystem",
-    "GlobalTransition", "ModelMetrics", "OSEK_FIXED_PRIORITY", "PROFILES",
-    "RateTransitionFinding", "TIME_TRIGGERED", "TargetProfile",
+    "GlobalTransition", "MachineInfo", "ModelMetrics", "OSEK_FIXED_PRIORITY",
+    "PROFILES", "RateTransitionFinding", "TIME_TRIGGERED", "TargetProfile",
     "analyze_conflicts", "build_global_mode_system", "check_faa_fda_coverage",
     "check_fda_la_allocation", "check_interface_refinement",
     "check_la_ta_deployment", "check_rate_transitions",
-    "check_well_definedness", "compare_metrics", "find_mtds",
-    "format_comparison", "measure_component", "missing_delays",
-    "mode_explicitness_summary", "repair_rate_transitions",
+    "check_well_definedness", "compare_metrics", "find_mtds", "find_stds",
+    "format_comparison", "machine_inventory", "measure_component",
+    "missing_delays", "mode_explicitness_summary", "repair_rate_transitions",
     "suggest_coordinator_name",
 ]

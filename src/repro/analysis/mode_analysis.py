@@ -29,6 +29,7 @@ from ..core.expr_eval import ExpressionEvaluator
 from ..core.expressions import BinaryOp, Literal, walk
 from ..core.values import ABSENT, is_present
 from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
 
 
 GlobalMode = Tuple[str, ...]
@@ -101,6 +102,71 @@ def find_mtds(root: Component) -> List[ModeTransitionDiagram]:
             if isinstance(component, ModeTransitionDiagram) and component not in mtds:
                 mtds.append(component)
     return mtds
+
+
+def find_stds(root: Component) -> List[StateTransitionDiagram]:
+    """All STDs in the hierarchy below *root* (including *root* itself).
+
+    Derived from :func:`machine_inventory` so STDs nested as MTD mode
+    behaviours or behind clock-gating wrappers are found too (plain
+    ``walk()`` only descends composites).
+    """
+    stds: List[StateTransitionDiagram] = []
+    for info in machine_inventory(root):
+        if info.kind == "std" and info.component not in stds:
+            stds.append(info.component)
+    return stds
+
+
+@dataclass
+class MachineInfo:
+    """One mode machine (MTD or STD) located in a component hierarchy.
+
+    ``path`` is the hierarchical location (``root/sub/...``; clock-gating
+    wrappers are transparent, MTD mode behaviours contribute the mode name
+    as a path segment), which is what scenario coverage keys on.
+    """
+
+    path: str
+    kind: str  # "mtd" | "std"
+    component: Component
+    modes: List[str]
+    initial: Optional[str]
+    transitions: List[Tuple[str, str]]
+
+
+def machine_inventory(root: Component,
+                      path: Optional[str] = None) -> List[MachineInfo]:
+    """Inventory every MTD and STD below *root* with hierarchical paths.
+
+    Complements :func:`find_mtds` (which flattens and loses location): the
+    scenario coverage layer needs stable per-machine paths to attribute
+    observed mode histories to the declared machines.
+    """
+    if path is None:
+        path = root.name
+    inner = getattr(root, "inner", None)
+    if isinstance(inner, Component):  # clock-gating wrappers are transparent
+        return machine_inventory(inner, path)
+    infos: List[MachineInfo] = []
+    if isinstance(root, ModeTransitionDiagram):
+        infos.append(MachineInfo(
+            path=path, kind="mtd", component=root,
+            modes=root.mode_names(), initial=root.initial_mode,
+            transitions=[(t.source, t.target) for t in root.transitions()]))
+        for mode in root.modes():
+            if mode.behavior is not None:
+                infos.extend(machine_inventory(mode.behavior,
+                                               f"{path}/{mode.name}"))
+    elif isinstance(root, StateTransitionDiagram):
+        infos.append(MachineInfo(
+            path=path, kind="std", component=root,
+            modes=root.state_names(), initial=root.initial_state_name,
+            transitions=[(t.source, t.target) for t in root.transitions()]))
+    elif isinstance(root, CompositeComponent):
+        for sub in root.subcomponents():
+            infos.extend(machine_inventory(sub, f"{path}/{sub.name}"))
+    return infos
 
 
 def _guard_constants(mtd: ModeTransitionDiagram) -> Dict[str, Set[Any]]:

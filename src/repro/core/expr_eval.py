@@ -33,6 +33,11 @@ def _interpolate(x, x0, y0, x1, y1):
     return y0 + alpha * (y1 - y0)
 
 
+def _sign(x):
+    """Sign primitive: -1, 0 or 1 (named so evaluators stay picklable)."""
+    return (x > 0) - (x < 0)
+
+
 #: Built-in functions callable from base-language expressions.
 BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "abs": abs,
@@ -44,7 +49,7 @@ BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "floor": math.floor,
     "ceil": math.ceil,
     "round": round,
-    "sign": lambda x: (x > 0) - (x < 0),
+    "sign": _sign,
 }
 
 
@@ -69,6 +74,19 @@ class ExpressionEvaluator:
         self.functions: Dict[str, Callable[..., Any]] = dict(BUILTIN_FUNCTIONS)
         if functions:
             self.functions.update(functions)
+
+    # Only non-builtin functions travel when an evaluator is pickled (the
+    # sharded scenario runner ships whole models to worker processes);
+    # builtins are reattached on load, so models using only the base
+    # vocabulary never depend on their picklability.
+    def __getstate__(self) -> Dict[str, Any]:
+        custom = {name: function for name, function in self.functions.items()
+                  if BUILTIN_FUNCTIONS.get(name) is not function}
+        return {"custom_functions": custom}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.functions = dict(BUILTIN_FUNCTIONS)
+        self.functions.update(state.get("custom_functions", {}))
 
     def evaluate(self, expression: Expression, environment: Mapping[str, Any]) -> Any:
         """Evaluate *expression*; absent operands make the result absent."""

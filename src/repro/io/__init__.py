@@ -2,7 +2,8 @@
 
 from .dot import composite_to_dot, mtd_to_dot, std_to_dot, to_dot
 from .json_io import (component_from_json, component_to_json, model_from_json,
-                      model_to_json)
+                      model_to_json, trace_from_json, trace_from_json_dict,
+                      trace_to_json, trace_to_json_dict)
 from .render import (render_ccd, render_interface, render_mtd, render_std,
                      render_structure, render_table)
 
@@ -10,5 +11,6 @@ __all__ = [
     "component_from_json", "component_to_json", "composite_to_dot",
     "model_from_json", "model_to_json", "mtd_to_dot", "render_ccd",
     "render_interface", "render_mtd", "render_std", "render_structure",
-    "render_table", "std_to_dot", "to_dot",
+    "render_table", "std_to_dot", "to_dot", "trace_from_json",
+    "trace_from_json_dict", "trace_to_json", "trace_to_json_dict",
 ]

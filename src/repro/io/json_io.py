@@ -25,6 +25,8 @@ from ..core.errors import SerializationError
 from ..core.ports import Port, PortDirection
 from ..core.types import (ANY, BOOL, FLOAT, INT, EnumType, FloatType, IntType,
                           Type)
+from ..core.values import ABSENT, Stream, is_absent
+from ..simulation.trace import SimulationTrace
 from ..notations.ccd import Cluster, ClusterCommunicationDiagram
 from ..notations.dfd import DataFlowDiagram
 from ..notations.mtd import ModeTransitionDiagram
@@ -267,3 +269,76 @@ def model_from_json(text: str) -> Component:
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid model JSON: {exc}") from exc
     return component_from_json(data)
+
+
+# --------------------------------------------------------------------------
+# simulation traces
+# --------------------------------------------------------------------------
+#
+# Traces interleave values with the absence value ("-" in the paper's
+# Fig.-1 observation format), which JSON cannot represent in-band; each
+# stream is therefore encoded as a values list (absent ticks carry null)
+# plus an explicit boolean presence pattern, keeping "absent" and "a
+# present None/null" distinguishable.
+
+def _stream_to_json(stream: Stream) -> Dict[str, Any]:
+    return {"values": [None if is_absent(value) else value
+                       for value in stream],
+            "presence": stream.presence_pattern()}
+
+
+def _stream_from_json(data: Dict[str, Any]) -> Stream:
+    values = data.get("values", [])
+    presence = data.get("presence", [True] * len(values))
+    if len(values) != len(presence):
+        raise SerializationError(
+            "trace stream has mismatched values/presence lengths "
+            f"({len(values)} vs {len(presence)})")
+    return Stream([value if present else ABSENT
+                   for value, present in zip(values, presence)])
+
+
+def trace_to_json_dict(trace: SimulationTrace) -> Dict[str, Any]:
+    """Encode a simulation trace as a JSON-serializable dict.
+
+    Values must be JSON-representable scalars (numbers, booleans, strings);
+    this holds for every value the expression language and block library
+    produce.
+    """
+    return {
+        "component": trace.component_name,
+        "ticks": trace.ticks,
+        "inputs": {name: _stream_to_json(stream)
+                   for name, stream in sorted(trace.inputs.items())},
+        "outputs": {name: _stream_to_json(stream)
+                    for name, stream in sorted(trace.outputs.items())},
+        "mode_history": list(trace.mode_history),
+    }
+
+
+def trace_from_json_dict(data: Dict[str, Any]) -> SimulationTrace:
+    """Reconstruct a :class:`SimulationTrace` encoded by
+    :func:`trace_to_json_dict`."""
+    trace = SimulationTrace(data.get("component", "<unknown>"))
+    for name, stream_data in data.get("inputs", {}).items():
+        trace.inputs[name] = _stream_from_json(stream_data)
+    for name, stream_data in data.get("outputs", {}).items():
+        trace.outputs[name] = _stream_from_json(stream_data)
+    trace.mode_history = list(data.get("mode_history", []))
+    trace.ticks = int(data.get("ticks", 0))
+    return trace
+
+
+def trace_to_json(trace: SimulationTrace, indent: int = 2) -> str:
+    """Serialize a simulation trace to a JSON string."""
+    return json.dumps(trace_to_json_dict(trace), indent=indent,
+                      sort_keys=True)
+
+
+def trace_from_json(text: str) -> SimulationTrace:
+    """Reconstruct a simulation trace from its JSON string form."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid trace JSON: {exc}") from exc
+    return trace_from_json_dict(data)

@@ -1,0 +1,49 @@
+"""Scenario generation and sharded batch validation.
+
+The validation subsystem built on top of the simulation engines:
+
+* :mod:`repro.scenarios.generators` -- composable, deterministically-seeded
+  stimulus generators (waveforms, random walks, event storms, mode
+  sequences, fault injectors) plus cartesian scenario-grid expansion,
+* :mod:`repro.scenarios.runner` -- sharded parallel execution of scenario
+  batches across process/thread pools with per-scenario error isolation,
+* :mod:`repro.scenarios.report` -- batch aggregation: MTD/STD mode and
+  transition coverage, port value ranges, failure roll-ups, JSON export.
+"""
+
+from typing import Any, Sequence, Tuple
+
+from ..core.components import Component
+from .generators import (Constant, Dropout, EventStorm, ModeSequence,
+                         OutOfRange, RandomWalk, Ramp, Scenario,
+                         SeededGenerator, SineWave, SquareWave, StepChange,
+                         StimulusGenerator, StuckAt, UniformNoise,
+                         mode_sequence_sweep, sample_spec, scenario_grid)
+from .report import (BatchReport, ModeCoverage, PortStats, active_mode_paths)
+from .runner import (ScenarioResult, execute_scenario, run_sharded,
+                     shard_scenarios)
+
+
+def run_with_report(component: Component, scenarios: Sequence[Scenario],
+                    **kwargs: Any) -> Tuple[Sequence[ScenarioResult],
+                                            BatchReport]:
+    """Run a batch (sharded) and aggregate it into a :class:`BatchReport`.
+
+    Keyword arguments are forwarded to :func:`run_sharded`; per-tick mode
+    observation is enabled by default so the report carries hierarchical
+    mode/transition coverage.
+    """
+    kwargs.setdefault("collect_modes", True)
+    results = run_sharded(component, scenarios, **kwargs)
+    return results, BatchReport.from_results(component, results)
+
+
+__all__ = [
+    "BatchReport", "Constant", "Dropout", "EventStorm", "ModeCoverage",
+    "ModeSequence", "OutOfRange", "PortStats", "RandomWalk", "Ramp",
+    "Scenario", "ScenarioResult", "SeededGenerator", "SineWave",
+    "SquareWave", "StepChange", "StimulusGenerator", "StuckAt",
+    "UniformNoise", "active_mode_paths", "execute_scenario",
+    "mode_sequence_sweep", "run_sharded", "run_with_report", "sample_spec",
+    "scenario_grid", "shard_scenarios",
+]

@@ -1,0 +1,352 @@
+"""Batch aggregation and coverage reporting for scenario runs.
+
+Running hundreds of generated scenarios is only useful if the batch can be
+*judged*: did the battery actually exercise the operational modes the model
+declares (the paper's central modelling element, Sec. 5), which value ranges
+did the boundary ports see, and which scenarios failed?  This module turns a
+list of :class:`~repro.scenarios.runner.ScenarioResult` records into a
+:class:`BatchReport` with
+
+* **mode coverage** -- for every MTD and STD in the hierarchy (found via
+  :func:`repro.analysis.mode_analysis.machine_inventory`), the set of
+  modes/states and ``source -> target`` transition pairs exercised across
+  the whole batch, against the declared ones,
+* **port statistics** -- presence counts and numeric value ranges per
+  boundary port across all traces,
+* **failure roll-ups** -- per-scenario errors isolated by the sharded
+  runner,
+
+plus JSON export (via :mod:`repro.io` for the embedded traces).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..analysis.mode_analysis import MachineInfo, machine_inventory
+from ..core.components import Component, CompositeComponent
+from ..core.values import is_absent
+from ..io.json_io import trace_to_json_dict
+from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
+
+
+def active_mode_paths(component: Component, state: Any,
+                      path: Optional[str] = None,
+                      out: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Extract the active mode/state of every MTD and STD from a state tree.
+
+    Both engines use the same state shapes (``{"subs": ...}`` for
+    composites, ``{"inner": ...}`` for clock-gated wrappers, ``{"mode":
+    ...}`` / ``{"state": ...}`` for MTDs/STDs), so the walker works on
+    reference and compiled states alike.  Paths match
+    :func:`repro.analysis.mode_analysis.machine_inventory`.
+    """
+    if out is None:
+        out = {}
+    if path is None:
+        path = component.name
+    if state is None or not isinstance(state, Mapping):
+        return out
+    inner = getattr(component, "inner", None)
+    if isinstance(inner, Component) and "inner" in state:
+        active_mode_paths(inner, state["inner"], path, out)
+        return out
+    if isinstance(component, ModeTransitionDiagram):
+        current = state.get("mode") or component.initial_mode
+        out[path] = current
+        mode = component.mode(current)
+        if mode.behavior is not None:
+            mode_states = state.get("mode_states") or {}
+            active_mode_paths(mode.behavior, mode_states.get(current),
+                              f"{path}/{current}", out)
+    elif isinstance(component, StateTransitionDiagram):
+        out[path] = state.get("state") or component.initial_state_name
+    elif isinstance(component, CompositeComponent):
+        subs = state.get("subs") or {}
+        for sub in component.subcomponents():
+            active_mode_paths(sub, subs.get(sub.name), f"{path}/{sub.name}", out)
+    return out
+
+
+@dataclass
+class ModeCoverage:
+    """Coverage of one mode machine (MTD or STD) across a scenario batch."""
+
+    path: str
+    kind: str
+    declared_modes: List[str]
+    declared_transitions: List[Tuple[str, str]]
+    initial: Optional[str] = None
+    visited_modes: Set[str] = field(default_factory=set)
+    visited_transitions: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def observe_history(self, history: Sequence[Any]) -> None:
+        """Fold one per-tick mode history into the coverage sets.
+
+        Histories record the *post*-step mode of every tick, so each run is
+        seeded with the machine's declared initial mode: the machine was in
+        it before tick 0, and a guard firing at tick 0 is a transition out
+        of it.
+        """
+        previous = None
+        if history and self.initial is not None:
+            self.visited_modes.add(self.initial)
+            previous = self.initial
+        for mode in history:
+            if mode is None:
+                continue
+            self.visited_modes.add(mode)
+            if previous is not None and previous != mode:
+                self.visited_transitions.add((previous, mode))
+            previous = mode
+
+    # observed transitions are mode-change pairs; a declared self-loop or a
+    # second transition sharing (source, target) cannot be told apart from
+    # the state sequence alone, so coverage is over distinct pairs
+    def declared_transition_pairs(self) -> Set[Tuple[str, str]]:
+        return {pair for pair in self.declared_transitions
+                if pair[0] != pair[1]}
+
+    def mode_coverage(self) -> float:
+        if not self.declared_modes:
+            return 1.0
+        covered = self.visited_modes & set(self.declared_modes)
+        return len(covered) / len(self.declared_modes)
+
+    def transition_coverage(self) -> float:
+        pairs = self.declared_transition_pairs()
+        if not pairs:
+            return 1.0
+        return len(self.visited_transitions & pairs) / len(pairs)
+
+    def unvisited_modes(self) -> List[str]:
+        return [mode for mode in self.declared_modes
+                if mode not in self.visited_modes]
+
+    def untaken_transitions(self) -> List[Tuple[str, str]]:
+        return sorted(self.declared_transition_pairs()
+                      - self.visited_transitions)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "declared_modes": list(self.declared_modes),
+            "visited_modes": sorted(str(m) for m in self.visited_modes),
+            "unvisited_modes": self.unvisited_modes(),
+            "mode_coverage": self.mode_coverage(),
+            "declared_transitions": sorted(self.declared_transition_pairs()),
+            "visited_transitions": sorted(self.visited_transitions),
+            "untaken_transitions": self.untaken_transitions(),
+            "transition_coverage": self.transition_coverage(),
+        }
+
+
+@dataclass
+class PortStats:
+    """Presence and value-range statistics of one port across a batch."""
+
+    port: str
+    total_ticks: int = 0
+    present_ticks: int = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    value_sample: List[Any] = field(default_factory=list)
+    _SAMPLE_CAP = 12
+
+    def observe(self, value: Any) -> None:
+        self.total_ticks += 1
+        if is_absent(value):
+            return
+        self.present_ticks += 1
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.minimum = value if self.minimum is None \
+                else min(self.minimum, value)
+            self.maximum = value if self.maximum is None \
+                else max(self.maximum, value)
+        elif value not in self.value_sample \
+                and len(self.value_sample) < self._SAMPLE_CAP:
+            self.value_sample.append(value)
+
+    def presence_ratio(self) -> float:
+        return self.present_ticks / self.total_ticks if self.total_ticks else 0.0
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "port": self.port,
+            "total_ticks": self.total_ticks,
+            "present_ticks": self.present_ticks,
+            "presence_ratio": self.presence_ratio(),
+            "min": self.minimum,
+            "max": self.maximum,
+            "value_sample": [str(v) for v in self.value_sample],
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of one scenario batch."""
+
+    component_name: str
+    total: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    total_ticks: int = 0
+    total_duration: float = 0.0
+    failures: Dict[str, str] = field(default_factory=dict)
+    scenario_ticks: Dict[str, int] = field(default_factory=dict)
+    coverage: Dict[str, ModeCoverage] = field(default_factory=dict)
+    output_stats: Dict[str, PortStats] = field(default_factory=dict)
+    input_stats: Dict[str, PortStats] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_results(cls, component: Component,
+                     results: Sequence[Any]) -> "BatchReport":
+        """Aggregate :class:`~repro.scenarios.runner.ScenarioResult` records.
+
+        Results only need ``name`` / ``trace`` / ``error`` / ``duration`` /
+        ``mode_paths`` attributes, so serial runs and hand-built records
+        aggregate the same way as sharded ones.
+        """
+        report = cls(component_name=component.name)
+        for info in machine_inventory(component):
+            report.coverage[info.path] = ModeCoverage(
+                path=info.path, kind=info.kind,
+                declared_modes=list(info.modes),
+                declared_transitions=list(info.transitions),
+                initial=info.initial)
+        root_machine = report.coverage.get(component.name)
+
+        for result in results:
+            report.total += 1
+            report.total_duration += getattr(result, "duration", 0.0) or 0.0
+            if getattr(result, "error", None) is not None:
+                report.failed += 1
+                report.failures[result.name] = result.error
+                continue
+            report.succeeded += 1
+            trace = result.trace
+            if trace is not None:
+                report.scenario_ticks[result.name] = trace.ticks
+                report.total_ticks += trace.ticks
+                for name, stream in trace.outputs.items():
+                    stats = report.output_stats.setdefault(name, PortStats(name))
+                    for value in stream:
+                        stats.observe(value)
+                for name, stream in trace.inputs.items():
+                    stats = report.input_stats.setdefault(name, PortStats(name))
+                    for value in stream:
+                        stats.observe(value)
+            mode_paths = getattr(result, "mode_paths", None)
+            if mode_paths:
+                for path, history in mode_paths.items():
+                    if path in report.coverage:
+                        report.coverage[path].observe_history(history)
+            elif trace is not None and trace.mode_history \
+                    and root_machine is not None:
+                # without per-tick state observation the root machine's mode
+                # history recorded by the engines still contributes coverage
+                root_machine.observe_history(trace.mode_history)
+        return report
+
+    # -- queries -----------------------------------------------------------
+    def overall_mode_coverage(self) -> float:
+        declared = sum(len(c.declared_modes) for c in self.coverage.values())
+        if not declared:
+            return 1.0
+        covered = sum(len(c.visited_modes & set(c.declared_modes))
+                      for c in self.coverage.values())
+        return covered / declared
+
+    def overall_transition_coverage(self) -> float:
+        declared = sum(len(c.declared_transition_pairs())
+                       for c in self.coverage.values())
+        if not declared:
+            return 1.0
+        covered = sum(len(c.visited_transitions & c.declared_transition_pairs())
+                      for c in self.coverage.values())
+        return covered / declared
+
+    # -- presentation ------------------------------------------------------
+    def format_summary(self) -> str:
+        lines = [f"scenario batch report for {self.component_name!r}:",
+                 f"  scenarios: {self.total} total, {self.succeeded} ok, "
+                 f"{self.failed} failed "
+                 f"({self.total_ticks} ticks, {self.total_duration:.3f}s)"]
+        if self.coverage:
+            lines.append(f"  mode coverage: "
+                         f"{100.0 * self.overall_mode_coverage():.0f}% modes, "
+                         f"{100.0 * self.overall_transition_coverage():.0f}% "
+                         f"transitions")
+            for path in sorted(self.coverage):
+                entry = self.coverage[path]
+                lines.append(
+                    f"    [{entry.kind}] {path}: "
+                    f"{len(entry.visited_modes & set(entry.declared_modes))}"
+                    f"/{len(entry.declared_modes)} modes, "
+                    f"{len(entry.visited_transitions & entry.declared_transition_pairs())}"
+                    f"/{len(entry.declared_transition_pairs())} transitions")
+                if entry.unvisited_modes():
+                    lines.append("      unvisited: "
+                                 + ", ".join(map(str, entry.unvisited_modes())))
+        if self.output_stats:
+            lines.append("  output ranges:")
+            for name in sorted(self.output_stats):
+                stats = self.output_stats[name]
+                span = (f"[{stats.minimum:g} .. {stats.maximum:g}]"
+                        if stats.minimum is not None else "non-numeric")
+                lines.append(f"    {name}: present "
+                             f"{stats.present_ticks}/{stats.total_ticks} {span}")
+        if self.failures:
+            lines.append("  failures:")
+            for name in sorted(self.failures):
+                lines.append(f"    {name}: {self.failures[name]}")
+        return "\n".join(lines)
+
+    # -- export ------------------------------------------------------------
+    def to_json_dict(self, results: Optional[Sequence[Any]] = None,
+                     include_traces: bool = False) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "component": self.component_name,
+            "scenarios": {
+                "total": self.total,
+                "succeeded": self.succeeded,
+                "failed": self.failed,
+                "total_ticks": self.total_ticks,
+                "total_duration_s": self.total_duration,
+                "ticks_per_scenario": dict(self.scenario_ticks),
+            },
+            "failures": dict(self.failures),
+            "coverage": {
+                "overall_mode_coverage": self.overall_mode_coverage(),
+                "overall_transition_coverage":
+                    self.overall_transition_coverage(),
+                "machines": [self.coverage[path].to_json_dict()
+                             for path in sorted(self.coverage)],
+            },
+            "ports": {
+                "outputs": [self.output_stats[name].to_json_dict()
+                            for name in sorted(self.output_stats)],
+                "inputs": [self.input_stats[name].to_json_dict()
+                           for name in sorted(self.input_stats)],
+            },
+        }
+        if include_traces and results is not None:
+            data["traces"] = {
+                result.name: trace_to_json_dict(result.trace)
+                for result in results if getattr(result, "trace", None) is not None}
+        return data
+
+    def to_json(self, results: Optional[Sequence[Any]] = None,
+                include_traces: bool = False, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(results, include_traces),
+                          indent=indent, sort_keys=True, default=str)
+
+    def save(self, path: str, results: Optional[Sequence[Any]] = None,
+             include_traces: bool = False) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(results, include_traces))

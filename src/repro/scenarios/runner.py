@@ -1,0 +1,278 @@
+"""Sharded parallel execution of scenario batches.
+
+:class:`~repro.simulation.compiled.ScenarioSuite` runs scenarios serially;
+for the large generated batteries of :mod:`repro.scenarios.generators` the
+batch itself becomes the bottleneck.  Scenario runs are embarrassingly
+parallel -- the compiled schedule is immutable after compilation and every
+run carries its own state -- so this module shards a batch across a
+:mod:`concurrent.futures` pool:
+
+* **process pool** (default): the *model* is pickled once into every worker
+  (compiled step closures are deliberately never pickled -- they are nested
+  functions and unpicklable by design), each worker compiles the schedule
+  exactly once in its initializer, and scenarios stream to workers one by
+  one (or in chunks) with results streaming back as they complete;
+* **thread pool**: no pickling; each worker thread still compiles its own
+  schedule so no mutable compile-time cache is shared across threads;
+* **serial**: the in-process fallback with the identical result protocol.
+
+Per-scenario **error isolation**: a failing scenario (bad stimulus, type
+violation, diverging model) yields a :class:`ScenarioResult` carrying the
+error instead of poisoning the batch.  Traces are returned in scenario
+order and are tick-for-tick identical to a serial
+:meth:`~repro.simulation.compiled.ScenarioSuite.run_all` on the same batch
+(the differential test in ``tests/test_scenario_runner.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import traceback
+from concurrent.futures import (Executor, ProcessPoolExecutor,
+                                ThreadPoolExecutor, as_completed)
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from ..core.components import Component
+from ..core.errors import SimulationError
+from ..simulation.compiled import CompiledSimulator
+from ..simulation.engine import run_stepped
+from ..simulation.trace import SimulationTrace
+from .generators import Scenario
+from .report import active_mode_paths
+
+#: Result callback invoked as scenarios complete (streaming consumption).
+ResultCallback = Callable[["ScenarioResult"], None]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario: a trace or an isolated error."""
+
+    name: str
+    trace: Optional[SimulationTrace] = None
+    error: Optional[str] = None
+    duration: float = 0.0
+    worker: str = ""
+    mode_paths: Optional[Dict[str, List[Any]]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def shard_scenarios(scenarios: Sequence[Scenario],
+                    shards: int) -> List[List[Scenario]]:
+    """Partition a batch into *shards* contiguous, near-equal shards.
+
+    Shards are contiguous index ranges, so neighbouring grid points (which
+    tend to have similar cost) land in the same shard; every scenario
+    appears in exactly one shard and empty shards are dropped.
+    """
+    if shards < 1:
+        raise SimulationError("shard count must be >= 1")
+    total = len(scenarios)
+    shards = min(shards, total) if total else 0
+    partition: List[List[Scenario]] = []
+    start = 0
+    for index in range(shards):
+        size = total // shards + (1 if index < total % shards else 0)
+        partition.append(list(scenarios[start:start + size]))
+        start += size
+    return partition
+
+
+# --------------------------------------------------------------------------
+# scenario execution shared by every executor kind
+# --------------------------------------------------------------------------
+
+def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
+                     collect_modes: bool = False,
+                     worker: str = "local") -> ScenarioResult:
+    """Run one scenario against a compiled simulator with error isolation."""
+    start = time.perf_counter()
+    try:
+        if collect_modes:
+            component = simulator.component
+            step = simulator.schedule.step
+            histories: Dict[str, List[Any]] = {}
+
+            def observing_step(inputs: Mapping[str, Any], state: Any,
+                               tick: int) -> Tuple[Dict[str, Any], Any]:
+                outputs, new_state = step(inputs, state, tick)
+                for path, mode in active_mode_paths(component,
+                                                    new_state).items():
+                    histories.setdefault(path, []).append(mode)
+                return outputs, new_state
+
+            trace = run_stepped(component, observing_step, scenario.stimuli,
+                                scenario.ticks, simulator.check_types)
+            mode_paths: Optional[Dict[str, List[Any]]] = histories
+        else:
+            trace = simulator.run(scenario.stimuli, scenario.ticks)
+            mode_paths = None
+        return ScenarioResult(scenario.name, trace=trace,
+                              duration=time.perf_counter() - start,
+                              worker=worker, mode_paths=mode_paths)
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        detail = traceback.format_exc(limit=3).strip().splitlines()[-1]
+        error = f"{type(exc).__name__}: {exc}" if str(exc) else detail
+        return ScenarioResult(scenario.name, error=error,
+                              duration=time.perf_counter() - start,
+                              worker=worker)
+
+
+# --------------------------------------------------------------------------
+# process-pool workers (module level: must be picklable by reference)
+# --------------------------------------------------------------------------
+
+_PROCESS_WORKER: Dict[str, Any] = {}
+
+
+def _process_initializer(payload: bytes, check_types: bool,
+                         collect_modes: bool) -> None:
+    component = pickle.loads(payload)
+    _PROCESS_WORKER["simulator"] = CompiledSimulator(component,
+                                                     check_types=check_types)
+    _PROCESS_WORKER["collect_modes"] = collect_modes
+
+
+def _process_run_one(scenario: Scenario) -> ScenarioResult:
+    return execute_scenario(_PROCESS_WORKER["simulator"], scenario,
+                            _PROCESS_WORKER["collect_modes"],
+                            worker=f"pid-{os.getpid()}")
+
+
+def _process_run_chunk(chunk: List[Scenario]) -> List[ScenarioResult]:
+    return [_process_run_one(scenario) for scenario in chunk]
+
+
+# --------------------------------------------------------------------------
+# the sharded runner
+# --------------------------------------------------------------------------
+
+_EXECUTORS = ("process", "thread", "serial")
+
+
+def _validate_batch(scenarios: Sequence[Scenario]) -> List[Scenario]:
+    batch = list(scenarios)
+    seen = set()
+    for scenario in batch:
+        if not isinstance(scenario, Scenario):
+            raise SimulationError(
+                f"expected a Scenario, got {type(scenario).__name__}; build "
+                "batches from repro.scenarios.Scenario records")
+        if scenario.name in seen:
+            raise SimulationError(
+                f"scenario batch has a duplicate scenario {scenario.name!r}")
+        seen.add(scenario.name)
+    return batch
+
+
+def _pickle_model(component: Component) -> bytes:
+    try:
+        return pickle.dumps(component)
+    except Exception as exc:  # noqa: BLE001 - report the real cause
+        raise SimulationError(
+            f"model {component.name!r} cannot be shipped to worker processes "
+            f"({type(exc).__name__}: {exc}); models with opaque Python "
+            "callables are process-shard-incompatible -- use "
+            "executor='thread' or executor='serial' instead") from exc
+
+
+def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
+                max_workers: Optional[int] = None, executor: str = "process",
+                check_types: bool = False, collect_modes: bool = False,
+                chunk_size: Optional[int] = None,
+                on_result: Optional[ResultCallback] = None
+                ) -> List[ScenarioResult]:
+    """Run a scenario batch sharded across a worker pool.
+
+    Results are returned in scenario order regardless of completion order;
+    ``on_result`` observes them in completion order for streaming
+    consumption.  ``chunk_size`` groups scenarios per task to amortize
+    inter-process transfer for very large batches of cheap scenarios.
+    """
+    if executor not in _EXECUTORS:
+        raise SimulationError(
+            f"unknown executor {executor!r} (choose from {_EXECUTORS})")
+    batch = _validate_batch(scenarios)
+    if not batch:
+        return []
+    if not component.has_behavior():
+        raise SimulationError(
+            f"component {component.name!r} has no executable behaviour and "
+            "cannot be simulated (FAA components may be structure-only)")
+    if chunk_size is not None and chunk_size < 1:
+        raise SimulationError("chunk_size must be >= 1")
+
+    if executor == "serial":
+        simulator = CompiledSimulator(component, check_types=check_types)
+        results = []
+        for scenario in batch:
+            result = execute_scenario(simulator, scenario, collect_modes)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    workers = max_workers or min(len(batch), os.cpu_count() or 1)
+    workers = max(1, min(workers, len(batch)))
+
+    if executor == "process":
+        payload = _pickle_model(component)
+        pool: Executor = ProcessPoolExecutor(
+            max_workers=workers, initializer=_process_initializer,
+            initargs=(payload, check_types, collect_modes))
+        run_one: Callable[[Scenario], ScenarioResult] = _process_run_one
+        run_chunk: Callable[[List[Scenario]], List[ScenarioResult]] = \
+            _process_run_chunk
+    else:  # thread pool: per-thread compilation, no pickling
+        local = threading.local()
+
+        def _thread_initializer() -> None:
+            local.simulator = CompiledSimulator(component,
+                                                check_types=check_types)
+
+        def run_one(scenario: Scenario) -> ScenarioResult:
+            return execute_scenario(local.simulator, scenario, collect_modes,
+                                    worker=threading.current_thread().name)
+
+        def run_chunk(chunk: List[Scenario]) -> List[ScenarioResult]:
+            return [run_one(scenario) for scenario in chunk]
+
+        pool = ThreadPoolExecutor(max_workers=workers,
+                                  initializer=_thread_initializer)
+
+    by_name: Dict[str, ScenarioResult] = {}
+    with pool:
+        if chunk_size is None:
+            futures = {pool.submit(run_one, scenario): [scenario]
+                       for scenario in batch}
+        else:
+            chunks = [batch[index:index + chunk_size]
+                      for index in range(0, len(batch), chunk_size)]
+            futures = {pool.submit(run_chunk, chunk): chunk
+                       for chunk in chunks}
+        for future in as_completed(futures):
+            submitted = futures[future]
+            error = future.exception()
+            if error is not None:
+                # the task itself failed (e.g. unpicklable stimuli, broken
+                # pool): isolate it to the scenarios of this task
+                completed: Iterable[ScenarioResult] = [
+                    ScenarioResult(scenario.name,
+                                   error=f"{type(error).__name__}: {error}")
+                    for scenario in submitted]
+            else:
+                outcome = future.result()
+                completed = outcome if isinstance(outcome, list) else [outcome]
+            for result in completed:
+                by_name[result.name] = result
+                if on_result is not None:
+                    on_result(result)
+    return [by_name[scenario.name] for scenario in batch]

@@ -382,11 +382,22 @@ class ScenarioSuite:
         if any(existing == name for existing, _, _ in self._scenarios):
             raise SimulationError(
                 f"scenario suite already has a scenario {name!r}")
+        if not isinstance(ticks, int) or isinstance(ticks, bool) or ticks <= 0:
+            raise SimulationError(
+                f"scenario {name!r} must run for a positive integer number "
+                f"of ticks, got {ticks!r}")
         self._scenarios.append((name, stimuli, ticks))
         return self
 
     def names(self) -> List[str]:
         return [name for name, _, _ in self._scenarios]
+
+    def scenarios(self) -> List[Any]:
+        """The registered scenarios as :class:`repro.scenarios.Scenario`
+        records (the batch format of the sharded runner)."""
+        from ..scenarios.generators import Scenario
+        return [Scenario(name, dict(stimuli or {}), ticks)
+                for name, stimuli, ticks in self._scenarios]
 
     def __len__(self) -> int:
         return len(self._scenarios)
@@ -395,6 +406,31 @@ class ScenarioSuite:
         """Run every scenario against the compiled schedule."""
         return {name: self.simulator.run(stimuli, ticks)
                 for name, stimuli, ticks in self._scenarios}
+
+    def run_parallel(self, max_workers: Optional[int] = None,
+                     executor: str = "process") -> Dict[str, SimulationTrace]:
+        """Shard the batch across a worker pool (same traces as
+        :meth:`run_all`, in the same order).
+
+        Delegates to :func:`repro.scenarios.runner.run_sharded`: worker
+        processes receive the pickled *model* and recompile the schedule
+        once each, so stimuli must be picklable for ``executor="process"``
+        (the generators of :mod:`repro.scenarios.generators` are).  A
+        failing scenario raises :class:`SimulationError` here, mirroring
+        :meth:`run_all`'s behaviour of propagating the first error.
+        """
+        from ..scenarios.runner import run_sharded
+        results = run_sharded(self.simulator.component, self.scenarios(),
+                              max_workers=max_workers, executor=executor,
+                              check_types=self.simulator.check_types)
+        traces: Dict[str, SimulationTrace] = {}
+        for result in results:
+            if result.error is not None:
+                raise SimulationError(
+                    f"scenario {result.name!r} failed during sharded run: "
+                    f"{result.error}")
+            traces[result.name] = result.trace
+        return traces
 
     def verify_against_reference(self) -> Dict[str, Optional[Dict[str, Any]]]:
         """Differential check: compiled vs interpreter, per scenario.

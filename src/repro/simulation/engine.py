@@ -9,8 +9,11 @@ Stimuli are given per input port as
 
 * a :class:`~repro.core.values.Stream` (explicit per-tick values),
 * a plain sequence (treated as present at every tick),
-* a scalar (constant, present at every tick), or
-* a callable ``tick -> value`` for programmatic stimuli.
+* a scalar (constant, present at every tick),
+* a callable ``tick -> value`` for programmatic stimuli, or
+* a stimulus generator (any object with a ``materialize(ticks)`` method,
+  e.g. from :mod:`repro.scenarios.generators`), which is materialized once
+  for the simulation horizon so the per-tick hot path is a list index.
 
 Rate gating: a :class:`ClockGatedComponent` wrapper restricts a component's
 reaction to the ticks of an abstract clock -- the LA-level view in which a
@@ -33,15 +36,25 @@ StimulusSpec = Union[Stream, Sequence[Any], Callable[[int], Any], int, float, bo
 
 
 def normalize_stimulus(spec: StimulusSpec, ticks: int) -> Callable[[int], Any]:
-    """Turn any accepted stimulus specification into a ``tick -> value`` map."""
+    """Turn any accepted stimulus specification into a ``tick -> value`` map.
+
+    Sequences (and materialized generators) shorter than the simulation
+    horizon are absent beyond their end.  Generator materialization is the
+    normalization shared by both engines: reference and compiled runs see
+    the exact same per-tick values for the same generator.
+    """
     if isinstance(spec, Stream):
         values = spec.values()
-        return lambda tick: values[tick] if tick < len(values) else ABSENT
+        return lambda tick: values[tick] if 0 <= tick < len(values) else ABSENT
+    materialize = getattr(spec, "materialize", None)
+    if materialize is not None and not isinstance(spec, (list, tuple)):
+        values = list(materialize(ticks))
+        return lambda tick: values[tick] if 0 <= tick < len(values) else ABSENT
     if callable(spec):
         return spec  # type: ignore[return-value]
     if isinstance(spec, (list, tuple)):
         values = list(spec)
-        return lambda tick: values[tick] if tick < len(values) else ABSENT
+        return lambda tick: values[tick] if 0 <= tick < len(values) else ABSENT
     # scalar constant
     return lambda tick: spec
 
