@@ -15,7 +15,8 @@ from .metrics import (ModelMetrics, compare_metrics, format_comparison,
                       measure_component)
 from .mode_analysis import (GlobalModeSystem, GlobalTransition, MachineInfo,
                             build_global_mode_system, find_mtds, find_stds,
-                            machine_inventory, mode_explicitness_summary)
+                            guard_vocabulary, machine_inventory,
+                            mode_explicitness_summary)
 from .well_definedness import (OSEK_FIXED_PRIORITY, PROFILES, TIME_TRIGGERED,
                                RateTransitionFinding, TargetProfile,
                                check_rate_transitions, check_well_definedness,
@@ -29,7 +30,8 @@ __all__ = [
     "check_fda_la_allocation", "check_interface_refinement",
     "check_la_ta_deployment", "check_rate_transitions",
     "check_well_definedness", "compare_metrics", "find_mtds", "find_stds",
-    "format_comparison", "machine_inventory", "measure_component",
+    "format_comparison", "guard_vocabulary", "machine_inventory",
+    "measure_component",
     "missing_delays", "mode_explicitness_summary", "repair_rate_transitions",
     "suggest_coordinator_name",
 ]

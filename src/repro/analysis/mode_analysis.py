@@ -201,6 +201,39 @@ def _guard_constants(mtd: ModeTransitionDiagram) -> Dict[str, Set[Any]]:
     return vocabulary
 
 
+def guard_vocabulary(root: Component) -> Dict[str, List[Any]]:
+    """Boundary-value vocabulary per input name over *all* machines below
+    *root*.
+
+    Merges the guard-constant sampling of every MTD **and** STD found by
+    :func:`machine_inventory` (not just the MTDs the global product uses):
+    for each input read by some guard the values just below, at and just
+    above every comparison constant.  This is the value pool a
+    coverage-guided scenario search mutates stimuli from -- threshold-style
+    automotive mode logic is fully distinguished by exactly these values.
+
+    Inputs whose guards mention numeric constants drop the boolean filler
+    values; inputs without any guard constants keep the generic
+    ``{False, True, 0, 1}`` pool.
+    """
+    merged: Dict[str, Set[Any]] = {}
+    for info in machine_inventory(root):
+        machine = info.component
+        if not isinstance(machine, (ModeTransitionDiagram,
+                                    StateTransitionDiagram)):
+            continue
+        for name, values in _guard_constants(machine).items():
+            merged.setdefault(name, set()).update(values)
+    vocabulary: Dict[str, List[Any]] = {}
+    for name, values in merged.items():
+        numeric = {value for value in values
+                   if isinstance(value, (int, float))
+                   and not isinstance(value, bool)}
+        chosen = numeric if numeric else values
+        vocabulary[name] = sorted(chosen, key=repr)
+    return vocabulary
+
+
 def _merge_vocabularies(mtds: Iterable[ModeTransitionDiagram]) -> Dict[str, List[Any]]:
     merged: Dict[str, Set[Any]] = {}
     for mtd in mtds:

@@ -19,7 +19,8 @@ from .generators import (Constant, Dropout, EventStorm, ModeSequence,
                          SeededGenerator, SineWave, SquareWave, StepChange,
                          StimulusGenerator, StuckAt, UniformNoise,
                          mode_sequence_sweep, sample_spec, scenario_grid)
-from .report import (BatchReport, ModeCoverage, PortStats, active_mode_paths)
+from .report import (BatchReport, ModeCoverage, PortStats, active_mode_paths,
+                     fold_mode_history)
 from .runner import (ScenarioResult, execute_scenario, run_sharded,
                      shard_scenarios)
 
@@ -31,11 +32,22 @@ def run_with_report(component: Component, scenarios: Sequence[Scenario],
 
     Keyword arguments are forwarded to :func:`run_sharded`; per-tick mode
     observation is enabled by default so the report carries hierarchical
-    mode/transition coverage.
+    mode/transition coverage.  Aggregation is incremental: each result is
+    folded into the report as it streams back from the pool
+    (:meth:`BatchReport.observe_result`), so arbitrarily large batches never
+    require a second pass over the traces.
     """
     kwargs.setdefault("collect_modes", True)
-    results = run_sharded(component, scenarios, **kwargs)
-    return results, BatchReport.from_results(component, results)
+    report = BatchReport.for_component(component)
+    downstream = kwargs.pop("on_result", None)
+
+    def observe(result: ScenarioResult) -> None:
+        report.observe_result(result)
+        if downstream is not None:
+            downstream(result)
+
+    results = run_sharded(component, scenarios, on_result=observe, **kwargs)
+    return results, report
 
 
 __all__ = [
@@ -44,6 +56,6 @@ __all__ = [
     "Scenario", "ScenarioResult", "SeededGenerator", "SineWave",
     "SquareWave", "StepChange", "StimulusGenerator", "StuckAt",
     "UniformNoise", "active_mode_paths", "execute_scenario",
-    "mode_sequence_sweep", "run_sharded", "run_with_report", "sample_spec",
-    "scenario_grid", "shard_scenarios",
+    "fold_mode_history", "mode_sequence_sweep", "run_sharded",
+    "run_with_report", "sample_spec", "scenario_grid", "shard_scenarios",
 ]

@@ -39,6 +39,24 @@ from ..core.errors import SimulationError
 from ..core.values import ABSENT, Stream
 
 
+def _window_bound(label: str, value: Any) -> int:
+    """Validate one fault-injector window bound: a non-negative integer.
+
+    Injector windows that never fire (negative ticks, float bounds that
+    never equal an integer tick) would silently turn the injector into a
+    no-op; the coverage-search mutators rely on injector windows actually
+    firing, so malformed bounds are rejected at construction time.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SimulationError(
+            f"fault-injector {label} must be an integer tick, "
+            f"got {value!r}")
+    if value < 0:
+        raise SimulationError(
+            f"fault-injector {label} must be >= 0, got {value!r}")
+    return value
+
+
 def sample_spec(spec: Any, tick: int) -> Any:
     """Sample any stimulus specification at one tick.
 
@@ -325,7 +343,13 @@ class StuckAt(StimulusGenerator):
                  until: Optional[int] = None):
         self.inner = inner
         self.value = value
-        self.from_tick = from_tick
+        self.from_tick = _window_bound("from_tick", from_tick)
+        if until is not None:
+            _window_bound("until", until)
+            if until <= from_tick:
+                raise SimulationError(
+                    f"stuck-at window [{from_tick}, {until}) is empty: "
+                    "until must be greater than from_tick")
         self.until = until
 
     def sample(self, tick: int) -> Any:
@@ -359,7 +383,13 @@ class OutOfRange(StimulusGenerator):
 
     def __init__(self, inner: Any, at_ticks: Sequence[int], value: Any):
         self.inner = inner
-        self.at_ticks = frozenset(int(tick) for tick in at_ticks)
+        ticks = list(at_ticks)
+        if not ticks:
+            raise SimulationError(
+                "an out-of-range injector needs at least one spike tick "
+                "(an empty at_ticks list would be a silent no-op)")
+        self.at_ticks = frozenset(_window_bound("at_ticks entry", tick)
+                                  for tick in ticks)
         self.value = value
 
     def sample(self, tick: int) -> Any:

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..analysis.mode_analysis import MachineInfo, machine_inventory
 from ..core.components import Component, CompositeComponent
+from ..core.errors import SimulationError
 from ..core.values import is_absent
 from ..io.json_io import trace_to_json_dict
 from ..notations.mtd import ModeTransitionDiagram
@@ -71,6 +72,34 @@ def active_mode_paths(component: Component, state: Any,
     return out
 
 
+def fold_mode_history(history: Sequence[Any], initial: Optional[Any]
+                      ) -> Tuple[Set[Any], Set[Tuple[Any, Any]]]:
+    """Fold one per-tick mode history into (visited modes, change pairs).
+
+    Histories record the *post*-step mode of every tick, so a non-empty
+    history is seeded with the machine's declared initial mode: the machine
+    was in it before tick 0, and a guard firing at tick 0 is a transition
+    out of it.  ``None`` entries (ticks without an observation) are
+    skipped.  This is the single definition of observation semantics --
+    :class:`ModeCoverage` and the search's coverage frontier both fold
+    through it, so batch reporting and search fitness can never disagree.
+    """
+    modes: Set[Any] = set()
+    pairs: Set[Tuple[Any, Any]] = set()
+    previous = None
+    if history and initial is not None:
+        modes.add(initial)
+        previous = initial
+    for mode in history:
+        if mode is None:
+            continue
+        modes.add(mode)
+        if previous is not None and previous != mode:
+            pairs.add((previous, mode))
+        previous = mode
+    return modes, pairs
+
+
 @dataclass
 class ModeCoverage:
     """Coverage of one mode machine (MTD or STD) across a scenario batch."""
@@ -84,24 +113,20 @@ class ModeCoverage:
     visited_transitions: Set[Tuple[str, str]] = field(default_factory=set)
 
     def observe_history(self, history: Sequence[Any]) -> None:
-        """Fold one per-tick mode history into the coverage sets.
+        """Fold one per-tick mode history into the coverage sets (see
+        :func:`fold_mode_history` for the observation semantics)."""
+        modes, pairs = fold_mode_history(history, self.initial)
+        self.visited_modes |= modes
+        self.visited_transitions |= pairs
 
-        Histories record the *post*-step mode of every tick, so each run is
-        seeded with the machine's declared initial mode: the machine was in
-        it before tick 0, and a guard firing at tick 0 is a transition out
-        of it.
-        """
-        previous = None
-        if history and self.initial is not None:
-            self.visited_modes.add(self.initial)
-            previous = self.initial
-        for mode in history:
-            if mode is None:
-                continue
-            self.visited_modes.add(mode)
-            if previous is not None and previous != mode:
-                self.visited_transitions.add((previous, mode))
-            previous = mode
+    def merge(self, other: "ModeCoverage") -> None:
+        """Fold another machine's observations into this one (same machine)."""
+        if other.path != self.path:
+            raise SimulationError(
+                f"cannot merge coverage of machine {other.path!r} into "
+                f"{self.path!r}")
+        self.visited_modes |= other.visited_modes
+        self.visited_transitions |= other.visited_transitions
 
     # observed transitions are mode-change pairs; a declared self-loop or a
     # second transition sharing (source, target) cannot be told apart from
@@ -147,7 +172,14 @@ class ModeCoverage:
 
 @dataclass
 class PortStats:
-    """Presence and value-range statistics of one port across a batch."""
+    """Presence and value-range statistics of one port across a batch.
+
+    All folds are order-insensitive: counters add, ranges widen, and the
+    non-numeric ``value_sample`` is kept canonical (the ``_SAMPLE_CAP``
+    smallest distinct values by string order), so streaming results in
+    completion order -- or merging shard reports in any order -- yields the
+    same statistics as a single ordered pass.
+    """
 
     port: str
     total_ticks: int = 0
@@ -156,6 +188,13 @@ class PortStats:
     maximum: Optional[float] = None
     value_sample: List[Any] = field(default_factory=list)
     _SAMPLE_CAP = 12
+
+    def _sample(self, value: Any) -> None:
+        if value in self.value_sample:
+            return
+        self.value_sample.append(value)
+        self.value_sample.sort(key=str)
+        del self.value_sample[self._SAMPLE_CAP:]
 
     def observe(self, value: Any) -> None:
         self.total_ticks += 1
@@ -167,9 +206,22 @@ class PortStats:
                 else min(self.minimum, value)
             self.maximum = value if self.maximum is None \
                 else max(self.maximum, value)
-        elif value not in self.value_sample \
-                and len(self.value_sample) < self._SAMPLE_CAP:
-            self.value_sample.append(value)
+        else:
+            self._sample(value)
+
+    def merge(self, other: "PortStats") -> None:
+        """Fold another batch's statistics of the same port into this one."""
+        self.total_ticks += other.total_ticks
+        self.present_ticks += other.present_ticks
+        for bound in (other.minimum, other.maximum):
+            if bound is None:
+                continue
+            self.minimum = bound if self.minimum is None \
+                else min(self.minimum, bound)
+            self.maximum = bound if self.maximum is None \
+                else max(self.maximum, bound)
+        for value in other.value_sample:
+            self._sample(value)
 
     def presence_ratio(self) -> float:
         return self.present_ticks / self.total_ticks if self.total_ticks else 0.0
@@ -204,13 +256,13 @@ class BatchReport:
 
     # -- construction ------------------------------------------------------
     @classmethod
-    def from_results(cls, component: Component,
-                     results: Sequence[Any]) -> "BatchReport":
-        """Aggregate :class:`~repro.scenarios.runner.ScenarioResult` records.
+    def for_component(cls, component: Component) -> "BatchReport":
+        """An empty report primed with the component's declared machines.
 
-        Results only need ``name`` / ``trace`` / ``error`` / ``duration`` /
-        ``mode_paths`` attributes, so serial runs and hand-built records
-        aggregate the same way as sharded ones.
+        Results are folded in one at a time with :meth:`observe_result`,
+        which is what lets streamed batches and multi-round searches
+        aggregate coverage incrementally instead of re-scanning all prior
+        traces.
         """
         report = cls(component_name=component.name)
         for info in machine_inventory(component):
@@ -219,39 +271,97 @@ class BatchReport:
                 declared_modes=list(info.modes),
                 declared_transitions=list(info.transitions),
                 initial=info.initial)
-        root_machine = report.coverage.get(component.name)
-
-        for result in results:
-            report.total += 1
-            report.total_duration += getattr(result, "duration", 0.0) or 0.0
-            if getattr(result, "error", None) is not None:
-                report.failed += 1
-                report.failures[result.name] = result.error
-                continue
-            report.succeeded += 1
-            trace = result.trace
-            if trace is not None:
-                report.scenario_ticks[result.name] = trace.ticks
-                report.total_ticks += trace.ticks
-                for name, stream in trace.outputs.items():
-                    stats = report.output_stats.setdefault(name, PortStats(name))
-                    for value in stream:
-                        stats.observe(value)
-                for name, stream in trace.inputs.items():
-                    stats = report.input_stats.setdefault(name, PortStats(name))
-                    for value in stream:
-                        stats.observe(value)
-            mode_paths = getattr(result, "mode_paths", None)
-            if mode_paths:
-                for path, history in mode_paths.items():
-                    if path in report.coverage:
-                        report.coverage[path].observe_history(history)
-            elif trace is not None and trace.mode_history \
-                    and root_machine is not None:
-                # without per-tick state observation the root machine's mode
-                # history recorded by the engines still contributes coverage
-                root_machine.observe_history(trace.mode_history)
         return report
+
+    @classmethod
+    def from_results(cls, component: Component,
+                     results: Sequence[Any]) -> "BatchReport":
+        """Aggregate :class:`~repro.scenarios.runner.ScenarioResult` records.
+
+        Results only need ``name`` / ``trace`` / ``error`` / ``duration`` /
+        ``mode_paths`` attributes, so serial runs and hand-built records
+        aggregate the same way as sharded ones.
+        """
+        report = cls.for_component(component)
+        for result in results:
+            report.observe_result(result)
+        return report
+
+    def observe_result(self, result: Any) -> None:
+        """Fold one scenario result into the aggregate."""
+        self.total += 1
+        self.total_duration += getattr(result, "duration", 0.0) or 0.0
+        if getattr(result, "error", None) is not None:
+            self.failed += 1
+            self.failures[result.name] = result.error
+            return
+        self.succeeded += 1
+        trace = result.trace
+        if trace is not None:
+            self.scenario_ticks[result.name] = trace.ticks
+            self.total_ticks += trace.ticks
+            for name, stream in trace.outputs.items():
+                stats = self.output_stats.setdefault(name, PortStats(name))
+                for value in stream:
+                    stats.observe(value)
+            for name, stream in trace.inputs.items():
+                stats = self.input_stats.setdefault(name, PortStats(name))
+                for value in stream:
+                    stats.observe(value)
+        mode_paths = getattr(result, "mode_paths", None)
+        root_machine = self.coverage.get(self.component_name)
+        if mode_paths:
+            for path, history in mode_paths.items():
+                if path in self.coverage:
+                    self.coverage[path].observe_history(history)
+        elif trace is not None and trace.mode_history \
+                and root_machine is not None:
+            # without per-tick state observation the root machine's mode
+            # history recorded by the engines still contributes coverage
+            root_machine.observe_history(trace.mode_history)
+
+    def merge(self, other: "BatchReport") -> "BatchReport":
+        """Fold another report over the *same* component into this one.
+
+        Counters add up, failures and per-scenario ticks union (scenario
+        names are unique across a well-formed multi-round batch), machine
+        coverage and port statistics merge element-wise.  Merging shard
+        reports is equivalent to one-shot aggregation over all results
+        (``tests/test_scenario_report.py`` proves it), which is what lets a
+        multi-round search aggregate rounds without re-scanning traces.
+        """
+        if other.component_name != self.component_name:
+            raise SimulationError(
+                f"cannot merge a report for {other.component_name!r} into "
+                f"one for {self.component_name!r}")
+        self.total += other.total
+        self.succeeded += other.succeeded
+        self.failed += other.failed
+        self.total_ticks += other.total_ticks
+        self.total_duration += other.total_duration
+        self.failures.update(other.failures)
+        self.scenario_ticks.update(other.scenario_ticks)
+        for path, coverage in other.coverage.items():
+            if path in self.coverage:
+                self.coverage[path].merge(coverage)
+            else:
+                self.coverage[path] = ModeCoverage(
+                    path=coverage.path, kind=coverage.kind,
+                    declared_modes=list(coverage.declared_modes),
+                    declared_transitions=list(coverage.declared_transitions),
+                    initial=coverage.initial,
+                    visited_modes=set(coverage.visited_modes),
+                    visited_transitions=set(coverage.visited_transitions))
+        for pool_name in ("output_stats", "input_stats"):
+            mine: Dict[str, PortStats] = getattr(self, pool_name)
+            for name, stats in getattr(other, pool_name).items():
+                if name in mine:
+                    mine[name].merge(stats)
+                else:
+                    merged = PortStats(name)
+                    merged.merge(stats)
+                    mine[name] = merged
+        return self
 
     # -- queries -----------------------------------------------------------
     def overall_mode_coverage(self) -> float:

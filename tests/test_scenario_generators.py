@@ -140,6 +140,35 @@ def test_out_of_range_spikes():
     assert spiky.materialize(5) == [1.0, 1.0, 1e9, 1.0, 1e9]
 
 
+def test_stuck_at_rejects_degenerate_windows():
+    # a window that can never fire would silently disable the fault
+    with pytest.raises(SimulationError):
+        StuckAt(Ramp(), value=0.0, from_tick=5, until=5)
+    with pytest.raises(SimulationError):
+        StuckAt(Ramp(), value=0.0, from_tick=5, until=3)
+    with pytest.raises(SimulationError):
+        StuckAt(Ramp(), value=0.0, from_tick=-1)
+    with pytest.raises(SimulationError):
+        StuckAt(Ramp(), value=0.0, from_tick=1.5)
+    with pytest.raises(SimulationError):
+        StuckAt(Ramp(), value=0.0, from_tick=0, until=2.5)
+    with pytest.raises(SimulationError):
+        StuckAt(Ramp(), value=0.0, from_tick=True)
+    # healthy windows still work, including open-ended ones
+    assert StuckAt([1, 2], value=9, from_tick=1).materialize(2) == [1, 9]
+
+
+def test_out_of_range_rejects_degenerate_spikes():
+    with pytest.raises(SimulationError):
+        OutOfRange(Constant(1.0), at_ticks=[], value=1e9)
+    with pytest.raises(SimulationError):
+        OutOfRange(Constant(1.0), at_ticks=[-2], value=1e9)
+    with pytest.raises(SimulationError):
+        OutOfRange(Constant(1.0), at_ticks=[1, 2.5], value=1e9)
+    with pytest.raises(SimulationError):
+        OutOfRange(Constant(1.0), at_ticks=[True], value=1e9)
+
+
 def test_sample_spec_covers_every_spec_kind():
     assert sample_spec(Stream([1, 2]), 1) == 2
     assert is_absent(sample_spec(Stream([1, 2]), 5))

@@ -173,6 +173,104 @@ def test_batch_report_json_export(engine_modes_mtd, tmp_path):
         == "EngineOperationModes"
 
 
+# -- incremental aggregation / merge ----------------------------------------
+
+
+def _sweep_shards(ticks=40):
+    cold = Scenario("cold-idle", {
+        "n": ModeSequence([(0.0, 4), (400.0, 4), (900.0, 12)]),
+        "ped": 0.0, "t_eng": -5.0}, ticks=20)
+    drive = _full_sweep(ticks)
+    failing = Scenario("bad", {"n": _explode}, ticks=5)
+    return [cold], [drive, failing]
+
+
+def _explode(tick):
+    raise RuntimeError("broken stimulus")
+
+
+def test_merge_of_shards_equals_one_shot_aggregation(engine_modes_mtd):
+    from repro.scenarios import run_sharded
+    shard_a, shard_b = _sweep_shards()
+    results_a = run_sharded(engine_modes_mtd, shard_a, executor="serial",
+                            collect_modes=True)
+    results_b = run_sharded(engine_modes_mtd, shard_b, executor="serial",
+                            collect_modes=True)
+
+    one_shot = BatchReport.from_results(engine_modes_mtd,
+                                        list(results_a) + list(results_b))
+    merged = BatchReport.from_results(engine_modes_mtd, results_a)
+    assert merged.merge(BatchReport.from_results(engine_modes_mtd,
+                                                 results_b)) is merged
+
+    assert merged.total == one_shot.total == 3
+    assert merged.succeeded == one_shot.succeeded
+    assert merged.failed == one_shot.failed == 1
+    assert merged.failures == one_shot.failures
+    assert merged.scenario_ticks == one_shot.scenario_ticks
+    assert merged.total_ticks == one_shot.total_ticks
+    assert merged.total_duration == pytest.approx(one_shot.total_duration)
+    for path in one_shot.coverage:
+        assert merged.coverage[path].visited_modes \
+            == one_shot.coverage[path].visited_modes
+        assert merged.coverage[path].visited_transitions \
+            == one_shot.coverage[path].visited_transitions
+    for pool in ("output_stats", "input_stats"):
+        mine, theirs = getattr(merged, pool), getattr(one_shot, pool)
+        assert set(mine) == set(theirs)
+        for name in theirs:
+            assert mine[name].total_ticks == theirs[name].total_ticks
+            assert mine[name].present_ticks == theirs[name].present_ticks
+            assert mine[name].minimum == theirs[name].minimum
+            assert mine[name].maximum == theirs[name].maximum
+    # the JSON export (minus timing) agrees too
+    mine, theirs = merged.to_json_dict(), one_shot.to_json_dict()
+    mine["scenarios"].pop("total_duration_s")
+    theirs["scenarios"].pop("total_duration_s")
+    assert mine == theirs
+
+
+def test_merge_rejects_foreign_components(engine_modes_mtd,
+                                          momentum_controller):
+    from repro.core.errors import SimulationError
+    mine = BatchReport.for_component(engine_modes_mtd)
+    theirs = BatchReport.for_component(momentum_controller)
+    with pytest.raises(SimulationError):
+        mine.merge(theirs)
+
+
+def test_port_stats_sample_is_order_insensitive():
+    from repro.scenarios import PortStats
+    # streamed (completion-order) folding must yield the same sample as an
+    # ordered pass: the sample is canonical, not first-seen
+    values = [f"v{index:02d}" for index in range(20)]
+    forward, backward = PortStats("p"), PortStats("p")
+    for value in values:
+        forward.observe(value)
+    for value in reversed(values):
+        backward.observe(value)
+    assert forward.value_sample == backward.value_sample
+    assert len(forward.value_sample) == PortStats._SAMPLE_CAP
+
+    merged = PortStats("p")
+    merged.merge(backward)
+    merged.merge(forward)
+    assert merged.value_sample == forward.value_sample
+
+
+def test_run_with_report_aggregates_incrementally(engine_modes_mtd):
+    # run_with_report streams results into the report (observe_result);
+    # the outcome equals a from_results pass and downstream callbacks
+    # still see every result
+    seen = []
+    results, streamed = run_with_report(engine_modes_mtd, [_full_sweep()],
+                                        executor="serial",
+                                        on_result=seen.append)
+    assert [result.name for result in seen] == ["full-sweep"]
+    batch = BatchReport.from_results(engine_modes_mtd, results)
+    assert streamed.to_json_dict() == batch.to_json_dict()
+
+
 # -- trace JSON round trip (io layer) ---------------------------------------
 
 

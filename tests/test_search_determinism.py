@@ -1,0 +1,65 @@
+"""Search determinism: one seed, one outcome -- on every executor.
+
+The search's contract is that a run is a pure function of (model, seed
+battery, config): every random decision draws from one seeded
+``random.Random``, scenario results are absorbed in scenario order, and
+traces are byte-identical across executors (the PR 2 sharding guarantee).
+These tests pin the whole chain: corpus, round trajectory and the exported
+``SearchReport`` JSON must be byte-identical across repeated runs and
+across serial / thread / process execution.
+"""
+
+import pytest
+
+from repro.casestudy import build_engine_modes_mtd
+from repro.scenarios import Scenario
+from repro.search import SearchConfig, search_coverage
+
+
+def _run(executor: str, seed: int = 7):
+    # a fresh model per run: determinism must not lean on shared state
+    mtd = build_engine_modes_mtd()
+    battery = [Scenario("weak", {"n": 0.0, "ped": 0.0, "t_eng": 20.0},
+                        ticks=20)]
+    config = SearchConfig(seed=seed, max_rounds=12, population=16,
+                          executor=executor, max_workers=4)
+    return search_coverage(mtd, battery, config)
+
+
+def _fingerprint(report):
+    return {
+        "json": report.to_json(),
+        "corpus": [(scenario.name, scenario.ticks,
+                    repr(dict(sorted(scenario.stimuli.items()))))
+                   for scenario in report.corpus],
+        "trajectory": [(stats.index, stats.evaluated, stats.earned,
+                        stats.new_modes, stats.new_transitions,
+                        stats.transition_coverage)
+                       for stats in report.rounds],
+        "dropped": report.dropped,
+        "evaluations": report.evaluations,
+        "stop": report.stop_reason,
+    }
+
+
+def test_same_seed_is_byte_identical_across_runs():
+    first, second = _fingerprint(_run("serial")), _fingerprint(_run("serial"))
+    assert first == second
+
+
+def test_different_seeds_explore_differently():
+    # not a guarantee in general, but for this model the corpora differ
+    first, second = _run("serial", seed=7), _run("serial", seed=8)
+    assert first.to_json() != second.to_json()
+    # ... while both converge: the outcome is seed-robust
+    assert first.transition_coverage() == 1.0
+    assert second.transition_coverage() == 1.0
+
+
+def test_serial_and_thread_executors_agree():
+    assert _fingerprint(_run("serial")) == _fingerprint(_run("thread"))
+
+
+@pytest.mark.parallel
+def test_serial_and_process_executors_agree():
+    assert _fingerprint(_run("serial")) == _fingerprint(_run("process"))

@@ -1,0 +1,248 @@
+"""The coverage-frontier fitness and the generational search driver."""
+
+import json
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.scenarios import (ModeSequence, Scenario, run_sharded,
+                             run_with_report)
+from repro.search import (CoverageFrontier, SearchConfig, minimize_battery,
+                          search_coverage)
+
+#: The deliberately weak seed battery of the acceptance scenario: it never
+#: leaves Off, so every transition starts untaken.
+WEAK_BATTERY = [Scenario("weak", {"n": 0.0, "ped": 0.0, "t_eng": 20.0},
+                         ticks=20)]
+
+#: A scripted profile touching every engine operation mode.
+FULL_SWEEP = Scenario("full-sweep", {
+    "n": ModeSequence([(0.0, 4), (400.0, 4), (900.0, 6), (2000.0, 6),
+                       (4000.0, 6), (3500.0, 6), (1000.0, 4), (0.0, 4)]),
+    "ped": ModeSequence([(0.0, 14), (30.0, 6), (90.0, 6), (0.0, 10),
+                         (0.0, 4)]),
+    "t_eng": 60.0}, ticks=40)
+
+
+# -- coverage frontier ------------------------------------------------------
+
+
+def test_frontier_attributes_gain_once(engine_modes_mtd):
+    frontier = CoverageFrontier(engine_modes_mtd)
+    assert not frontier.transitions_complete()
+    results = run_sharded(engine_modes_mtd, [FULL_SWEEP], executor="serial",
+                          collect_modes=True)
+    first = frontier.absorb(results[0])
+    assert first.earned()
+    assert ("EngineOperationModes", ("Off", "Cranking")) \
+        in first.new_transitions
+    assert first.score() > 0.0
+    # absorbing the identical result again earns nothing new
+    again = frontier.absorb(results[0])
+    assert again.new_modes == () and again.new_transitions == ()
+    assert again.port_novelty == 0.0
+    assert not again.earned()
+
+
+def test_frontier_peek_does_not_commit(engine_modes_mtd):
+    frontier = CoverageFrontier(engine_modes_mtd)
+    results = run_sharded(engine_modes_mtd, [FULL_SWEEP], executor="serial",
+                          collect_modes=True)
+    peeked = frontier.peek(results[0])
+    assert peeked.earned()
+    assert frontier.transition_coverage() == 0.0
+    absorbed = frontier.absorb(results[0])
+    assert absorbed.new_transitions == peeked.new_transitions
+
+
+def test_frontier_matches_batch_report_accounting(engine_modes_mtd):
+    frontier = CoverageFrontier(engine_modes_mtd)
+    results, report = run_with_report(engine_modes_mtd, [FULL_SWEEP],
+                                      executor="serial")
+    for result in results:
+        frontier.absorb(result)
+    coverage = report.coverage["EngineOperationModes"]
+    assert frontier.mode_coverage() == coverage.mode_coverage()
+    assert frontier.transition_coverage() == coverage.transition_coverage()
+    assert [pair for _, pair in frontier.untaken_transitions()] \
+        == coverage.untaken_transitions()
+
+
+def test_frontier_ignores_failed_results(engine_modes_mtd):
+    frontier = CoverageFrontier(engine_modes_mtd)
+
+    def exploding(tick):
+        raise RuntimeError("broken stimulus")
+
+    results = run_sharded(engine_modes_mtd,
+                          [Scenario("bad", {"n": exploding}, ticks=5)],
+                          executor="serial", collect_modes=True)
+    assert not frontier.absorb(results[0]).earned()
+    assert frontier.mode_coverage() == 0.0
+
+
+# -- the acceptance scenario: weak battery to 100% --------------------------
+
+
+def test_search_reaches_full_transition_coverage(engine_modes_mtd):
+    report = search_coverage(engine_modes_mtd, WEAK_BATTERY,
+                             SearchConfig(seed=7, max_rounds=12,
+                                          population=16))
+    assert report.stop_reason == "transitions-covered"
+    assert report.transition_coverage() == 1.0
+    assert report.mode_coverage() == 1.0
+    assert report.untaken_transitions() == []
+    assert len(report.rounds) <= 12
+    # the trajectory is monotone and the batch report agrees
+    trajectory = [stats.transition_coverage for stats in report.rounds]
+    assert trajectory == sorted(trajectory)
+    assert report.batch_report.overall_transition_coverage() == 1.0
+    assert report.evaluations >= report.batch_report.total
+
+
+def test_search_minimized_corpus_preserves_coverage(engine_modes_mtd):
+    report = search_coverage(engine_modes_mtd, WEAK_BATTERY,
+                             SearchConfig(seed=7, max_rounds=12,
+                                          population=16))
+    assert report.minimized
+    assert report.corpus  # something survived minimization
+    # re-running ONLY the minimized battery still exercises everything
+    _, replay = run_with_report(engine_modes_mtd, report.corpus,
+                                executor="serial")
+    assert replay.overall_transition_coverage() == 1.0
+    assert replay.overall_mode_coverage() == 1.0
+    # minimization actually dropped redundant earners
+    assert len(report.dropped) > 0
+
+
+def test_search_round_budget_stops_the_loop(engine_modes_mtd):
+    report = search_coverage(engine_modes_mtd, WEAK_BATTERY,
+                             SearchConfig(seed=1, max_rounds=2, population=4,
+                                          minimize=False))
+    assert report.stop_reason in ("round-budget", "transitions-covered")
+    assert len(report.rounds) <= 2
+
+
+def test_search_evaluation_budget_is_hard(engine_modes_mtd):
+    report = search_coverage(engine_modes_mtd, WEAK_BATTERY,
+                             SearchConfig(seed=1, max_rounds=50,
+                                          population=8, max_evaluations=20,
+                                          minimize=False))
+    assert report.evaluations <= 20
+    assert report.stop_reason in ("evaluation-budget",
+                                  "transitions-covered")
+
+
+def test_search_stale_rounds_stop(engine_modes_mtd):
+    # population 1 bred from a single frozen scenario stalls quickly
+    report = search_coverage(
+        engine_modes_mtd,
+        [Scenario("idle", {"n": 0.0, "ped": 0.0, "t_eng": 0.0}, ticks=4)],
+        SearchConfig(seed=3, max_rounds=40, population=1,
+                     max_stale_rounds=3, exploration_rate=0.0,
+                     crossover_rate=0.0, minimize=False))
+    assert report.stop_reason in ("stalled", "transitions-covered",
+                                  "round-budget")
+    if report.stop_reason == "stalled":
+        tail = report.rounds[-3:]
+        assert all(stats.new_modes == 0 and stats.new_transitions == 0
+                   for stats in tail)
+
+
+def test_search_without_seed_battery_explores(engine_modes_mtd):
+    report = search_coverage(engine_modes_mtd, (),
+                             SearchConfig(seed=5, max_rounds=8,
+                                          population=12))
+    assert report.rounds[0].evaluated == 12
+    assert report.transition_coverage() > 0.5
+
+
+def test_search_config_validation(engine_modes_mtd):
+    for broken in (SearchConfig(max_rounds=0), SearchConfig(population=0),
+                   SearchConfig(corpus_cap=0),
+                   SearchConfig(ticks=50, max_ticks=10),
+                   SearchConfig(crossover_rate=1.5)):
+        with pytest.raises(SimulationError):
+            search_coverage(engine_modes_mtd, WEAK_BATTERY, broken)
+
+
+def test_search_report_json_round_trip(engine_modes_mtd, tmp_path):
+    report = search_coverage(engine_modes_mtd, WEAK_BATTERY,
+                             SearchConfig(seed=7, max_rounds=12,
+                                          population=16))
+    data = json.loads(report.to_json())
+    assert data["component"] == "EngineOperationModes"
+    assert data["stop_reason"] == "transitions-covered"
+    assert data["coverage"]["overall_transition_coverage"] == 1.0
+    assert data["coverage"]["untaken_transitions"] == []
+    machines = {entry["path"]: entry
+                for entry in data["coverage"]["machines"]}
+    assert machines["EngineOperationModes"]["transition_coverage"] == 1.0
+    assert len(data["rounds"]) == len(report.rounds)
+    assert [entry["name"] for entry in data["corpus"]["scenarios"]] \
+        == report.corpus_names()
+    # wall-clock timing never leaks into the (deterministic) export
+    assert "duration" not in json.dumps(data)
+
+    target = tmp_path / "search.json"
+    report.save(str(target))
+    assert json.loads(target.read_text()) == data
+
+    summary = report.format_summary()
+    assert "transitions-covered" in summary
+    assert "100% transitions" in summary
+
+
+def test_search_report_json_has_no_memory_addresses(engine_modes_mtd):
+    # callables are valid stimuli; their default reprs embed 0x addresses,
+    # which the export scrubs to keep the JSON byte-identical across runs
+    battery = [Scenario("callable", {"n": lambda tick: 100.0 * tick,
+                                     "ped": 10.0, "t_eng": 20.0}, ticks=30)]
+    report = search_coverage(engine_modes_mtd, battery,
+                             SearchConfig(seed=2, max_rounds=2, population=4,
+                                          minimize=False))
+    text = report.to_json()
+    assert "0x.." in text or "lambda" not in text
+    import re
+    assert not re.search(r"0x[0-9a-fA-F]{4,}", text)
+
+
+# -- greedy minimization ----------------------------------------------------
+
+
+def test_minimize_drops_subsumed_scenarios(engine_modes_mtd):
+    cranking_only = Scenario("cranking-only", {
+        "n": ModeSequence([(0.0, 3), (500.0, 5)]), "ped": 0.0,
+        "t_eng": 20.0}, ticks=8)
+    outcome = minimize_battery(engine_modes_mtd,
+                               [cranking_only, FULL_SWEEP])
+    # the full sweep subsumes the cranking-only prefix scenario
+    assert outcome.kept_names() == ["full-sweep"]
+    assert outcome.dropped == ["cranking-only"]
+    assert outcome.evaluations == 2
+    assert outcome.covered_items > 0
+
+
+def test_minimize_keeps_complementary_scenarios(engine_modes_mtd):
+    reaches_idle = Scenario("reaches-idle", {
+        "n": ModeSequence([(0.0, 2), (900.0, 6)]), "ped": 0.0,
+        "t_eng": 20.0}, ticks=8)
+    idle_to_off = Scenario("idle-to-off", {
+        "n": ModeSequence([(0.0, 2), (900.0, 4), (10.0, 4)]), "ped": 0.0,
+        "t_eng": 20.0}, ticks=10)
+    outcome = minimize_battery(engine_modes_mtd, [reaches_idle, idle_to_off])
+    # idle_to_off covers everything reaches_idle covers, plus Idle -> Off
+    assert outcome.kept_names() == ["idle-to-off"]
+
+
+def test_minimize_handles_empty_and_failing_batteries(engine_modes_mtd):
+    assert minimize_battery(engine_modes_mtd, []).kept == []
+
+    def exploding(tick):
+        raise RuntimeError("broken")
+
+    outcome = minimize_battery(
+        engine_modes_mtd,
+        [Scenario("bad", {"n": exploding}, ticks=4), FULL_SWEEP])
+    assert outcome.kept_names() == ["full-sweep"]
+    assert "bad" in outcome.dropped

@@ -1,0 +1,274 @@
+"""Typed mutation/crossover operators of the coverage search."""
+
+import random
+
+import pytest
+
+from repro.analysis import guard_vocabulary
+from repro.core.errors import SimulationError
+from repro.scenarios import (Constant, Dropout, EventStorm, ModeSequence,
+                             OutOfRange, RandomWalk, Ramp, Scenario,
+                             SquareWave, StuckAt)
+from repro.search import (DEFAULT_MUTATORS, MutationContext,
+                          PerturbModeSequence, PerturbRamp,
+                          PerturbSquareWave, ReseedGenerator, RetargetPort,
+                          ToggleFaultInjector, crossover_scenarios,
+                          exploration_scenario, mutate_scenario)
+from repro.search.mutation import append_witness
+
+
+def _context(**pools):
+    return MutationContext(value_pools=pools, default_ticks=30, max_ticks=120)
+
+
+# -- guard vocabulary (analysis layer) --------------------------------------
+
+
+def test_guard_vocabulary_samples_boundary_values(engine_modes_mtd):
+    pools = guard_vocabulary(engine_modes_mtd)
+    # each comparison constant contributes value-1, value, value+1
+    assert {699, 700, 701} <= set(pools["n"])
+    assert {79, 80, 81} <= set(pools["ped"])
+    # guards never constrain t_eng: the generic pool remains
+    assert set(pools["t_eng"]) == {False, True, 0, 1}
+    # numeric constants displace the boolean filler values
+    assert not any(isinstance(value, bool) for value in pools["n"])
+
+
+def test_guard_vocabulary_covers_nested_stds():
+    from repro.notations.dfd import DataFlowDiagram
+    from repro.notations.std import StateTransitionDiagram
+    std = StateTransitionDiagram("Gearbox")
+    std.add_input("speed")
+    std.add_state("Low", initial=True)
+    std.add_state("High")
+    std.add_transition("Low", "High", "speed > 2500")
+    dfd = DataFlowDiagram("Drivetrain")
+    dfd.add_input("speed")
+    dfd.add_subcomponent(std)
+    dfd.connect("speed", "Gearbox.speed")
+    assert {2499, 2500, 2501} <= set(guard_vocabulary(dfd)["speed"])
+
+
+# -- typed operators --------------------------------------------------------
+
+
+def test_perturb_ramp_returns_typed_ramp():
+    rng = random.Random(1)
+    mutated = PerturbRamp().mutate(Ramp(start=5.0, slope=2.0, high=50.0),
+                                   rng, _context(u=[0.0, 10.0]), "u")
+    assert isinstance(mutated, Ramp)
+    assert mutated.high == 50.0  # clamps survive
+    assert (mutated.slope, mutated.start) != (2.0, 5.0)
+
+
+def test_perturb_square_wave_keeps_wave_valid():
+    rng = random.Random(2)
+    for _ in range(20):
+        mutated = PerturbSquareWave().mutate(
+            SquareWave(period=6, low=0.0, high=1.0), rng, _context(), "u")
+        assert isinstance(mutated, SquareWave)
+        assert mutated.period >= 1
+        assert 0.0 <= mutated.duty <= 1.0
+
+
+def test_perturb_mode_sequence_stays_well_formed():
+    rng = random.Random(3)
+    sequence = ModeSequence([(0.0, 5), (900.0, 5), (3000.0, 5)])
+    for _ in range(40):  # exercise every operation kind
+        mutated = PerturbModeSequence().mutate(sequence, rng,
+                                               _context(u=[1.0, 2.0]), "u")
+        assert isinstance(mutated, ModeSequence)
+        assert len(mutated.segments) >= 1
+        assert all(duration >= 1 for _, duration in mutated.segments)
+
+
+def test_reseed_generator_keeps_parameters_changes_stream():
+    rng = random.Random(4)
+    walk = RandomWalk(seed=11, start=2.0, step=0.5, low=0.0, high=10.0)
+    reseeded = ReseedGenerator().mutate(walk, rng, _context(), "u")
+    assert isinstance(reseeded, RandomWalk)
+    assert (reseeded.start, reseeded.step) == (2.0, 0.5)
+    assert reseeded.seed != walk.seed
+    assert reseeded.materialize(30) != walk.materialize(30)
+    # the original generator is untouched (mutation never aliases state)
+    assert walk.materialize(5) == RandomWalk(seed=11, start=2.0, step=0.5,
+                                             low=0.0, high=10.0).materialize(5)
+
+
+def test_toggle_fault_wraps_and_heals():
+    rng = random.Random(5)
+    toggle = ToggleFaultInjector()
+    context = _context(u=[0.0, 5.0])
+    wrapped = toggle.mutate(Constant(1.0), rng, context, "u")
+    assert isinstance(wrapped, (StuckAt, Dropout, OutOfRange))
+    healed = toggle.mutate(wrapped, rng, context, "u")
+    assert isinstance(healed, Constant)  # unwraps back to the inner spec
+
+
+def test_toggle_fault_windows_always_fire():
+    # the generators now validate windows; 60 draws across all injector
+    # kinds must all construct successfully and inside the horizon
+    rng = random.Random(6)
+    toggle = ToggleFaultInjector()
+    context = _context(u=[1.0])
+    for _ in range(60):
+        injector = toggle.mutate(0.0, rng, context, "u")
+        if isinstance(injector, StuckAt):
+            assert 0 <= injector.from_tick < injector.until
+        elif isinstance(injector, OutOfRange):
+            assert injector.at_ticks
+            assert max(injector.at_ticks) < context.default_ticks
+
+
+def test_retarget_builds_pool_sequences():
+    rng = random.Random(7)
+    mutated = RetargetPort().mutate(EventStorm(seed=1), rng,
+                                    _context(u=[10.0, 20.0, 30.0]), "u")
+    assert isinstance(mutated, ModeSequence)
+    assert {value for value, _ in mutated.segments} <= {10.0, 20.0, 30.0}
+
+
+# -- scenario-level mutation / crossover ------------------------------------
+
+
+def test_mutate_scenario_is_deterministic_under_seed():
+    scenario = Scenario("s", {"n": ModeSequence([(0.0, 5), (900.0, 5)]),
+                              "ped": 40.0}, ticks=30)
+    context = _context(n=[0.0, 800.0], ped=[0.0, 90.0])
+    first = mutate_scenario(scenario, random.Random(42), context, "child")
+    second = mutate_scenario(scenario, random.Random(42), context, "child")
+    assert first.name == second.name == "child"
+    assert first.ticks == second.ticks
+    assert repr(first.stimuli) == repr(second.stimuli)
+    # the parent scenario is untouched
+    assert scenario.stimuli["ped"] == 40.0
+
+
+def test_mutate_scenario_respects_max_ticks():
+    scenario = Scenario("s", {"u": 1.0}, ticks=118)
+    context = _context(u=[1.0])
+    for seed in range(30):
+        child = mutate_scenario(scenario, random.Random(seed), context, "c")
+        assert child.ticks <= context.max_ticks
+
+
+def test_mutate_scenario_without_stimuli_is_rejected():
+    with pytest.raises(SimulationError):
+        mutate_scenario(Scenario("s", {}, 5), random.Random(0), _context(),
+                        "c")
+
+
+def test_crossover_mixes_ports_and_splices_sequences():
+    left = Scenario("a", {"n": ModeSequence([(0.0, 5), (800.0, 5)]),
+                          "ped": 10.0}, ticks=20)
+    right = Scenario("b", {"n": ModeSequence([(3000.0, 4), (1000.0, 4)]),
+                           "ped": 90.0}, ticks=40)
+    seen_splice = False
+    for seed in range(40):
+        child = crossover_scenarios(left, right, random.Random(seed), "c")
+        assert set(child.stimuli) == {"n", "ped"}
+        assert child.ticks in (20, 40)
+        assert child.stimuli["ped"] in (10.0, 90.0)
+        sequence = child.stimuli["n"]
+        assert isinstance(sequence, ModeSequence)
+        values = [value for value, _ in sequence.segments]
+        if 0.0 in values and 1000.0 in values:
+            seen_splice = True  # a genuine spliced prefix+suffix child
+    assert seen_splice
+
+
+def test_exploration_scenario_covers_every_port():
+    context = _context(n=[0.0, 800.0], ped=[0.0, 90.0])
+    scenario = exploration_scenario(["ped", "n"], random.Random(1), context,
+                                    "x")
+    assert set(scenario.stimuli) == {"n", "ped"}
+    assert scenario.ticks == context.default_ticks
+    assert all(isinstance(spec, ModeSequence)
+               for spec in scenario.stimuli.values())
+
+
+# -- directed witness extension ---------------------------------------------
+
+
+def test_append_witness_replays_parent_then_holds_witness():
+    parent = Scenario("p", {"n": ModeSequence([(0.0, 4), (800.0, 6)]),
+                            "ped": 40.0}, ticks=10)
+    child = append_witness(parent, {"n": 3001.0, "ped": 0.0}, dwell=3,
+                           name="t")
+    assert child.ticks == 13
+    n_values = child.stimuli["n"].materialize(13)
+    assert n_values[:10] == parent.stimuli["n"].materialize(10)
+    assert n_values[10:] == [3001.0] * 3
+    ped_values = child.stimuli["ped"].materialize(13)
+    assert ped_values[:10] == [40.0] * 10  # scalar became a real sequence
+    assert ped_values[10:] == [0.0] * 3
+    with pytest.raises(SimulationError):
+        append_witness(parent, {"n": 0.0}, dwell=0, name="bad")
+
+
+def test_append_witness_preserves_absent_tails():
+    from repro.core.values import is_absent
+    # a non-holding sequence goes absent after its segments: the extension
+    # must keep that absence, not resurrect the last value
+    parent = Scenario("p", {"u": ModeSequence([(5.0, 3)], hold_last=False)},
+                      ticks=10)
+    child = append_witness(parent, {"u": 9.0}, dwell=2, name="t")
+    values = child.stimuli["u"].materialize(12)
+    assert values[:3] == [5.0] * 3
+    assert all(is_absent(value) for value in values[3:10])
+    assert values[10:] == [9.0] * 2
+
+
+def test_append_witness_leaves_new_ports_absent_during_prefix():
+    from repro.core.values import is_absent
+    # a witness port the parent never drove only appears in the witness
+    # phase -- driving it earlier could divert the parent's trajectory
+    parent = Scenario("p", {"x": 1.0}, ticks=5)
+    child = append_witness(parent, {"y": True}, dwell=2, name="t")
+    values = child.stimuli["y"].materialize(7)
+    assert all(is_absent(value) for value in values[:5])
+    assert values[5:] == [True, True]
+    assert child.stimuli["x"] == 1.0  # untouched ports keep their stimulus
+
+
+def test_append_witness_compresses_generator_prefixes():
+    parent = Scenario("p", {"u": SquareWave(period=4)}, ticks=8)
+    child = append_witness(parent, {"u": 7.0}, dwell=2, name="t")
+    prefix = child.stimuli["u"].materialize(8)
+    assert prefix == SquareWave(period=4).materialize(8)
+
+
+def test_append_witness_clips_segments_to_parent_horizon():
+    # segments outlasting the parent horizon (a common product of append/
+    # retime mutations) must not push the witness past the child's ticks
+    parent = Scenario("p", {"u": ModeSequence([(1.0, 50), (2.0, 10)])},
+                      ticks=20)
+    child = append_witness(parent, {"u": 9.0}, dwell=3, name="t")
+    assert child.ticks == 23
+    values = child.stimuli["u"].materialize(child.ticks)
+    assert values[:20] == [1.0] * 20  # prefix as actually simulated
+    assert values[20:] == [9.0] * 3   # the witness really fires
+
+
+def test_mutated_injector_windows_fit_the_scenario_horizon():
+    # windows must be drawn inside the *scenario's* ticks, not the
+    # context-wide default (a ticks=10 scenario in a default_ticks=30
+    # context would otherwise get faults that never fire)
+    scenario = Scenario("s", {"u": Constant(1.0)}, ticks=10)
+    context = _context(u=[1.0, 2.0])
+    for seed in range(120):
+        child = mutate_scenario(scenario, random.Random(seed), context, "c")
+        spec = child.stimuli["u"]
+        if isinstance(spec, StuckAt):
+            assert spec.from_tick < 10
+        elif isinstance(spec, OutOfRange):
+            assert max(spec.at_ticks) < 10
+
+
+def test_default_registry_order_is_stable():
+    # determinism leans on a fixed registry: guard the order by name
+    assert [mutator.name for mutator in DEFAULT_MUTATORS] == [
+        "perturb-ramp", "perturb-square-wave", "perturb-step",
+        "perturb-mode-sequence", "perturb-sine", "reseed", "toggle-fault",
+        "retarget", "perturb-scalar"]
