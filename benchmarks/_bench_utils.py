@@ -6,7 +6,20 @@ output can be compared against EXPERIMENTS.md.
 """
 
 
+import time
+
+
 def report(experiment_id: str, text: str) -> None:
     """Print one experiment's regenerated artefact with a stable prefix."""
     print(f"\n===== [{experiment_id}] =====")
     print(text)
+
+
+def time_best(runner, repeats: int = 3) -> float:
+    """Best-of-*repeats* wall-clock of ``runner()`` (speedup-gate timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        runner()
+        best = min(best, time.perf_counter() - start)
+    return best

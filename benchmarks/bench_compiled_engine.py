@@ -9,8 +9,6 @@ compiled engine must be at least 5x faster while producing a tick-for-tick
 identical trace.
 """
 
-import time
-
 import pytest
 
 from repro.core.components import ExpressionComponent
@@ -20,7 +18,7 @@ from repro.simulation import (CompiledSimulator, ScenarioSuite, Simulator,
                               build_gated_ccd, first_difference)
 from repro.transformations.clustering import cluster_by_clock
 
-from _bench_utils import report
+from _bench_utils import report, time_best as _time_best
 
 
 def _chain_dfd(length: int, banded: bool = False) -> DataFlowDiagram:
@@ -50,15 +48,6 @@ def _chain_dfd(length: int, banded: bool = False) -> DataFlowDiagram:
     dfd.connect(f"{previous}.out", "Z.in1")
     dfd.connect(f"{previous}.out", "y")
     return dfd
-
-
-def _time_best(runner, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        runner()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def test_p2_compiled_vs_interpreter_ccd_1000_ticks():

@@ -4,9 +4,9 @@ gasoline engine control (Sec. 5, Figs. 6-8) and its reengineered form."""
 from .door_lock import (LOCK_COMMAND, LOCK_STATUS, build_comfort_closing,
                         build_door_lock_control, build_door_lock_faa,
                         crash_scenario, fig1_stimuli)
-from .engine_control import (ENGINE_MODE_NAMES, build_engine_ascet_project,
-                             build_engine_ccd, build_engine_modes_mtd,
-                             driving_scenario)
+from .engine_control import (ENGINE_MODE_NAMES, build_crank_sequencer_std,
+                             build_engine_ascet_project, build_engine_ccd,
+                             build_engine_modes_mtd, driving_scenario)
 from .momentum import (acceleration_scenario, build_closed_loop,
                        build_momentum_controller)
 from .reengineered import (COMPARED_SIGNALS, ascet_reference_outputs,
@@ -16,7 +16,8 @@ from .reengineered import (COMPARED_SIGNALS, ascet_reference_outputs,
 __all__ = [
     "COMPARED_SIGNALS", "ENGINE_MODE_NAMES", "LOCK_COMMAND", "LOCK_STATUS",
     "acceleration_scenario", "ascet_reference_outputs",
-    "build_closed_loop", "build_comfort_closing", "build_door_lock_control",
+    "build_closed_loop", "build_comfort_closing", "build_crank_sequencer_std",
+    "build_door_lock_control",
     "build_door_lock_faa", "build_engine_ascet_project", "build_engine_ccd",
     "build_engine_modes_mtd", "build_momentum_controller",
     "build_reengineered_fda", "compare_behaviour", "crash_scenario",

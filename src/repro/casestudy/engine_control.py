@@ -30,6 +30,7 @@ from ..notations.blocks import Gain, Hold, Limit, LookupTable1D, UnitDelay
 from ..notations.ccd import Cluster, ClusterCommunicationDiagram
 from ..notations.dfd import DataFlowDiagram
 from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
 from ..core.components import ExpressionComponent
 from ..ascet.model import (AscetModule, AscetProject, AscetTask, assign,
                            if_then_else)
@@ -251,6 +252,57 @@ def build_engine_modes_mtd(name: str = "EngineOperationModes"
     mtd.add_transition("Overrun", "PartLoad", "ped > 5")
     mtd.add_transition("Overrun", "Idle", "n <= 1500")
     return mtd
+
+
+# --------------------------------------------------------------------------
+# engine-start sequencing as an STD (companion to the Fig.-6 mode MTD)
+# --------------------------------------------------------------------------
+
+def build_crank_sequencer_std(name: str = "CrankSequencer"
+                              ) -> StateTransitionDiagram:
+    """The engine-start sequencer as a state transition diagram.
+
+    Where the Fig.-6 MTD captures the *operating* modes, the sequencer
+    captures the discrete start-up protocol the central state module drives:
+    fuel-pump priming on key-on, cranking with a bounded attempt counter,
+    and the hand-over to closed-loop running.  It exercises every STD
+    feature -- guarded priorities, local-variable actions, output-port
+    actions overriding state emissions, and the automatic ``state`` port.
+    """
+    std = StateTransitionDiagram(name,
+                                 description="engine start-up sequencing "
+                                             "(key-on priming, cranking, "
+                                             "run hand-over)")
+    std.add_input("key", BOOL)
+    std.add_input("n", RPM)
+    std.add_output("fuel_pump")
+    std.add_output("state")
+    std.add_variable("crank_ticks", 0)
+
+    std.add_state("Rest", initial=True, emissions={"fuel_pump": "'off'"})
+    std.add_state("Priming", emissions={"fuel_pump": "'prime'"})
+    std.add_state("Cranking", emissions={"fuel_pump": "'deliver'"})
+    std.add_state("Running", emissions={"fuel_pump": "'deliver'"})
+
+    std.add_transition("Rest", "Priming", "key",
+                       actions={"crank_ticks": "0"},
+                       description="key-on: start priming")
+    std.add_transition("Priming", "Rest", "not key", priority=2,
+                       description="key released during priming")
+    std.add_transition("Priming", "Cranking", "present(n)",
+                       actions={"fuel_pump": "'spin-up'"},
+                       description="starter engaged")
+    std.add_transition("Cranking", "Rest", "not key or crank_ticks > 40",
+                       priority=3, actions={"fuel_pump": "'off'"},
+                       description="start aborted or attempt exhausted")
+    std.add_transition("Cranking", "Running", "n > 700", priority=2,
+                       description="engine fires")
+    std.add_transition("Cranking", "Cranking", "n <= 700",
+                       actions={"crank_ticks": "crank_ticks + 1"},
+                       description="keep cranking, count the ticks")
+    std.add_transition("Running", "Rest", "not key or n <= 50",
+                       description="key-off or stall")
+    return std
 
 
 # --------------------------------------------------------------------------

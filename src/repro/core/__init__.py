@@ -18,6 +18,7 @@ from .errors import (AutoModeError, CausalityError, ClockError, CodeGenError,
                      QuantizationError, SchedulingError, SerializationError,
                      SimulationError, TransformationError, TypeCheckError,
                      TypeMappingError, UnknownElementError, ValidationError)
+from .expr_compile import CompiledExpression, compile_expression
 from .expr_eval import ExpressionEvaluator, evaluate
 from .expr_parser import parse_expression
 from .expressions import (BinaryOp, Call, Conditional, Expression, Literal,
@@ -40,8 +41,8 @@ __all__ = [
     "ABSENT", "ANY", "AbstractionLevel", "AnyType", "AutoModeError",
     "AutoModeModel", "BASE_CLOCK", "BOOL", "BOOL8", "BaseClock", "BinaryOp",
     "BoolType", "Call", "CausalityError", "Channel", "ChannelEnd", "Clock",
-    "ClockError", "CodeGenError", "Component", "CompositeComponent",
-    "Conditional", "DeploymentError", "EnumType", "EventClock", "Expression",
+    "ClockError", "CodeGenError", "CompiledExpression", "Component",
+    "CompositeComponent", "Conditional", "DeploymentError", "EnumType", "EventClock", "Expression",
     "ExpressionComponent", "ExpressionError", "ExpressionEvalError",
     "ExpressionEvaluator", "ExpressionParseError", "FLOAT", "FixedPointType",
     "FloatType", "FunctionComponent", "INT", "INT16", "INT32", "INT8",
@@ -54,8 +55,8 @@ __all__ = [
     "TransformationRecord", "Type", "TypeCheckError", "TypeEnvironment",
     "TypeMappingError", "UINT16", "UINT32", "UINT8", "UnaryOp",
     "UnknownElementError", "ValidationError", "ValidationReport", "Variable",
-    "are_synchronous", "check_value", "choose_implementation_type", "connect",
-    "evaluate", "every", "every_pattern", "hyperperiod", "infer_type",
+    "are_synchronous", "check_value", "choose_implementation_type",
+    "compile_expression", "connect", "evaluate", "every", "every_pattern", "hyperperiod", "infer_type",
     "input_port", "is_absent", "is_assignable", "is_more_abstract",
     "is_present", "is_subclock", "merge_reports", "output_port",
     "parse_expression", "rate_ratio", "relate", "slower_than", "unify",

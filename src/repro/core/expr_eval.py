@@ -88,6 +88,17 @@ class ExpressionEvaluator:
         self.functions = dict(BUILTIN_FUNCTIONS)
         self.functions.update(state.get("custom_functions", {}))
 
+    def compile(self, expression: Expression) -> Callable[[Mapping[str, Any]], Any]:
+        """Lower *expression* to a closure using this evaluator's functions.
+
+        The returned closure ``environment -> value`` reproduces
+        :meth:`evaluate` exactly (see :mod:`repro.core.expr_compile`); it
+        captures resolved function objects, so it is a per-process artefact
+        -- recompile after pickling rather than shipping closures.
+        """
+        from .expr_compile import compile_expression
+        return compile_expression(expression, self.functions)
+
     def evaluate(self, expression: Expression, environment: Mapping[str, Any]) -> Any:
         """Evaluate *expression*; absent operands make the result absent."""
         if isinstance(expression, Literal):

@@ -74,6 +74,8 @@ class ModeTransitionDiagram(Component):
         super().__init__(name, description)
         self._modes: Dict[str, Mode] = {}
         self._transitions: List[ModeTransition] = []
+        #: per-mode sorted outgoing transitions, invalidated by add_transition
+        self._outgoing_cache: Dict[str, Tuple[ModeTransition, ...]] = {}
         self._initial_mode: Optional[str] = None
         self._evaluator = evaluator or ExpressionEvaluator()
 
@@ -109,6 +111,7 @@ class ModeTransitionDiagram(Component):
             raise ModelError("transition guard must be an expression")
         transition = ModeTransition(source, target, guard, priority, description)
         self._transitions.append(transition)
+        self._outgoing_cache.pop(source, None)
         return transition
 
     def _check_behavior_interface(self, mode_name: str, behavior: Component) -> None:
@@ -147,8 +150,18 @@ class ModeTransitionDiagram(Component):
 
     def transitions_from(self, mode_name: str) -> List[ModeTransition]:
         """Transitions leaving *mode_name*, ordered by descending priority."""
-        outgoing = [t for t in self._transitions if t.source == mode_name]
-        return sorted(outgoing, key=lambda t: -t.priority)
+        return list(self._outgoing(mode_name))
+
+    def _outgoing(self, mode_name: str) -> Tuple[ModeTransition, ...]:
+        """Sorted outgoing transitions, cached so ``react`` stops re-filtering
+        and re-sorting the full transition list every tick."""
+        cached = self._outgoing_cache.get(mode_name)
+        if cached is None:
+            outgoing = [t for t in self._transitions if t.source == mode_name]
+            outgoing.sort(key=lambda t: -t.priority)
+            cached = tuple(outgoing)
+            self._outgoing_cache[mode_name] = cached
+        return cached
 
     def reachable_modes(self) -> Set[str]:
         """Modes reachable from the initial mode along transitions."""
@@ -196,7 +209,7 @@ class ModeTransitionDiagram(Component):
 
         fired = None
         environment = dict(inputs)
-        for transition in self.transitions_from(current):
+        for transition in self._outgoing(current):
             value = self._evaluator.evaluate(transition.guard, environment)
             if is_present(value) and bool(value):
                 fired = transition

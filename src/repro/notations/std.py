@@ -69,6 +69,8 @@ class StateTransitionDiagram(Component):
         super().__init__(name, description)
         self._states: Dict[str, STDState] = {}
         self._transitions: List[STDTransition] = []
+        #: per-state sorted outgoing transitions, invalidated by add_transition
+        self._outgoing_cache: Dict[str, Tuple[STDTransition, ...]] = {}
         self._initial_state: Optional[str] = None
         self._variables: Dict[str, Any] = {}
         self._evaluator = evaluator or ExpressionEvaluator()
@@ -106,6 +108,7 @@ class StateTransitionDiagram(Component):
         transition = STDTransition(source, target, self._parse(guard),
                                    parsed_actions, priority, description)
         self._transitions.append(transition)
+        self._outgoing_cache.pop(source, None)
         return transition
 
     @staticmethod
@@ -139,8 +142,18 @@ class StateTransitionDiagram(Component):
         return list(self._transitions)
 
     def transitions_from(self, state_name: str) -> List[STDTransition]:
-        outgoing = [t for t in self._transitions if t.source == state_name]
-        return sorted(outgoing, key=lambda t: -t.priority)
+        return list(self._outgoing(state_name))
+
+    def _outgoing(self, state_name: str) -> Tuple[STDTransition, ...]:
+        """Sorted outgoing transitions, cached so ``react`` stops re-filtering
+        and re-sorting the full transition list every tick."""
+        cached = self._outgoing_cache.get(state_name)
+        if cached is None:
+            outgoing = [t for t in self._transitions if t.source == state_name]
+            outgoing.sort(key=lambda t: -t.priority)
+            cached = tuple(outgoing)
+            self._outgoing_cache[state_name] = cached
+        return cached
 
     def reachable_states(self) -> Set[str]:
         if self._initial_state is None:
@@ -176,7 +189,7 @@ class StateTransitionDiagram(Component):
         outputs: Dict[str, Any] = {name: ABSENT for name in self.output_names()}
 
         fired: Optional[STDTransition] = None
-        for transition in self.transitions_from(current):
+        for transition in self._outgoing(current):
             value = self._evaluator.evaluate(transition.guard, environment)
             if is_present(value) and bool(value):
                 fired = transition

@@ -21,10 +21,14 @@ schedule decision precomputed:
 * each :class:`~repro.simulation.engine.ClockGatedComponent` gets an
   incrementally materialized clock pattern
   (:meth:`~repro.core.clocks.Clock.cached`) shared across runs;
-* each mode-transition diagram gets per-mode transition tables and
-  compiled mode behaviours;
-* every other component (expression/function/stateful blocks, STDs...)
-  is already a single ``react`` call and is executed directly.
+* each mode-transition diagram gets per-mode transition tables (guards
+  lowered to closures via :mod:`repro.core.expr_compile`) and compiled
+  mode behaviours;
+* each state-transition diagram gets per-state sorted transition tables
+  with compiled guards, actions and emissions;
+* each expression block gets its output expressions lowered to closures;
+* every other component (function/stateful blocks...) is already a single
+  ``react`` call and is executed directly.
 
 **Run** (:class:`CompiledSimulator` / :class:`ScenarioSuite`): the compiled
 schedule is a pure function of ``(inputs, state, tick)`` and can therefore
@@ -51,6 +55,7 @@ from ..core.errors import ModelError, SimulationError
 from ..core.values import ABSENT, is_present
 from ..notations.ccd import ClusterCommunicationDiagram
 from ..notations.mtd import ModeTransitionDiagram
+from ..notations.std import StateTransitionDiagram
 from .engine import (ClockGatedComponent, Simulator, StimulusSpec,
                      build_gated_ccd, run_stepped)
 from .trace import SimulationTrace, first_difference
@@ -63,7 +68,7 @@ class CompiledSchedule:
     """A component compiled into an executable schedule.
 
     ``step`` is the executable form; ``kind`` names the compilation strategy
-    (``"composite"``, ``"gated"``, ``"mtd"`` or ``"atomic"``) and
+    (``"composite"``, ``"gated"``, ``"mtd"``, ``"std"`` or ``"atomic"``) and
     ``children`` holds the compiled sub-schedules, so tests and tools can
     inspect what the compiler produced.
     """
@@ -109,6 +114,9 @@ def compile_component(component: Component) -> CompiledSchedule:
     if isinstance(component, ModeTransitionDiagram) \
             and type(component).react is ModeTransitionDiagram.react:
         return _compile_mtd(component)
+    if isinstance(component, StateTransitionDiagram) \
+            and type(component).react is StateTransitionDiagram.react:
+        return _compile_std(component)
     if isinstance(component, ExpressionComponent) \
             and type(component).react is ExpressionComponent.react:
         return _compile_expression(component)
@@ -128,14 +136,16 @@ def _compile_expression(component: ExpressionComponent) -> CompiledSchedule:
     dicts built by the surrounding compiled composite (or simulator loop)
     are fresh per tick, so evaluating against *inputs* directly is
     observationally identical and saves one dict copy per block per tick.
+    On top of that, the output expressions are lowered to closures
+    (:mod:`repro.core.expr_compile`), removing the per-tick AST walk.
     """
-    items = tuple(component.output_expressions.items())
-    evaluate = component._evaluator.evaluate  # noqa: SLF001 - same evaluator
+    compiler = component._evaluator.compile  # noqa: SLF001 - same evaluator
+    items = tuple((name, compiler(expression))
+                  for name, expression in component.output_expressions.items())
 
     def step(inputs: Mapping[str, Any], state: Any,
              tick: int) -> Tuple[Dict[str, Any], Any]:
-        return {name: evaluate(expression, inputs)
-                for name, expression in items}, state
+        return {name: compiled(inputs) for name, compiled in items}, state
 
     return CompiledSchedule(component, "atomic", step)
 
@@ -255,10 +265,17 @@ def _compile_gated(component: ClockGatedComponent) -> CompiledSchedule:
 
 
 def _compile_mtd(component: ModeTransitionDiagram) -> CompiledSchedule:
-    """Precompute per-mode transition tables and compile mode behaviours."""
+    """Precompute per-mode transition tables and compile mode behaviours.
+
+    Guards are lowered to closures and evaluated against the per-tick input
+    dict directly: the reference ``react`` builds ``environment =
+    dict(inputs)`` each tick, but the evaluator never mutates its
+    environment and the input dicts are fresh per tick (see
+    :func:`_compile_expression`), so the copy is pure overhead.
+    """
     if not component.modes():
         raise ModelError(f"MTD {component.name!r} has no modes")
-    evaluator = component._evaluator  # noqa: SLF001 - same evaluator as react
+    compiler = component._evaluator.compile  # noqa: SLF001 - same evaluator
     children: List[Tuple[str, CompiledSchedule]] = []
     behaviors: Dict[str, Optional[Tuple[StepFunction, Tuple[str, ...]]]] = {}
     for mode in component.modes():
@@ -270,7 +287,7 @@ def _compile_mtd(component: ModeTransitionDiagram) -> CompiledSchedule:
         behaviors[mode.name] = (compiled.step,
                                 tuple(mode.behavior.input_names()))
     transition_table = {
-        mode.name: tuple((t.guard, t.target, t.describe())
+        mode.name: tuple((compiler(t.guard), t.target, t.describe())
                          for t in component.transitions_from(mode.name))
         for mode in component.modes()}
     output_names = tuple(component.output_names())
@@ -287,9 +304,8 @@ def _compile_mtd(component: ModeTransitionDiagram) -> CompiledSchedule:
         mode_states = dict(state["mode_states"])
 
         fired_description = None
-        environment = dict(inputs)
         for guard, target, description in transition_table[current]:
-            value = evaluator.evaluate(guard, environment)
+            value = guard(inputs)
             if is_present(value) and bool(value):
                 fired_description = description
                 current = target
@@ -312,6 +328,114 @@ def _compile_mtd(component: ModeTransitionDiagram) -> CompiledSchedule:
                          "last_transition": fired_description}
 
     return CompiledSchedule(component, "mtd", step, children)
+
+
+#: Action-target classification for compiled STD transitions.
+_ASSIGN_VARIABLE, _ASSIGN_OUTPUT, _ASSIGN_INVALID = 0, 1, 2
+
+
+def _compile_std(component: StateTransitionDiagram) -> CompiledSchedule:
+    """Precompute per-state sorted transition tables with compiled guards,
+    actions and emissions.
+
+    Tick-for-tick identical to :meth:`StateTransitionDiagram.react`,
+    including the invalid-action-target :class:`ModelError` path (classified
+    at compile time, raised when the offending transition fires) and the
+    ``state``-port emission precedence (explicit actions beat state
+    emissions beat the automatic state-name emission).
+    """
+    if not component.states():
+        raise ModelError(f"STD {component.name!r} has no states")
+    compiler = component._evaluator.compile  # noqa: SLF001 - same evaluator
+    component_name = component.name
+    output_names = tuple(component.output_names())
+    output_set = frozenset(output_names)
+    variable_names = frozenset(component.variables())
+    has_variables = bool(variable_names)
+    state_port = (component.STATE_PORT if component.STATE_PORT in output_set
+                  else None)
+
+    transition_table: Dict[str, Tuple[Any, ...]] = {}
+    emission_table: Dict[str, Tuple[Tuple[str, Any], ...]] = {}
+    for std_state in component.states():
+        rows = []
+        for transition in component.transitions_from(std_state.name):
+            actions = []
+            for target_name, expression in transition.actions.items():
+                if target_name in variable_names:
+                    kind = _ASSIGN_VARIABLE
+                elif target_name in output_set:
+                    kind = _ASSIGN_OUTPUT
+                else:
+                    kind = _ASSIGN_INVALID
+                actions.append((kind, target_name, compiler(expression)))
+            rows.append((compiler(transition.guard), transition.target,
+                         tuple(actions)))
+        transition_table[std_state.name] = tuple(rows)
+        # react() skips emissions to non-output names; filter at compile time
+        emission_table[std_state.name] = tuple(
+            (port_name, compiler(expression))
+            for port_name, expression in std_state.emissions.items()
+            if port_name in output_set)
+
+    initial_state_name = component.initial_state_name
+    initial_state = component.initial_state
+
+    def step(inputs: Mapping[str, Any], state: Any,
+             tick: int) -> Tuple[Dict[str, Any], Any]:
+        if state is None:
+            state = initial_state()
+        current = state["state"] or initial_state_name
+        variables = state["vars"]
+        if has_variables:
+            variables = dict(variables)
+            environment = dict(variables)
+            environment.update(inputs)
+        else:
+            # No local variables: guards/actions/emissions see the inputs
+            # only, and the (empty) vars dict is never mutated.
+            environment = inputs
+        outputs: Dict[str, Any] = {name: ABSENT for name in output_names}
+
+        fired = None
+        for guard, target, actions in transition_table[current]:
+            value = guard(environment)
+            if is_present(value) and bool(value):
+                fired = (target, actions)
+                break
+
+        variables_changed = False
+        if fired is not None:
+            target, actions = fired
+            for kind, target_name, compiled in actions:
+                result = compiled(environment)
+                if kind == _ASSIGN_VARIABLE:
+                    variables[target_name] = result
+                    variables_changed = True
+                elif kind == _ASSIGN_OUTPUT:
+                    outputs[target_name] = result
+                else:
+                    raise ModelError(
+                        f"action target {target_name!r} of STD "
+                        f"{component_name!r} is neither a local variable nor "
+                        "an output port")
+            current = target
+
+        if variables_changed:
+            emission_environment = dict(variables)
+            emission_environment.update(inputs)
+        else:
+            emission_environment = environment
+        for port_name, compiled in emission_table[current]:
+            if outputs[port_name] is ABSENT:
+                outputs[port_name] = compiled(emission_environment)
+
+        if state_port is not None and outputs[state_port] is ABSENT:
+            outputs[state_port] = current
+
+        return outputs, {"state": current, "vars": variables}
+
+    return CompiledSchedule(component, "std", step)
 
 
 class CompiledSimulator:

@@ -73,6 +73,12 @@ def run_stepped(component: Component,
     one loop guarantees both engines agree on stimulus handling, type
     checking and trace bookkeeping by construction.
     """
+    # bool is an int subclass: ticks=True would silently mean one tick, so
+    # reject it the way ScenarioSuite.add does -- every entry point (run,
+    # run_stepped, compiled runs, scenario batches) agrees on validation.
+    if isinstance(ticks, bool) or not isinstance(ticks, int):
+        raise SimulationError(
+            f"tick count must be an integer number of ticks, got {ticks!r}")
     if ticks < 0:
         raise SimulationError("tick count must be non-negative")
     stimuli = dict(stimuli or {})

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.casestudy import (acceleration_scenario, build_closed_loop,
+                             build_crank_sequencer_std,
                              build_door_lock_control, build_door_lock_faa,
                              build_engine_ascet_project, build_engine_ccd,
                              build_engine_modes_mtd, build_momentum_controller,
@@ -30,6 +31,11 @@ def engine_ccd():
 @pytest.fixture()
 def engine_modes_mtd():
     return build_engine_modes_mtd()
+
+
+@pytest.fixture()
+def crank_sequencer_std():
+    return build_crank_sequencer_std()
 
 
 @pytest.fixture()

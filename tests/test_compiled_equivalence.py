@@ -397,3 +397,178 @@ def test_compiled_schedule_is_flat_and_inspectable(engine_ccd):
     assert "gated" in kinds
     assert len(steps) > len(engine_ccd.subcomponents())
     assert schedule.describe().count("\n") == len(steps) - 1
+
+
+# -- compiled STDs -------------------------------------------------------------
+
+
+def random_std(rng, name="RandSTD"):
+    """A small random state-transition diagram with variables and emissions."""
+    from repro.notations.std import StateTransitionDiagram
+    std = StateTransitionDiagram(name)
+    std.add_input("x")
+    std.add_output("out")
+    std.add_output("state")
+    std.add_variable("count", rng.randint(-2, 2))
+    n_states = rng.randint(2, 4)
+    for index in range(n_states):
+        emissions = {}
+        if rng.random() < 0.7:
+            emissions["out"] = f"x * {index + 1} + count"
+        std.add_state(f"S{index}", emissions=emissions)
+    for index in range(n_states):
+        for _ in range(rng.randint(1, 3)):
+            actions = {}
+            if rng.random() < 0.5:
+                actions["count"] = f"count + {rng.randint(1, 2)}"
+            if rng.random() < 0.3:
+                actions["out"] = f"0 - x"
+            std.add_transition(f"S{index}", f"S{rng.randrange(n_states)}",
+                               f"x > {rng.randint(-3, 3)}",
+                               actions=actions, priority=rng.randint(0, 2))
+    return std
+
+
+def test_compiled_std_kind_registered(crank_sequencer_std):
+    from repro.simulation import compile_component
+    schedule = compile_component(crank_sequencer_std)
+    assert schedule.kind == "std"
+    assert schedule.linear_steps() == [("CrankSequencer", "std")]
+
+
+def test_crank_sequencer_full_start_cycle(crank_sequencer_std):
+    """Engine-control case study: prime, crank, run, key-off -- both engines."""
+    ticks = 12
+    stimuli = {
+        "key": [False] + [True] * 9 + [False, False],
+        "n": [ABSENT, ABSENT, 150.0, 300.0, 650.0, 900.0, 2200.0, 2200.0,
+              2000.0, 1500.0, 400.0, 0.0],
+    }
+    reference, _ = assert_engines_agree(crank_sequencer_std, stimuli, ticks)
+    assert reference.output("state").values() == [
+        "Rest", "Priming", "Cranking", "Cranking", "Cranking", "Running",
+        "Running", "Running", "Running", "Running", "Rest", "Rest"]
+    # the spin-up action overrides the Cranking state emission on entry
+    assert reference.output("fuel_pump")[2] == "spin-up"
+    assert reference.output("fuel_pump")[3] == "deliver"
+
+
+def test_crank_sequencer_abort_paths(crank_sequencer_std):
+    """Key released mid-prime and mid-crank; attempt counter exhaustion."""
+    ticks = 50
+    stimuli = {
+        "key": [True] * ticks,
+        "n": [ABSENT] + [100.0] * (ticks - 1),  # never fires -> counter runs out
+    }
+    reference, _ = assert_engines_agree(crank_sequencer_std, stimuli, ticks)
+    assert "Rest" in reference.output("state").values()[3:]
+
+    stimuli = {"key": [True, True, False, False], "n": [ABSENT] * 4}
+    reference, _ = assert_engines_agree(crank_sequencer_std, stimuli, 4)
+    assert reference.output("state").values() == ["Priming", "Priming",
+                                                 "Rest", "Rest"]
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_random_std_equivalence(seed):
+    rng = random.Random(5000 + seed)
+    std = random_std(rng, name=f"RandSTD{seed}")
+    ticks = rng.randint(10, 40)
+    assert_engines_agree(std, random_stimuli(rng, std, ticks), ticks)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_random_std_equivalence_extended(seed):
+    rng = random.Random(5000 + seed)
+    std = random_std(rng, name=f"RandSTD{seed}")
+    ticks = rng.randint(40, 150)
+    assert_engines_agree(std, random_stimuli(rng, std, ticks), ticks)
+
+
+def test_std_nested_in_dataflow(crank_sequencer_std):
+    """An STD compiled inside a composite schedule."""
+    dfd = DataFlowDiagram("StarterControl")
+    dfd.add_input("key")
+    dfd.add_input("n_raw")
+    dfd.add_output("pump")
+    scale = Gain("Scale", 1.0)
+    dfd.add(scale, crank_sequencer_std)
+    dfd.connect("key", "CrankSequencer.key")
+    dfd.connect("n_raw", "Scale.in1")
+    dfd.connect("Scale.out", "CrankSequencer.n")
+    dfd.connect("CrankSequencer.fuel_pump", "pump")
+    ticks = 10
+    stimuli = {"key": [True] * ticks,
+               "n_raw": [ABSENT, 100.0, 400.0, 800.0, 1200.0, 1200.0,
+                         1000.0, 30.0, ABSENT, ABSENT]}
+    assert_engines_agree(dfd, stimuli, ticks)
+
+
+def test_std_as_mtd_mode_behavior(crank_sequencer_std):
+    """STD compiled as the subordinate behaviour of an MTD mode."""
+    mtd = ModeTransitionDiagram("StartSupervisor")
+    mtd.add_input("key")
+    mtd.add_input("n")
+    mtd.add_output("fuel_pump")
+    mtd.add_output("state")
+    mtd.add_output("mode")
+    mtd.add_mode("Active", crank_sequencer_std, initial=True)
+    mtd.add_mode("Lockout")
+    mtd.add_transition("Active", "Lockout", "n > 3000")
+    mtd.add_transition("Lockout", "Active", "n < 500")
+    ticks = 14
+    stimuli = {"key": [True] * ticks,
+               "n": [ABSENT, 200.0, 900.0, 2000.0, 3500.0, 3500.0, 400.0,
+                     600.0, 900.0, 1200.0, 3200.0, 200.0, 800.0, 900.0]}
+    reference, _ = assert_engines_agree(mtd, stimuli, ticks)
+    assert "Lockout" in reference.mode_history
+
+
+def test_std_subclass_with_custom_react_falls_back_to_atomic():
+    from repro.notations.std import StateTransitionDiagram
+    from repro.simulation import compile_component
+
+    class TracingSTD(StateTransitionDiagram):
+        def react(self, inputs, state, tick):
+            return super().react(inputs, state, tick)
+
+    std = TracingSTD("Custom")
+    std.add_input("x")
+    std.add_output("state")
+    std.add_state("A", initial=True)
+    std.add_state("B")
+    std.add_transition("A", "B", "x > 0")
+    assert compile_component(std).kind == "atomic"
+    assert_engines_agree(std, {"x": [0, 1, 2]}, 3)
+
+
+def test_scenario_suite_verifies_std_and_expression_models(
+        crank_sequencer_std, engine_modes_mtd):
+    """Acceptance: verify_against_reference reports no differences for
+    STD-bearing and expression-heavy models."""
+    suite = ScenarioSuite(crank_sequencer_std)
+    suite.add("start", {"key": [True] * 8,
+                        "n": [ABSENT, 100.0, 400.0, 900.0, 1500.0, 1500.0,
+                              1200.0, 0.0]}, ticks=8)
+    suite.add("flicker", {"key": [True, False] * 5,
+                          "n": [200.0] * 10}, ticks=10)
+    differences = suite.verify_against_reference()
+    assert all(diff is None for diff in differences.values()), differences
+
+    rng = random.Random(77)
+    expression_heavy = random_dataflow(rng, name="ExprHeavy")
+    suite = ScenarioSuite(expression_heavy)
+    for index in range(3):
+        suite.add(f"s{index}",
+                  random_stimuli(rng, expression_heavy, 25), ticks=25)
+    differences = suite.verify_against_reference()
+    assert all(diff is None for diff in differences.values()), differences
+
+    suite = ScenarioSuite(engine_modes_mtd)
+    suite.add("sweep", {"n": [0.0, 300.0, 900.0, 2000.0, 4000.0, 3500.0,
+                              1000.0, 0.0],
+                        "ped": [0.0, 0.0, 10.0, 50.0, 90.0, 0.0, 0.0, 0.0],
+                        "t_eng": 60.0}, ticks=8)
+    differences = suite.verify_against_reference()
+    assert all(diff is None for diff in differences.values()), differences

@@ -277,3 +277,61 @@ class TestSTD:
         std.add_transition("A", "C", "x > 0")
         report = std.validate()
         assert any(issue.rule == "std-determinism" for issue in report.errors())
+
+
+class TestOutgoingTransitionCache:
+    """react() must stop re-filtering/re-sorting transitions per tick, while
+    add_transition invalidates the cached per-state tables."""
+
+    def test_std_cache_sees_transitions_added_after_react(self):
+        std = StateTransitionDiagram("S")
+        std.add_input("x")
+        std.add_output("state")
+        std.add_state("A", initial=True)
+        std.add_state("B")
+        std.add_transition("A", "B", "x > 0")
+        state = std.initial_state()
+        _, state = std.react({"x": -1}, state, 0)  # warms the cache for A
+        # a later, higher-priority transition must win on the next tick
+        std.add_state("C")
+        std.add_transition("A", "C", "x > 0", priority=5)
+        _, state = std.react({"x": 1}, state, 1)
+        assert state["state"] == "C"
+
+    def test_std_transitions_from_returns_fresh_sorted_copies(self):
+        std = StateTransitionDiagram("S")
+        std.add_input("x")
+        std.add_state("A", initial=True)
+        std.add_state("B")
+        low = std.add_transition("A", "B", "x > 0", priority=0)
+        high = std.add_transition("A", "B", "x > 5", priority=9)
+        first = std.transitions_from("A")
+        assert first == [high, low]
+        first.clear()  # mutating the returned list must not corrupt the cache
+        assert std.transitions_from("A") == [high, low]
+
+    def test_mtd_cache_sees_transitions_added_after_react(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("x")
+        mtd.add_output("mode")
+        mtd.add_mode("A", initial=True)
+        mtd.add_mode("B")
+        mtd.add_transition("A", "B", "x > 10")
+        state = mtd.initial_state()
+        _, state = mtd.react({"x": 0}, state, 0)  # warms the cache for A
+        mtd.add_mode("C")
+        mtd.add_transition("A", "C", "x > 0", priority=5)
+        _, state = mtd.react({"x": 1}, state, 1)
+        assert state["mode"] == "C"
+
+    def test_mtd_transitions_from_returns_fresh_sorted_copies(self):
+        mtd = ModeTransitionDiagram("M")
+        mtd.add_input("x")
+        mtd.add_mode("A", initial=True)
+        mtd.add_mode("B")
+        low = mtd.add_transition("A", "B", "x > 0", priority=0)
+        high = mtd.add_transition("A", "B", "x > 5", priority=9)
+        first = mtd.transitions_from("A")
+        assert first == [high, low]
+        first.clear()
+        assert mtd.transitions_from("A") == [high, low]

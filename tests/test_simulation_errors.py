@@ -51,6 +51,20 @@ class TestCommonErrorPaths:
         assert trace.ticks == 0
         assert trace.outputs == {}
 
+    def test_boolean_ticks_rejected(self, engine_class):
+        # bool is an int subclass: ticks=True used to slip through as one
+        # tick; every entry point now agrees with ScenarioSuite.add
+        simulator = engine_class(_identity_block())
+        with pytest.raises(SimulationError, match="integer number of ticks"):
+            simulator.run({}, ticks=True)
+        with pytest.raises(SimulationError, match="integer number of ticks"):
+            simulator.run({}, ticks=False)
+
+    def test_fractional_ticks_rejected(self, engine_class):
+        simulator = engine_class(_identity_block())
+        with pytest.raises(SimulationError, match="integer number of ticks"):
+            simulator.run({}, ticks=2.5)
+
     def test_component_without_behavior_rejected(self, engine_class):
         stub = Component("S")
         with pytest.raises(SimulationError, match="no executable behaviour"):
@@ -106,6 +120,49 @@ def test_mtd_without_modes_rejected_by_both_engines():
     from repro.simulation import compile_component
     with pytest.raises(ModelError, match="has no modes"):
         compile_component(mtd)
+
+
+def _bad_action_std():
+    from repro.notations.std import StateTransitionDiagram
+    std = StateTransitionDiagram("Bad")
+    std.add_input("x")
+    std.add_output("out")
+    std.add_state("A", initial=True)
+    std.add_state("B")
+    # `mystery` is neither a local variable nor an output port; react()
+    # only notices when the transition actually fires
+    std.add_transition("A", "B", "x > 0", actions={"mystery": "x"})
+    return std
+
+
+@pytest.mark.parametrize("engine_class", [Simulator, CompiledSimulator])
+def test_std_invalid_action_target_raises_in_both_engines(engine_class):
+    simulator = engine_class(_bad_action_std())
+    # the guard never fires: the broken action is latent, no error
+    trace = simulator.run({"x": [-1, -2]}, ticks=2)
+    assert trace.ticks == 2
+    # firing the transition surfaces the identical ModelError in both engines
+    simulator = engine_class(_bad_action_std())
+    with pytest.raises(ModelError,
+                       match="action target 'mystery' of STD 'Bad' is "
+                             "neither a local variable nor an output port"):
+        simulator.run({"x": [-1, 5]}, ticks=2)
+
+
+def test_std_without_states_rejected_by_both_engines():
+    from repro.notations.std import StateTransitionDiagram
+    std = StateTransitionDiagram("EmptySTD")
+    std.add_input("x")
+    std.add_output("out")
+    # an STD without states has no behaviour; both engines refuse up front
+    with pytest.raises(SimulationError, match="no executable behaviour"):
+        Simulator(std)
+    with pytest.raises(SimulationError, match="no executable behaviour"):
+        CompiledSimulator(std)
+    # the compiler's own guard fires when bypassing the simulator front door
+    from repro.simulation import compile_component
+    with pytest.raises(ModelError, match="has no states"):
+        compile_component(std)
 
 
 class TestClockPatternRegression:
