@@ -1,11 +1,17 @@
-"""Reporting helper shared by the benchmark harness.
+"""Reporting helpers shared by the benchmark harness.
 
 Every benchmark regenerates one paper artefact (figure or case-study claim)
 and prints the regenerated rows/series with a stable ``[Fx]`` prefix so the
-output can be compared against EXPERIMENTS.md.
+output can be compared against EXPERIMENTS.md.  Performance benchmarks can
+additionally emit a machine-readable ``BENCH_<name>.json`` artefact
+(:func:`write_bench_json`); CI uploads these, so the performance trajectory
+is tracked across PRs instead of living only in log output.
 """
 
 
+import json
+import os
+import statistics
 import time
 
 
@@ -23,3 +29,34 @@ def time_best(runner, repeats: int = 3) -> float:
         runner()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def time_median(runner, repeats: int = 5) -> float:
+    """Median-of-*repeats* wall-clock of ``runner()``.
+
+    Medians are the right statistic for rate artefacts that get compared
+    *across* runs/PRs: one noisy outlier neither inflates (as with best-of)
+    nor drags (as with mean) the recorded figure.
+    """
+    durations = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        runner()
+        durations.append(time.perf_counter() - start)
+    return statistics.median(durations)
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json``, the machine-readable benchmark artefact.
+
+    The file lands in the current working directory unless ``BENCH_OUT_DIR``
+    redirects it.  Keys are sorted so diffs between two uploads are stable.
+    Returns the written path.
+    """
+    out_dir = os.environ.get("BENCH_OUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

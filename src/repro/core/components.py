@@ -267,6 +267,162 @@ class StatefulComponent(Component):
 PortKey = Tuple[Optional[str], str]
 
 
+#: Transparent single-component wrappers: class -> attribute naming the
+#: wrapped component.  A registered class promises the
+#: :class:`~repro.simulation.engine.ClockGatedComponent` contract for the
+#: hierarchy queries: ``has_behavior()`` forwards to the wrapped component,
+#: ``instantaneous_dependencies()`` forwards unchanged (mirrored port
+#: names), and ``structure_token()`` is ``(self._structure_version,
+#: wrapped token)``.  The iterative hierarchy walks below unwrap such nodes
+#: instead of calling through them, so arbitrarily deep wrapper/composite
+#: chains stay within the Python recursion limit.  Subclasses that override
+#: one of these methods are treated as opaque for that method.
+_TRANSPARENT_WRAPPERS: Dict[type, str] = {}
+
+
+def register_transparent_wrapper(cls: type, attribute: str) -> None:
+    """Register *cls* as a transparent single-component wrapper."""
+    _TRANSPARENT_WRAPPERS[cls] = attribute
+
+
+def _wrapped_component(node: "Component",
+                       method_name: str) -> Optional["Component"]:
+    """The component *node* transparently wraps, w.r.t. *method_name*.
+
+    ``None`` if *node* is not a registered wrapper or overrides the
+    forwarding method itself.
+    """
+    for cls in type(node).__mro__:
+        attribute = _TRANSPARENT_WRAPPERS.get(cls)
+        if attribute is not None:
+            if getattr(type(node), method_name) is getattr(cls, method_name):
+                return getattr(node, attribute)
+            return None
+    return None
+
+
+def _default_token_node(component: "Component") -> bool:
+    """True for composites using the default :meth:`structure_token`."""
+    return (isinstance(component, CompositeComponent)
+            and type(component).structure_token
+            is CompositeComponent.structure_token)
+
+
+def subtree_structure_tokens(root: "CompositeComponent") -> Dict[int, Any]:
+    """Structure tokens for *root* and the walkable hierarchy below it.
+
+    One iterative post-order pass over default-impl composites and
+    registered transparent wrappers; sub-tokens are shared by reference, so
+    computing all tokens of an *n*-node hierarchy costs O(n) instead of the
+    O(n^2) of calling :meth:`Component.structure_token` once per node, and
+    arbitrarily deep hierarchies never hit the Python recursion limit.
+    Components with a custom ``structure_token`` are asked directly (their
+    override bounds the remaining recursion depth).  *root* itself is
+    always tokenized with the default composite formula -- this function is
+    the body of the default implementation, so subclass overrides calling
+    ``super()`` land here for their own node.
+    """
+
+    def walkable(node: "Component") -> bool:
+        return (_default_token_node(node)
+                or _wrapped_component(node, "structure_token") is not None)
+
+    def token_of(node: "Component", tokens: Dict[int, Any]) -> Any:
+        return (tokens[id(node)] if id(node) in tokens
+                else node.structure_token())
+
+    tokens: Dict[int, Any] = {}
+    stack: List[Component] = [root]
+    while stack:
+        node = stack[-1]
+        if id(node) in tokens:
+            stack.pop()
+            continue
+        wrapped = None if node is root \
+            else _wrapped_component(node, "structure_token")
+        if wrapped is not None:
+            if walkable(wrapped) and id(wrapped) not in tokens:
+                stack.append(wrapped)
+                continue
+            tokens[id(node)] = (node._structure_version,
+                                token_of(wrapped, tokens))
+            stack.pop()
+            continue
+        missing = [sub for sub in node._subcomponents.values()
+                   if walkable(sub) and id(sub) not in tokens]
+        if missing:
+            stack.extend(missing)
+            continue
+        tokens[id(node)] = (
+            node._structure_version,
+            tuple(token_of(sub, tokens)
+                  for sub in node._subcomponents.values()))
+        stack.pop()
+    return tokens
+
+
+def _default_deps_node(component: "Component") -> bool:
+    """True for composites using the default instantaneous-dependency walk."""
+    return (isinstance(component, CompositeComponent)
+            and type(component).instantaneous_dependencies
+            is CompositeComponent.instantaneous_dependencies)
+
+
+def _deps_target(component: "Component") -> "Component":
+    """Unwrap transparent-wrapper chains w.r.t. instantaneous dependencies.
+
+    Registered wrappers forward ``instantaneous_dependencies`` unchanged
+    (mirrored port names), so the first non-forwarding component carries
+    the answer.
+    """
+    while True:
+        wrapped = _wrapped_component(component, "instantaneous_dependencies")
+        if wrapped is None:
+            return component
+        component = wrapped
+
+
+def _instantaneous_deps(root: "CompositeComponent",
+                        cache: Dict[int, Dict[str, Set[str]]]
+                        ) -> Dict[str, Set[str]]:
+    """Default-impl composite dependencies, computed iteratively.
+
+    *root* is treated as a default-impl composite (this is the body of the
+    default implementation); nested default-impl composites -- including
+    those under transparent wrappers -- are resolved through *cache* in one
+    post-order pass, so a shared cache makes a whole compile pass over an
+    *n*-node hierarchy O(n) instead of O(n^2).
+    """
+    if id(root) in cache:
+        return cache[id(root)]
+    stack: List[CompositeComponent] = [root]
+    while stack:
+        node = stack[-1]
+        if id(node) in cache:
+            stack.pop()
+            continue
+        missing = []
+        for sub in node._subcomponents.values():
+            target = _deps_target(sub)
+            if _default_deps_node(target) and id(target) not in cache:
+                missing.append(target)
+        if missing:
+            stack.extend(missing)
+            continue
+        cache[id(node)] = node._compute_instantaneous_dependencies(cache)
+        stack.pop()
+    return cache[id(root)]
+
+
+def _child_deps(component: "Component",
+                cache: Dict[int, Dict[str, Set[str]]]) -> Dict[str, Set[str]]:
+    """Instantaneous dependencies of a direct child, via the shared cache."""
+    target = _deps_target(component)
+    if _default_deps_node(target):
+        return _instantaneous_deps(target, cache)
+    return target.instantaneous_dependencies()
+
+
 @dataclass(frozen=True)
 class PlanEntry:
     """Precomputed per-sub-component schedule data of an :class:`ExecutionPlan`."""
@@ -440,7 +596,8 @@ class CompositeComponent(Component):
         return [c for c in self._channels
                 if not c.source.is_boundary() and not c.destination.is_boundary()]
 
-    def instantaneous_subgraph(self) -> Dict[str, Set[str]]:
+    def instantaneous_subgraph(self, _deps_cache: Optional[Dict[int, Any]] = None
+                               ) -> Dict[str, Set[str]]:
         """Directed graph over sub-component names with instantaneous edges.
 
         An edge ``a -> b`` exists if a non-delayed channel leads from an
@@ -450,12 +607,17 @@ class CompositeComponent(Component):
         *not* create an ordering constraint -- this is exactly what lets a
         delay block break an otherwise instantaneous feedback loop, and what
         the causality check of the tool prototype verifies (paper Sec. 3.2).
+
+        ``_deps_cache`` lets a whole compile pass (the flat-schedule
+        compiler) share one dependency cache across every composite of the
+        hierarchy; public callers can ignore it.
         """
+        cache: Dict[int, Any] = {} if _deps_cache is None else _deps_cache
         graph: Dict[str, Set[str]] = {name: set() for name in self._subcomponents}
         feedthrough_inputs: Dict[str, Set[str]] = {}
         for name, component in self._subcomponents.items():
             inputs: Set[str] = set()
-            for dep_inputs in component.instantaneous_dependencies().values():
+            for dep_inputs in _child_deps(component, cache).values():
                 inputs |= dep_inputs
             feedthrough_inputs[name] = inputs
         for channel in self.internal_channels():
@@ -479,8 +641,9 @@ class CompositeComponent(Component):
         """
         return list(self.execution_plan().order)
 
-    def _compute_evaluation_order(self) -> List[str]:
-        graph = self.instantaneous_subgraph()
+    def _compute_evaluation_order(self, _deps_cache: Optional[Dict[int, Any]]
+                                  = None) -> List[str]:
+        graph = self.instantaneous_subgraph(_deps_cache)
         in_degree: Dict[str, int] = {name: 0 for name in graph}
         for source, targets in graph.items():
             for target in targets:
@@ -505,9 +668,10 @@ class CompositeComponent(Component):
 
     # -- execution plan ----------------------------------------------------------
     def structure_token(self) -> Any:
-        return (self._structure_version,
-                tuple(sub.structure_token()
-                      for sub in self._subcomponents.values()))
+        # Iterative (worklist) so deep hierarchies don't hit the Python
+        # recursion limit; the token value is identical to the recursive
+        # definition (version, (child tokens...)).
+        return subtree_structure_tokens(self)[id(self)]
 
     def invalidate_plan(self) -> None:
         """Drop the cached execution plan after direct structural surgery.
@@ -519,17 +683,28 @@ class CompositeComponent(Component):
         self._structure_version += 1
         self._plan_cache = None
 
-    def execution_plan(self) -> ExecutionPlan:
-        """The cached :class:`ExecutionPlan` for the current structure."""
-        token = self.structure_token()
+    def execution_plan(self, _token: Any = None,
+                       _deps_cache: Optional[Dict[int, Any]] = None
+                       ) -> ExecutionPlan:
+        """The cached :class:`ExecutionPlan` for the current structure.
+
+        ``_token`` and ``_deps_cache`` let one compile pass precompute the
+        structure tokens and share a dependency cache across the whole
+        hierarchy (see :mod:`repro.simulation.schedule_ir`); public callers
+        can ignore both.
+        """
+        token = self.structure_token() if _token is None else _token
         plan = self._plan_cache
         if plan is None or plan.token != token:
-            plan = self._build_execution_plan(token)
+            plan = self._build_execution_plan(token, _deps_cache)
             self._plan_cache = plan
         return plan
 
-    def _build_execution_plan(self, token: Any) -> ExecutionPlan:
-        order = self._compute_evaluation_order()
+    def _build_execution_plan(self, token: Any,
+                              _deps_cache: Optional[Dict[int, Any]] = None
+                              ) -> ExecutionPlan:
+        cache: Dict[int, Any] = {} if _deps_cache is None else _deps_cache
+        order = self._compute_evaluation_order(cache)
         propagate_by_source: Dict[Optional[str], List[Tuple[PortKey, PortKey]]] = {}
         for channel in self._channels:
             if channel.delayed:
@@ -539,8 +714,7 @@ class CompositeComponent(Component):
         entries = []
         for sub_name in order:
             component = self._subcomponents[sub_name]
-            has_feedthrough = any(
-                component.instantaneous_dependencies().values())
+            has_feedthrough = any(_child_deps(component, cache).values())
             entries.append(PlanEntry(
                 name=sub_name,
                 input_names=tuple(component.input_names()),
@@ -567,7 +741,22 @@ class CompositeComponent(Component):
 
     # -- behaviour ---------------------------------------------------------------
     def has_behavior(self) -> bool:
-        return all(sub.has_behavior() for sub in self._subcomponents.values())
+        # Iterative (worklist) over the subtree -- including through
+        # transparent wrappers -- so deep hierarchies don't hit the Python
+        # recursion limit; subclasses overriding has_behavior are consulted
+        # directly.
+        stack: List[Component] = list(self._subcomponents.values())
+        while stack:
+            node = stack.pop()
+            wrapped = _wrapped_component(node, "has_behavior")
+            if wrapped is not None:
+                stack.append(wrapped)
+            elif isinstance(node, CompositeComponent) \
+                    and type(node).has_behavior is CompositeComponent.has_behavior:
+                stack.extend(node._subcomponents.values())
+            elif not node.has_behavior():
+                return False
+        return True
 
     def initial_state(self) -> Any:
         sub_states = {name: sub.initial_state()
@@ -674,7 +863,16 @@ class CompositeComponent(Component):
                 port_values[channel.destination.key] = port_values[channel.source.key]
 
     def instantaneous_dependencies(self) -> Dict[str, Set[str]]:
-        """Input-to-output instantaneous dependencies through the network."""
+        """Input-to-output instantaneous dependencies through the network.
+
+        Nested default-impl composites are resolved with an iterative
+        post-order pass (:func:`_instantaneous_deps`), so deep hierarchies
+        don't hit the Python recursion limit.
+        """
+        return _instantaneous_deps(self, {})
+
+    def _compute_instantaneous_dependencies(
+            self, cache: Dict[int, Dict[str, Set[str]]]) -> Dict[str, Set[str]]:
         # Build a port-level graph and do a reachability analysis from each
         # boundary input to the boundary outputs along instantaneous edges.
         edges: Dict[Tuple[Optional[str], str], Set[Tuple[Optional[str], str]]] = {}
@@ -688,7 +886,7 @@ class CompositeComponent(Component):
                 continue
             add_edge(channel.source.key, channel.destination.key)
         for sub_name, component in self._subcomponents.items():
-            for out_name, in_names in component.instantaneous_dependencies().items():
+            for out_name, in_names in _child_deps(component, cache).items():
                 for in_name in in_names:
                     add_edge((sub_name, in_name), (sub_name, out_name))
 

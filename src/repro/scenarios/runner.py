@@ -93,24 +93,37 @@ def shard_scenarios(scenarios: Sequence[Scenario],
 def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
                      collect_modes: bool = False,
                      worker: str = "local") -> ScenarioResult:
-    """Run one scenario against a compiled simulator with error isolation."""
+    """Run one scenario against a compiled simulator with error isolation.
+
+    Mode collection is schedule-aware: flat schedules expose their active
+    machines positionally via
+    :meth:`~repro.simulation.schedule_ir.FlatSchedule.mode_paths` (same
+    paths and values as :func:`~repro.scenarios.report.active_mode_paths`
+    on a nested state tree), so sharded batches and coverage-guided search
+    get the flat engine's speed without losing coverage observability.
+    """
     start = time.perf_counter()
     try:
+        schedule = simulator.schedule
         if collect_modes:
             component = simulator.component
-            step = simulator.schedule.step
+            step = schedule.step
+            extract_modes = getattr(schedule, "mode_paths", None)
+            if extract_modes is None:
+                extract_modes = lambda state: active_mode_paths(component,
+                                                                state)
             histories: Dict[str, List[Any]] = {}
 
             def observing_step(inputs: Mapping[str, Any], state: Any,
                                tick: int) -> Tuple[Dict[str, Any], Any]:
                 outputs, new_state = step(inputs, state, tick)
-                for path, mode in active_mode_paths(component,
-                                                    new_state).items():
+                for path, mode in extract_modes(new_state).items():
                     histories.setdefault(path, []).append(mode)
                 return outputs, new_state
 
             trace = run_stepped(component, observing_step, scenario.stimuli,
-                                scenario.ticks, simulator.check_types)
+                                scenario.ticks, simulator.check_types,
+                                initial_state=schedule.initial_state())
             mode_paths: Optional[Dict[str, List[Any]]] = histories
         else:
             trace = simulator.run(scenario.stimuli, scenario.ticks)

@@ -4,6 +4,9 @@
   rate gating
 * :mod:`repro.simulation.compiled` -- the compiled engine: one-time schedule
   compilation, batch scenario runs, differential verification
+* :mod:`repro.simulation.schedule_ir` -- the flat schedule IR:
+  cross-hierarchy flattening onto one global step program with slot-based
+  environments, gating predicates and correction barriers
 * :mod:`repro.simulation.trace` -- recorded traces, trace tables, equivalence
 * :mod:`repro.simulation.causality` -- hierarchical instantaneous-loop check
 * :mod:`repro.simulation.multirate` -- stimulus generators and resampling
@@ -12,10 +15,11 @@
 from .causality import (CausalityAnalysis, CausalityResult, analyze_causality,
                         assert_causal, instantaneous_path_exists)
 from .compiled import (CompiledSchedule, CompiledSimulator, ScenarioSuite,
-                       compile_ccd, compile_component, simulate_ccd_compiled,
-                       simulate_compiled)
+                       compile_ccd, compile_component, compile_nested,
+                       simulate_ccd_compiled, simulate_compiled)
 from .engine import (ClockGatedComponent, Simulator, build_gated_ccd,
                      normalize_stimulus, simulate, simulate_ccd)
+from .schedule_ir import FlatSchedule, FlatState, compile_flat, is_flattenable
 from .multirate import (align_lengths, constant, presence_ratio, pulse, ramp,
                         resample, sine, sporadic, step)
 from .trace import (SimulationTrace, first_difference, streams_equal,
@@ -23,10 +27,11 @@ from .trace import (SimulationTrace, first_difference, streams_equal,
 
 __all__ = [
     "CausalityAnalysis", "CausalityResult", "ClockGatedComponent",
-    "CompiledSchedule", "CompiledSimulator", "ScenarioSuite",
-    "SimulationTrace", "Simulator", "align_lengths", "analyze_causality",
-    "assert_causal", "build_gated_ccd", "compile_ccd", "compile_component",
-    "constant", "first_difference", "instantaneous_path_exists",
+    "CompiledSchedule", "CompiledSimulator", "FlatSchedule", "FlatState",
+    "ScenarioSuite", "SimulationTrace", "Simulator", "align_lengths",
+    "analyze_causality", "assert_causal", "build_gated_ccd", "compile_ccd",
+    "compile_component", "compile_flat", "compile_nested", "constant",
+    "first_difference", "instantaneous_path_exists", "is_flattenable",
     "normalize_stimulus", "presence_ratio", "pulse", "ramp", "resample",
     "simulate", "simulate_ccd", "simulate_ccd_compiled", "simulate_compiled",
     "sine", "sporadic", "step", "streams_equal", "traces_equivalent",

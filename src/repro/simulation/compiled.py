@@ -8,11 +8,15 @@ simple, always in sync with the model -- but it makes simulation the
 bottleneck of FAA/FDA validation (paper Sec. 3.1), where one functional
 concept is exercised against many scenarios.
 
-This module splits execution into two phases:
+This module splits execution into two phases.
 
-**Compile** (:func:`compile_component`): the component hierarchy is walked
-*once* and translated into a tree of small step closures with every
-schedule decision precomputed:
+**Compile** (:func:`compile_component`): flattenable hierarchies -- default
+composites, optionally wrapped in clock gates -- are lowered onto the flat
+schedule IR of :mod:`repro.simulation.schedule_ir` (one global step program
+over slot-based environments); everything else takes the **nested** path
+(:func:`compile_nested`), where the hierarchy is walked *once* and
+translated into a tree of small step closures with every schedule decision
+precomputed:
 
 * each composite becomes a linear step list (its sub-components in the
   cached :class:`~repro.core.components.ExecutionPlan` order) with
@@ -103,8 +107,36 @@ class CompiledSchedule:
                 f"steps={len(self.linear_steps())})")
 
 
-def compile_component(component: Component) -> CompiledSchedule:
-    """Compile *component* into a reusable execution schedule."""
+def compile_component(component: Component):
+    """Compile *component* into a reusable execution schedule.
+
+    Composite hierarchies (and clock-gated wrappers around them) with the
+    default synchronous ``react`` compile to the flat schedule IR
+    (:class:`~repro.simulation.schedule_ir.FlatSchedule`): one global,
+    topologically ordered step program over slot-based environments, with
+    gating predicates and correction barriers preserving the nested
+    semantics exactly.  Everything else -- MTDs, STDs, atomic blocks,
+    subclasses with a custom ``react`` -- compiles on the nested path
+    (:func:`compile_nested`), which is also the per-subtree fallback the
+    flattener embeds for unflattenable children.  Both schedule kinds share
+    the ``(inputs, state, tick) -> (outputs, state)`` step contract and the
+    ``linear_steps()`` / ``describe()`` naming contract.
+    """
+    from .schedule_ir import compile_flat, is_flattenable
+    if is_flattenable(component):
+        return compile_flat(component)
+    return compile_nested(component)
+
+
+def compile_nested(component: Component) -> CompiledSchedule:
+    """Compile *component* into the nested (per-composite closure) schedule.
+
+    This is the PR-4 compiled engine: each composite is one step closure
+    over its sub-schedules.  It remains the reference compiled semantics --
+    the flat IR is differentially tested against it -- the fallback for
+    components the flattener cannot hoist, and the baseline the
+    ``benchmarks/bench_flatten.py`` speedup gate measures against.
+    """
     if isinstance(component, CompositeComponent) \
             and type(component).react is CompositeComponent.react:
         return _compile_composite(component)
@@ -153,7 +185,7 @@ def _compile_expression(component: ExpressionComponent) -> CompiledSchedule:
 def _compile_composite(component: CompositeComponent) -> CompiledSchedule:
     """Flatten one composite into a linear step list over its plan."""
     plan = component.execution_plan()
-    children = [(entry.name, compile_component(component.subcomponent(entry.name)))
+    children = [(entry.name, compile_nested(component.subcomponent(entry.name)))
                 for entry in plan.entries]
     steps = {name: schedule.step for name, schedule in children}
     for entry in plan.entries:
@@ -244,7 +276,7 @@ def _compile_composite(component: CompositeComponent) -> CompiledSchedule:
 
 def _compile_gated(component: ClockGatedComponent) -> CompiledSchedule:
     """Gate a compiled inner schedule by a cached clock pattern."""
-    inner = compile_component(component.inner)
+    inner = compile_nested(component.inner)
     inner_step = inner.step
     pattern = component.clock.cached()
     output_names = tuple(component.output_names())
@@ -282,7 +314,7 @@ def _compile_mtd(component: ModeTransitionDiagram) -> CompiledSchedule:
         if mode.behavior is None:
             behaviors[mode.name] = None
             continue
-        compiled = compile_component(mode.behavior)
+        compiled = compile_nested(mode.behavior)
         children.append((mode.name, compiled))
         behaviors[mode.name] = (compiled.step,
                                 tuple(mode.behavior.input_names()))
@@ -438,6 +470,10 @@ def _compile_std(component: StateTransitionDiagram) -> CompiledSchedule:
     return CompiledSchedule(component, "std", step)
 
 
+#: Schedule backends accepted by :class:`CompiledSimulator`.
+_BACKENDS = ("auto", "flat", "nested")
+
+
 class CompiledSimulator:
     """Drop-in replacement for :class:`Simulator` backed by a compiled schedule.
 
@@ -445,22 +481,40 @@ class CompiledSimulator:
     any number of times with different stimuli, which is what makes scenario
     sweeps cheap.  Semantics, including every error path, match the
     reference engine.
+
+    *backend* selects the compilation strategy: ``"auto"`` (default) uses
+    the flat schedule IR whenever the component is flattenable and the
+    nested path otherwise; ``"flat"`` / ``"nested"`` force one of the two
+    (``"flat"`` raises :class:`SimulationError` for unflattenable roots).
     """
 
-    def __init__(self, component: Component, check_types: bool = False):
+    def __init__(self, component: Component, check_types: bool = False,
+                 backend: str = "auto"):
+        if backend not in _BACKENDS:
+            raise SimulationError(
+                f"unknown schedule backend {backend!r} "
+                f"(choose from {_BACKENDS})")
         if not component.has_behavior():
             raise SimulationError(
                 f"component {component.name!r} has no executable behaviour and "
                 "cannot be simulated (FAA components may be structure-only)")
         self.component = component
         self.check_types = check_types
-        self.schedule = compile_component(component)
+        self.backend = backend
+        if backend == "auto":
+            self.schedule = compile_component(component)
+        elif backend == "flat":
+            from .schedule_ir import compile_flat
+            self.schedule = compile_flat(component)
+        else:
+            self.schedule = compile_nested(component)
 
     def run(self, stimuli: Optional[Mapping[str, StimulusSpec]] = None,
             ticks: int = 10) -> SimulationTrace:
         """Simulate for *ticks* ticks and return the recorded trace."""
         return run_stepped(self.component, self.schedule.step, stimuli,
-                           ticks, self.check_types)
+                           ticks, self.check_types,
+                           initial_state=self.schedule.initial_state())
 
 
 def simulate_compiled(component: Component,

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
 from ..core.clocks import Clock
-from ..core.components import Component
+from ..core.components import Component, register_transparent_wrapper
 from ..core.errors import SimulationError
 from ..core.types import check_value
 from ..core.values import ABSENT, Stream, is_absent
@@ -63,7 +63,8 @@ def run_stepped(component: Component,
                 step: Callable[[Mapping[str, Any], Any, int],
                                "tuple[Dict[str, Any], Any]"],
                 stimuli: Optional[Mapping[str, StimulusSpec]],
-                ticks: int, check_types: bool) -> SimulationTrace:
+                ticks: int, check_types: bool,
+                initial_state: Any = None) -> SimulationTrace:
     """The driver loop shared by the reference and the compiled engine.
 
     Validates the stimuli against *component*'s interface, then repeatedly
@@ -72,6 +73,12 @@ def run_stepped(component: Component,
     recording a trace (and mode history for mode-carrying states).  Keeping
     one loop guarantees both engines agree on stimulus handling, type
     checking and trace bookkeeping by construction.
+
+    *initial_state* overrides ``component.initial_state()`` as the state
+    fed to the first step.  Compiled schedules pass their own
+    representation here (the flat engine's slot-based state); this also
+    keeps very deep hierarchies runnable, where the recursive
+    ``initial_state()`` walk would hit the Python recursion limit.
     """
     # bool is an int subclass: ticks=True would silently mean one tick, so
     # reject it the way ScenarioSuite.add does -- every entry point (run,
@@ -93,7 +100,7 @@ def run_stepped(component: Component,
     feeds = tuple((name, generators.get(name)) for name in input_names)
 
     trace = SimulationTrace(component.name)
-    state = component.initial_state()
+    state = component.initial_state() if initial_state is None else initial_state
     for tick in range(ticks):
         inputs: Dict[str, Any] = {}
         for name, generator in feeds:
@@ -189,6 +196,15 @@ class ClockGatedComponent(Component):
         # The wrapped component lives in self.inner, not in _subcomponents;
         # recurse so enclosing composites' cached plans see its mutations.
         return (self._structure_version, self.inner.structure_token())
+
+
+# The gate forwards the hierarchy queries 1:1 to the wrapped component
+# (mirrored ports, has_behavior/instantaneous_dependencies delegation,
+# (version, inner token) structure tokens); registering it lets the
+# iterative worklist walks in repro.core.components unwrap gated nesting
+# instead of recursing through it, keeping arbitrarily deep
+# composite/gate chains compilable under the Python recursion limit.
+register_transparent_wrapper(ClockGatedComponent, "inner")
 
 
 def build_gated_ccd(ccd: ClusterCommunicationDiagram

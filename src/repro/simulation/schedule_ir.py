@@ -1,0 +1,628 @@
+"""The flat-schedule IR: one global step program over slot-based environments.
+
+AutoMoDe's operational-architecture level is a *flattened* network of
+communicating blocks scheduled as one global cluster plan (paper Sec. 2.4):
+the hierarchical DFD/SSD description is a design artefact, while the
+deployed system executes a single linear schedule.  The nested compiled
+engine (:mod:`repro.simulation.compiled`) mirrors the *hierarchy* at run
+time -- every :class:`~repro.core.components.CompositeComponent` is a
+closure that re-marshals a dict environment at each boundary, every tick.
+This module mirrors the *deployment* instead: the whole hierarchy is
+compiled once into a :class:`FlatSchedule`, a linear program of opcodes
+over a flat slot environment.
+
+**Slot-based environments.**  Every port of every component occurrence in
+the hierarchy is assigned a fixed integer slot.  A tick allocates one flat
+``values`` list (all :data:`~repro.core.values.ABSENT`), scatters the
+boundary inputs into their slots and runs the program; channels are integer
+slot copies instead of ``(component, port)`` dict keys, and each leaf's
+input environment is built exactly once from its slots -- no per-composite
+dict construction, key translation or input re-filtering.
+
+**The program.**  Six opcodes suffice for the full semantics of the nested
+engine:
+
+* ``run``   -- execute one leaf step (gather inputs from slots, call the
+  nested-compiled step closure, scatter outputs to slots, forward its
+  instantaneous channels);
+* ``copy``  -- instantaneous channel propagation (boundary forwarding and
+  boundary-output collection) as slot-to-slot copies;
+* ``buf_read`` / ``buf_write`` -- delayed channels: seed destination slots
+  from the previous tick's buffers / commit this tick's source values;
+* ``gate``  -- the gating predicate of a flattened
+  :class:`~repro.simulation.engine.ClockGatedComponent` subtree: when the
+  clock is silent at this tick, jump over the subtree's ops (outputs stay
+  absent, leaf states and buffers are carried over unchanged);
+* ``correct`` -- the per-composite correction barrier: non-feedthrough
+  entries whose inputs changed after they ran are re-stepped from their
+  tick-start state with the final values, mirroring the reference
+  interpreter's second pass.
+
+**State.**  Run-time state is a :class:`FlatState`: one flat list of leaf
+states plus one flat list of delayed-channel buffers.  The step also
+accepts the nested dict state produced by ``component.initial_state()``
+(converted on entry), so it remains a drop-in
+``(inputs, state, tick) -> (outputs, state)`` step function for
+:func:`~repro.simulation.engine.run_stepped`.
+
+**Fallbacks.**  Subtrees the flattener cannot hoist -- composites or
+clock-gated wrappers with a custom ``react``, MTDs/STDs/atomic blocks, and
+non-feedthrough composites (which must stay single steps so the correction
+barrier can re-run them atomically) -- are compiled on the nested path
+(:func:`~repro.simulation.compiled.compile_nested`) and embedded as single
+``run`` ops; :meth:`FlatSchedule.ops_summary` labels them ``nested``.
+
+Compilation is **iterative** (an explicit stack of emission generators plus
+the worklist helpers of :mod:`repro.core.components`), so hierarchies
+thousands of levels deep compile and run without hitting the Python
+recursion limit -- depths the recursive engines cannot even build an
+initial state for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.components import (Component, CompositeComponent,
+                               ExpressionComponent,
+                               subtree_structure_tokens)
+from ..core.errors import SimulationError
+from ..core.values import ABSENT
+from .engine import ClockGatedComponent
+
+#: Opcodes of the flat program (tuple-encoded, dispatched by one loop).
+(OP_RUN, OP_EXPR, OP_COPY, OP_BUF_READ, OP_BUF_WRITE, OP_GATE,
+ OP_CORRECT) = range(7)
+
+_OP_NAMES = {OP_RUN: "run", OP_EXPR: "expr", OP_COPY: "copy",
+             OP_BUF_READ: "buf_read", OP_BUF_WRITE: "buf_write",
+             OP_GATE: "gate", OP_CORRECT: "correct"}
+
+
+class FlatState:
+    """Run-time state of a flat program: leaf states + delayed buffers.
+
+    Positional: ``leaf_states[i]`` belongs to the i-th leaf of the
+    schedule, ``buffers[j]`` to the j-th delayed channel.  Instances are
+    treated as immutable by the step function (each tick returns a new
+    one), which is what keeps the correction barrier's access to the
+    tick-start state trivially correct.
+    """
+
+    __slots__ = ("leaf_states", "buffers")
+
+    def __init__(self, leaf_states: List[Any], buffers: List[Any]):
+        self.leaf_states = leaf_states
+        self.buffers = buffers
+
+    def __repr__(self) -> str:
+        return (f"FlatState(leaves={len(self.leaf_states)}, "
+                f"buffers={len(self.buffers)})")
+
+
+class _Leaf:
+    """One leaf step of the flat program (a nested-compiled schedule)."""
+
+    __slots__ = ("index", "component", "schedule", "run_kind", "state_path",
+                 "steps_prefix", "mode_path")
+
+    def __init__(self, index: int, component: Component, schedule: Any,
+                 run_kind: str, state_path: Tuple[str, ...],
+                 steps_prefix: str, mode_path: str):
+        self.index = index
+        self.component = component
+        self.schedule = schedule
+        self.run_kind = run_kind
+        self.state_path = state_path
+        self.steps_prefix = steps_prefix
+        self.mode_path = mode_path
+
+
+def is_flattenable(component: Component) -> bool:
+    """True if *component* roots a hierarchy the flattener can hoist.
+
+    Flattenable roots are composites with the default synchronous ``react``
+    and clock-gated wrappers (with the default ``react``) around such
+    composites, in any nesting.  Everything else -- MTDs, STDs, atomic
+    blocks, subclasses with a custom ``react`` -- executes on the nested
+    compiled path.
+    """
+    while isinstance(component, ClockGatedComponent) \
+            and type(component).react is ClockGatedComponent.react:
+        component = component.inner
+    return (isinstance(component, CompositeComponent)
+            and type(component).react is CompositeComponent.react)
+
+
+def _dig(state: Any, path: Tuple[str, ...]) -> Any:
+    """Navigate a nested engine state dict along *path* (None-tolerant)."""
+    current = state
+    for key in path:
+        if not isinstance(current, Mapping):
+            return None
+        current = current.get(key)
+    return current
+
+
+class _Flattener:
+    """One compile pass: hierarchy -> (ops, slots, leaves, buffers).
+
+    Emission is driven by an explicit stack of generators (one per
+    composite/gated node being flattened), so compilation of arbitrarily
+    deep hierarchies never recurses in Python.  A single structure-token
+    map and instantaneous-dependency cache are shared across every
+    execution-plan build of the pass, keeping the whole compile O(n).
+    """
+
+    def __init__(self, root: Component):
+        self.root = root
+        self.n_slots = 0
+        self.ops: List[List[Any]] = []
+        self.leaves: List[_Leaf] = []
+        #: per delayed channel: (initial value, owner state path, channel name)
+        self.buffer_specs: List[Tuple[Any, Tuple[str, ...], str]] = []
+        self.scratch_count = 0
+        self.fallback_paths: List[str] = []
+        self._linear: List[Tuple[str, str]] = []
+        self._deps_cache: Dict[int, Any] = {}
+        self._tokens: Dict[int, Any] = {}
+
+    # -- slot allocation ---------------------------------------------------
+
+    def _new_slot(self) -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        return slot
+
+    def _port_slots(self, component: Component) -> Dict[str, int]:
+        return {port.name: self._new_slot() for port in component.ports()}
+
+    # -- emission ----------------------------------------------------------
+
+    def flatten(self) -> "FlatSchedule":
+        root = self.root
+        in_slots = {name: self._new_slot() for name in root.input_names()}
+        out_slots = {name: self._new_slot() for name in root.output_names()}
+        stack: List[Iterator[Any]] = [self._emit_node(
+            root, in_slots, out_slots, (), root.name, root.name)]
+        while stack:
+            try:
+                child = next(stack[-1])
+            except StopIteration:
+                stack.pop()
+            else:
+                stack.append(child)
+        program = tuple(tuple(op) for op in self._merge_copies(self.ops))
+        input_spec = tuple((name, in_slots[name])
+                           for name in root.input_names())
+        output_spec = tuple((name, out_slots[name])
+                            for name in root.output_names())
+        return FlatSchedule(root, program, self.n_slots, input_spec,
+                            output_spec, self.leaves, self.buffer_specs,
+                            self.scratch_count, self._linear,
+                            self.fallback_paths)
+
+    def _merge_copies(self, ops: List[List[Any]]) -> List[List[Any]]:
+        """Peephole pass: fuse adjacent ``copy`` ops into one.
+
+        Boundary-output collection of a flattened child followed by the
+        parent's channel propagation emits back-to-back copy ops; copies
+        execute strictly in order, so fusing the pair lists is behaviour-
+        preserving and saves one dispatch per composite boundary per tick.
+        Gate jump targets are recomputed from op identity.
+        """
+        merged: List[List[Any]] = []
+        gates = [op for op in ops if op[0] == OP_GATE]
+        gate_targets = {gate[2] for gate in gates}
+        targets: Dict[int, Any] = {}  # original op index -> op at that index
+        for index, op in enumerate(ops):
+            targets[index] = op
+            if op[0] == OP_COPY and merged and merged[-1][0] == OP_COPY \
+                    and index not in gate_targets:
+                merged[-1][1] = merged[-1][1] + op[1]
+                targets[index] = merged[-1]
+                continue
+            merged.append(op)
+        targets[len(ops)] = None  # jump past the end
+        positions = {id(op): index for index, op in enumerate(merged)}
+        for gate in gates:
+            target_op = targets[gate[2]]
+            gate[2] = (len(merged) if target_op is None
+                       else positions[id(target_op)])
+        return merged
+
+    def _emit_node(self, component: Component, in_slots: Dict[str, int],
+                   out_slots: Dict[str, int], state_path: Tuple[str, ...],
+                   steps_path: str, mode_path: str) -> Iterator[Any]:
+        """Emit ops for a flattenable node (gated wrapper chain or composite).
+
+        The wrapper's boundary ports *are* the inner component's (same
+        names, forwarded 1:1), so gating aliases the slots instead of
+        copying: when the gate clock is silent the region is jumped over
+        and the (shared) output slots simply stay absent.
+        """
+        if isinstance(component, ClockGatedComponent):
+            self._linear.append((steps_path, "gated"))
+            pattern = component.clock.cached()
+            gate = [OP_GATE, pattern.at, -1]
+            self.ops.append(gate)
+            inner = component.inner
+            yield self._emit_node(inner, in_slots, out_slots,
+                                  state_path + ("inner",),
+                                  f"{steps_path}/{inner.name}", mode_path)
+            gate[2] = len(self.ops)  # jump target: first op after the region
+        else:
+            yield self._emit_composite(component, in_slots, out_slots,
+                                       state_path, steps_path, mode_path)
+
+    def _emit_composite(self, composite: CompositeComponent,
+                        in_slots: Dict[str, int], out_slots: Dict[str, int],
+                        state_path: Tuple[str, ...], steps_path: str,
+                        mode_path: str) -> Iterator[Any]:
+        from .compiled import compile_nested
+
+        self._linear.append((steps_path, "composite"))
+        token = self._tokens.get(id(composite))
+        if token is None:
+            self._tokens.update(subtree_structure_tokens(composite))
+            token = self._tokens[id(composite)]
+        plan = composite.execution_plan(_token=token,
+                                        _deps_cache=self._deps_cache)
+
+        port_slots: Dict[str, Dict[str, int]] = {}
+        subs: Dict[str, Component] = {}
+        for entry in plan.entries:
+            sub = composite.subcomponent(entry.name)
+            subs[entry.name] = sub
+            port_slots[entry.name] = self._port_slots(sub)
+
+        def slot_of(key: Tuple[Optional[str], str]) -> int:
+            comp, port = key
+            if comp is None:
+                slot = in_slots.get(port)
+                return out_slots[port] if slot is None else slot
+            return port_slots[comp][port]
+
+        # delayed channels: allocate buffers, seed destination slots
+        buf_index: Dict[str, int] = {}
+        seed_pairs = []
+        for channel_name, dst_key, initial in plan.delayed_seed:
+            buf_index[channel_name] = index = len(self.buffer_specs)
+            self.buffer_specs.append((initial, state_path, channel_name))
+            seed_pairs.append((index, slot_of(dst_key)))
+        if seed_pairs:
+            self.ops.append([OP_BUF_READ, tuple(seed_pairs)])
+
+        # instantaneous boundary-input forwarding
+        boundary_pairs = tuple((slot_of(src), slot_of(dst))
+                               for src, dst in plan.boundary_propagate)
+        if boundary_pairs:
+            self.ops.append([OP_COPY, boundary_pairs])
+
+        # Which entries can still receive input values *after* they ran?
+        # Only then can the tick-start state update have seen stale inputs,
+        # i.e. only then is the correction barrier live.  An entry whose
+        # producers all precede it in plan order always sees final inputs,
+        # so the nested engine's compare-and-rerun provably never fires for
+        # it: such entries need no correction tracking, and non-feedthrough
+        # composites among them can be flattened instead of falling back to
+        # the nested path.
+        n_entries = len(plan.entries)
+        has_late_producer = [False] * n_entries
+        suffix_writes: set = set()
+        for index in range(n_entries - 1, -1, -1):
+            entry = plan.entries[index]
+            suffix_writes |= {dst[0] for _, dst in entry.propagate
+                              if dst[0] is not None}
+            has_late_producer[index] = entry.name in suffix_writes
+
+        # sub-components in plan order
+        corrections = []
+        for index, entry in enumerate(plan.entries):
+            sub = subs[entry.name]
+            propagate = tuple((slot_of(src), slot_of(dst))
+                              for src, dst in entry.propagate)
+            if is_flattenable(sub) \
+                    and (entry.has_feedthrough or not has_late_producer[index]):
+                slots = port_slots[entry.name]
+                yield self._emit_node(
+                    sub,
+                    {name: slots[name] for name in sub.input_names()},
+                    {name: slots[name] for name in sub.output_names()},
+                    state_path + ("subs", entry.name),
+                    f"{steps_path}/{entry.name}", f"{mode_path}/{entry.name}")
+                if propagate:
+                    self.ops.append([OP_COPY, propagate])
+                continue
+            # leaf: run the nested-compiled step as one op.  Non-feedthrough
+            # composites with live late producers deliberately stay nested --
+            # the correction barrier must be able to re-run them atomically
+            # from their tick-start state, exactly like the reference
+            # interpreter's second pass.  (Flattened children are not
+            # behaviour-checked here: their own sections check their
+            # entries, keeping the whole compile O(n) in hierarchy size.)
+            if not sub.has_behavior():
+                raise SimulationError(
+                    f"sub-component {entry.name!r} of {composite.name!r} has "
+                    f"no executable behaviour")
+            schedule = compile_nested(sub)
+            run_kind = schedule.kind
+            if isinstance(sub, (CompositeComponent, ClockGatedComponent)):
+                run_kind = "nested"
+                self.fallback_paths.append(f"{steps_path}/{entry.name}")
+            leaf = _Leaf(len(self.leaves), sub, schedule, run_kind,
+                         state_path + ("subs", entry.name), steps_path,
+                         f"{mode_path}/{entry.name}")
+            self.leaves.append(leaf)
+            self._linear.extend(schedule.linear_steps(steps_path))
+            slots = port_slots[entry.name]
+            in_spec = tuple((name, slots[name]) for name in entry.input_names)
+            if isinstance(sub, ExpressionComponent) \
+                    and type(sub).react is ExpressionComponent.react:
+                # pure expression block: evaluate the compiled closures
+                # straight into the slots.  No step call, no output dict,
+                # and no correction tracking -- the state is a passthrough
+                # and a non-feedthrough expression reads none of the inputs
+                # a late producer could change, so the nested engine's
+                # compare-and-rerun is observably a no-op for it.
+                compiler = sub._evaluator.compile  # noqa: SLF001
+                leaf.run_kind = "expr"
+                # expressions for undeclared ports are still evaluated (the
+                # nested engine does, and evaluation may raise) but their
+                # values have no slot to land in
+                items = tuple((slots.get(name, -1), compiler(expression))
+                              for name, expression
+                              in sub.output_expressions.items())
+                self.ops.append([OP_EXPR, leaf.index, in_spec, items,
+                                 propagate])
+                continue
+            out_spec = tuple((name, slots[name])
+                             for name in sub.output_names())
+            scratch = -1
+            if not entry.has_feedthrough and has_late_producer[index]:
+                scratch = self.scratch_count
+                self.scratch_count += 1
+                corrections.append((scratch, leaf.index, schedule.step,
+                                    in_spec))
+            self.ops.append([OP_RUN, leaf.index, schedule.step, in_spec,
+                             out_spec, propagate, scratch])
+
+        # correction barrier for this composite's non-feedthrough entries
+        if corrections:
+            self.ops.append([OP_CORRECT, tuple(corrections)])
+
+        # boundary-output collection, then delayed commits
+        out_copy, out_buf = [], []
+        for port_name, is_delayed, channel_name, _initial, src_key \
+                in plan.boundary_outputs:
+            if is_delayed:
+                out_buf.append((buf_index[channel_name], out_slots[port_name]))
+            else:
+                out_copy.append((slot_of(src_key), out_slots[port_name]))
+        if out_copy:
+            self.ops.append([OP_COPY, tuple(out_copy)])
+        if out_buf:
+            self.ops.append([OP_BUF_READ, tuple(out_buf)])
+        commit_pairs = tuple((slot_of(src_key), buf_index[channel_name])
+                             for channel_name, src_key in plan.delayed_commit)
+        if commit_pairs:
+            self.ops.append([OP_BUF_WRITE, commit_pairs])
+
+
+class FlatSchedule:
+    """A component hierarchy compiled into one linear slot program.
+
+    Drop-in replacement for the nested
+    :class:`~repro.simulation.compiled.CompiledSchedule`: ``step`` has the
+    same ``(inputs, state, tick) -> (outputs, state)`` signature (state as
+    :class:`FlatState`, with nested dict states converted on entry), and
+    :meth:`linear_steps` / :meth:`describe` keep the hierarchical-path
+    naming contract of ``CompiledSchedule.linear_steps`` exactly, so debug
+    output and path-keyed reports are stable across engines.  The IR itself
+    is inspectable through :meth:`ops_summary`.
+    """
+
+    kind = "flat"
+
+    def __init__(self, component: Component, program: Tuple[Tuple[Any, ...], ...],
+                 n_slots: int, input_spec: Tuple[Tuple[str, int], ...],
+                 output_spec: Tuple[Tuple[str, int], ...],
+                 leaves: List[_Leaf],
+                 buffer_specs: List[Tuple[Any, Tuple[str, ...], str]],
+                 scratch_count: int, linear: List[Tuple[str, str]],
+                 fallback_paths: List[str]):
+        self.component = component
+        self.program = program
+        self.n_slots = n_slots
+        self.leaves = leaves
+        self.buffer_specs = buffer_specs
+        self.fallback_paths = fallback_paths
+        self._input_spec = input_spec
+        self._output_spec = output_spec
+        self._scratch_count = scratch_count
+        self._linear = linear
+        self.step = self._make_step()
+
+    # -- state -------------------------------------------------------------
+
+    def initial_state(self) -> FlatState:
+        """The flat initial state (built iteratively: deep-hierarchy safe)."""
+        return FlatState([leaf.component.initial_state()
+                          for leaf in self.leaves],
+                         [spec[0] for spec in self.buffer_specs])
+
+    def _convert_state(self, state: Any) -> FlatState:
+        """Adopt a nested engine state dict (or ``None``) as a FlatState."""
+        if state is None:
+            return self.initial_state()
+        leaf_states = [_dig(state, leaf.state_path) for leaf in self.leaves]
+        buffers = []
+        for initial, state_path, channel_name in self.buffer_specs:
+            delayed = _dig(state, state_path + ("delayed",))
+            buffers.append(delayed.get(channel_name, initial)
+                           if isinstance(delayed, Mapping) else initial)
+        return FlatState(leaf_states, buffers)
+
+    # -- the step function -------------------------------------------------
+
+    def _make_step(self):
+        program = self.program
+        n_ops = len(program)
+        n_slots = self.n_slots
+        n_scratch = self._scratch_count
+        input_spec = self._input_spec
+        output_spec = self._output_spec
+        convert = self._convert_state
+        absent = ABSENT
+
+        def step(inputs: Mapping[str, Any], state: Any,
+                 tick: int) -> Tuple[Dict[str, Any], Any]:
+            if type(state) is not FlatState:
+                state = convert(state)
+            prev_states = state.leaf_states
+            prev_buffers = state.buffers
+            next_states = prev_states[:]
+            next_buffers = prev_buffers[:]
+            values = [absent] * n_slots
+            for name, slot in input_spec:
+                values[slot] = inputs.get(name, absent)
+            scratch: List[Any] = [None] * n_scratch if n_scratch else []
+            pc = 0
+            while pc < n_ops:
+                op = program[pc]
+                pc += 1
+                code = op[0]
+                if code == OP_RUN:
+                    _, leaf_index, fn, in_spec, out_spec, post, si = op
+                    sub_inputs = {name: values[slot]
+                                  for name, slot in in_spec}
+                    outputs, new_state = fn(sub_inputs,
+                                            prev_states[leaf_index], tick)
+                    next_states[leaf_index] = new_state
+                    for name, slot in out_spec:
+                        values[slot] = outputs.get(name, absent)
+                    for src, dst in post:
+                        values[dst] = values[src]
+                    if si >= 0:
+                        scratch[si] = sub_inputs
+                elif code == OP_EXPR:
+                    _, _leaf, in_spec, items, post = op
+                    env = {name: values[slot] for name, slot in in_spec}
+                    for slot, fn in items:
+                        if slot >= 0:
+                            values[slot] = fn(env)
+                        else:
+                            fn(env)
+                    for src, dst in post:
+                        values[dst] = values[src]
+                elif code == OP_COPY:
+                    for src, dst in op[1]:
+                        values[dst] = values[src]
+                elif code == OP_BUF_READ:
+                    for index, dst in op[1]:
+                        values[dst] = prev_buffers[index]
+                elif code == OP_GATE:
+                    if not op[1](tick):
+                        pc = op[2]
+                elif code == OP_BUF_WRITE:
+                    for src, index in op[1]:
+                        next_buffers[index] = values[src]
+                else:  # OP_CORRECT
+                    for si, leaf_index, fn, in_spec in op[1]:
+                        final = {name: values[slot]
+                                 for name, slot in in_spec}
+                        if final != scratch[si]:
+                            _, corrected = fn(final, prev_states[leaf_index],
+                                              tick)
+                            next_states[leaf_index] = corrected
+            outputs = {}
+            for name, slot in output_spec:
+                outputs[name] = values[slot]
+            return outputs, FlatState(next_states, next_buffers)
+
+        return step
+
+    # -- introspection -----------------------------------------------------
+
+    def linear_steps(self, prefix: str = "") -> List[Tuple[str, str]]:
+        """The flattened schedule: ``(hierarchical path, kind)`` per node.
+
+        Identical paths and kinds to
+        :meth:`~repro.simulation.compiled.CompiledSchedule.linear_steps` on
+        the same component (the pin test in ``tests/test_flat_schedule.py``
+        enforces this), so path-keyed debug output is engine-independent.
+        """
+        if not prefix:
+            return list(self._linear)
+        return [(f"{prefix}/{path}", kind) for path, kind in self._linear]
+
+    def describe(self) -> str:
+        """Human-readable rendering of the flattened schedule."""
+        return "\n".join(f"{kind:>10}  {path}"
+                         for path, kind in self.linear_steps())
+
+    def ops_summary(self) -> List[str]:
+        """One line per op of the flat program (the IR view).
+
+        ``run`` ops name the leaf's hierarchical path and compilation kind
+        (``nested`` marks unflattenable subtrees running on the nested
+        fallback path); ``gate`` ops show their jump target.
+        """
+        lines = []
+        for index, op in enumerate(self.program):
+            code = op[0]
+            name = _OP_NAMES[code]
+            if code in (OP_RUN, OP_EXPR):
+                leaf = self.leaves[op[1]]
+                detail = (f"{leaf.steps_prefix}/{leaf.component.name} "
+                          f"[{leaf.run_kind}]")
+                if code == OP_RUN and op[6] >= 0:
+                    detail += " (correction-tracked)"
+            elif code == OP_GATE:
+                detail = f"-> {op[2]} when clock silent"
+            elif code == OP_CORRECT:
+                detail = f"{len(op[1])} barrier entr" \
+                         f"{'y' if len(op[1]) == 1 else 'ies'}"
+            else:
+                detail = f"{len(op[1])} pair{'s' if len(op[1]) != 1 else ''}"
+            lines.append(f"{index:>4} {name:>9}  {detail}")
+        return lines
+
+    def mode_paths(self, state: Any) -> Dict[str, Any]:
+        """Active mode/state of every MTD and STD, keyed by hierarchical path.
+
+        The flat-engine counterpart of
+        :func:`repro.scenarios.report.active_mode_paths`: identical paths
+        and values, read positionally from the flat state instead of
+        walking nested dicts.
+        """
+        from ..scenarios.report import active_mode_paths
+        if state is None:
+            return {}
+        if type(state) is not FlatState:
+            return active_mode_paths(self.component, state)
+        out: Dict[str, Any] = {}
+        for leaf, leaf_state in zip(self.leaves, state.leaf_states):
+            active_mode_paths(leaf.component, leaf_state, leaf.mode_path, out)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"FlatSchedule({self.component.name!r}, "
+                f"ops={len(self.program)}, slots={self.n_slots}, "
+                f"leaves={len(self.leaves)})")
+
+
+def compile_flat(component: Component) -> FlatSchedule:
+    """Compile *component* into a :class:`FlatSchedule`.
+
+    Raises :class:`SimulationError` if the root is not flattenable (use
+    :func:`~repro.simulation.compiled.compile_component`, which falls back
+    to the nested path automatically).
+    """
+    if not is_flattenable(component):
+        raise SimulationError(
+            f"component {component.name!r} ({type(component).__name__}) is "
+            "not flattenable: the flat schedule IR requires a composite "
+            "hierarchy (or clock-gated composite) with the default "
+            "synchronous react")
+    return _Flattener(component).flatten()
