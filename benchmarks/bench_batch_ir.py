@@ -1,0 +1,139 @@
+"""[P7] Vectorized batch backend vs per-scenario flat engine (battery gate).
+
+Not a paper figure: quantifies the speedup of sweeping a whole scenario
+battery as ONE vectorized op program (:mod:`repro.simulation.batch_ir`)
+over running the same battery one scenario at a time through the flat
+schedule.  The workload is what the batch backend exists for -- an
+expression-heavy model (a chain of expression blocks, all lowered to
+lane-masked ufunc chains) crossed with a large battery (>= 256 scenarios):
+per scenario the flat engine pays the full per-tick driver overhead
+(stimulus draw, environment dicts, op dispatch, trace bookkeeping), while
+the batch sweep pays it once per tick for all lanes.
+
+The gate is **semantic first**: every batch trace must serialize
+byte-identically (:func:`repro.io.trace_to_json`) to the per-scenario flat
+trace, and a sample of scenarios is additionally checked byte-for-byte
+against the reference interpreter.  Only then is the >= 3x speedup
+asserted.  Median tick rates land in ``BENCH_batch_ir.json`` for the CI
+artifact trail (mirroring ``BENCH_flatten.json``).
+"""
+
+from repro.core.components import ExpressionComponent
+from repro.io import trace_to_json
+from repro.notations.dfd import DataFlowDiagram
+from repro.simulation import (CompiledSimulator, Simulator, compile_batch)
+
+from _bench_utils import report, time_best, time_median, write_bench_json
+
+#: Workload shape: battery size, horizon and expression-chain width.
+SCENARIOS = 512
+TICKS = 100
+WIDTH = 4
+_SOURCES = ("a + b * 2", "(a - b) % 97", "a * 3 - b", "a + b * 2")
+
+
+def expression_chain(width: int = WIDTH) -> DataFlowDiagram:
+    """A width-long chain of two-input expression blocks.
+
+    Every block reads the boundary input (``b``) and its predecessor
+    (``a``), so the whole per-tick program is expression ops over the slot
+    environment -- the all-``expr`` shape the vectorized backend targets.
+    """
+    dfd = DataFlowDiagram("ExprChain")
+    dfd.add_input("u")
+    dfd.add_output("y")
+    previous = None
+    for index in range(width):
+        block = ExpressionComponent(f"E{index}",
+                                    {"out": _SOURCES[index % len(_SOURCES)]})
+        block.add_input("a")
+        block.add_input("b")
+        block.add_output("out")
+        dfd.add_subcomponent(block)
+        dfd.connect("u", f"E{index}.b")
+        dfd.connect("u" if previous is None else f"{previous}.out",
+                    f"E{index}.a")
+        previous = f"E{index}"
+    dfd.connect(f"{previous}.out", "y")
+    return dfd
+
+
+def battery(scenarios: int = SCENARIOS, ticks: int = TICKS):
+    return [(f"sweep{index}",
+             {"u": [(index * 7 + tick) % 23 for tick in range(ticks)]},
+             ticks) for index in range(scenarios)]
+
+
+def test_p7_batch_ir_vs_per_scenario_flat_gate():
+    """Acceptance gate: batch sweep >= 3x per-scenario flat, traces
+    byte-identical (flat everywhere, interpreter on a sample)."""
+    model = expression_chain()
+    items = battery()
+    flat = CompiledSimulator(model, backend="flat")
+    batch = compile_batch(model)
+
+    def run_flat():
+        return [flat.run(stimuli, ticks) for _, stimuli, ticks in items]
+
+    def run_batch():
+        return batch.run_battery(items)
+
+    # semantic gate first: byte-identical serialized traces, all scenarios
+    flat_traces = run_flat()
+    outcomes = run_batch()
+    assert all(outcome.ok for outcome in outcomes)
+    for (name, stimuli, ticks), expected, outcome in zip(items, flat_traces,
+                                                         outcomes):
+        assert trace_to_json(expected) == trace_to_json(outcome.trace), name
+    # ... and against the reference interpreter on a spread sample
+    interpreter = Simulator(model)
+    for index in range(0, len(items), len(items) // 16):
+        _name, stimuli, ticks = items[index]
+        assert trace_to_json(interpreter.run(stimuli, ticks)) \
+            == trace_to_json(outcomes[index].trace)
+
+    timings = {
+        "flat_per_scenario": time_median(run_flat, repeats=3),
+        "batch": time_median(run_batch, repeats=3),
+    }
+    # best-of for the gate itself (repo convention for speedup gates: keeps
+    # one descheduled run on a shared CI box from flipping the assertion)
+    best_flat = time_best(run_flat)
+    best_batch = time_best(run_batch)
+    speedup = best_flat / best_batch
+    total_ticks = sum(ticks for _, _, ticks in items)
+
+    path = write_bench_json("batch_ir", {
+        "workload": {
+            "model": model.name,
+            "scenarios": SCENARIOS,
+            "ticks_per_scenario": TICKS,
+            "expression_blocks": WIDTH,
+            "flat_ops": len(flat.schedule.program),
+            "flat_slots": flat.schedule.n_slots,
+        },
+        "median_seconds": timings,
+        "best_seconds": {"flat_per_scenario": best_flat, "batch": best_batch},
+        "scenario_ticks_per_second": {
+            engine: total_ticks / seconds
+            for engine, seconds in timings.items()},
+        "speedup": {
+            "batch_vs_flat_best": speedup,
+            "batch_vs_flat_median":
+                timings["flat_per_scenario"] / timings["batch"],
+        },
+        "gate": {"batch_vs_flat_min": 3.0, "basis": "best-of"},
+    })
+
+    report("P7", "\n".join([
+        f"{SCENARIOS}-scenario battery x {TICKS} ticks, "
+        f"{WIDTH} expression blocks:",
+        f"  flat per-scenario: {timings['flat_per_scenario']:.3f}s "
+        f"({total_ticks / timings['flat_per_scenario']:,.0f} scenario-ticks/s)",
+        f"  batch sweep:       {timings['batch']:.3f}s "
+        f"({total_ticks / timings['batch']:,.0f} scenario-ticks/s)",
+        f"  batch vs flat {speedup:.2f}x (best-of) -> {path}"]))
+
+    assert speedup >= 3.0, (
+        f"batch sweep only {speedup:.2f}x faster than per-scenario flat "
+        f"(gate: 3x)")

@@ -1,2 +1,7 @@
 from setuptools import setup
-setup()
+
+setup(
+    # numpy backs the vectorized batch simulation backend
+    # (repro.simulation.batch_ir / repro.core.expr_batch)
+    install_requires=["numpy"],
+)

@@ -21,8 +21,8 @@ from .generators import (Constant, Dropout, EventStorm, ModeSequence,
                          mode_sequence_sweep, sample_spec, scenario_grid)
 from .report import (BatchReport, ModeCoverage, PortStats, active_mode_paths,
                      fold_mode_history)
-from .runner import (ScenarioResult, execute_scenario, run_sharded,
-                     shard_scenarios)
+from .runner import (ScenarioResult, execute_batch, execute_scenario,
+                     run_sharded, shard_scenarios)
 
 
 def run_with_report(component: Component, scenarios: Sequence[Scenario],
@@ -55,7 +55,7 @@ __all__ = [
     "ModeSequence", "OutOfRange", "PortStats", "RandomWalk", "Ramp",
     "Scenario", "ScenarioResult", "SeededGenerator", "SineWave",
     "SquareWave", "StepChange", "StimulusGenerator", "StuckAt",
-    "UniformNoise", "active_mode_paths", "execute_scenario",
+    "UniformNoise", "active_mode_paths", "execute_batch", "execute_scenario",
     "fold_mode_history", "mode_sequence_sweep", "run_sharded",
     "run_with_report", "sample_spec", "scenario_grid", "shard_scenarios",
 ]

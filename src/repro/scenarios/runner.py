@@ -139,6 +139,36 @@ def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
                               worker=worker)
 
 
+def execute_batch(simulator: CompiledSimulator, scenarios: Sequence[Scenario],
+                  collect_modes: bool = False,
+                  worker: str = "local") -> List[ScenarioResult]:
+    """Run a whole shard of scenarios against one compiled simulator.
+
+    With a batch-capable simulator (``backend="batch"``) the shard executes
+    as ONE vectorized sweep over the scenario axis
+    (:meth:`~repro.simulation.batch_ir.BatchSchedule.run_battery`); results
+    are identical to :func:`execute_scenario` per scenario -- traces,
+    error strings, isolation -- with the sweep's wall time attributed
+    evenly across the shard.  Any other simulator falls back to the
+    per-scenario loop, so every executor can dispatch chunks through this
+    one entry point.
+    """
+    batch_schedule = getattr(simulator, "batch_schedule", None)
+    if batch_schedule is None:
+        return [execute_scenario(simulator, scenario, collect_modes, worker)
+                for scenario in scenarios]
+    start = time.perf_counter()
+    outcomes = batch_schedule.run_battery(
+        [(scenario.name, scenario.stimuli, scenario.ticks)
+         for scenario in scenarios],
+        check_types=simulator.check_types, collect_modes=collect_modes)
+    duration = (time.perf_counter() - start) / max(1, len(outcomes))
+    return [ScenarioResult(outcome.name, trace=outcome.trace,
+                           error=outcome.error, duration=duration,
+                           worker=worker, mode_paths=outcome.mode_paths)
+            for outcome in outcomes]
+
+
 # --------------------------------------------------------------------------
 # process-pool workers (module level: must be picklable by reference)
 # --------------------------------------------------------------------------
@@ -147,10 +177,12 @@ _PROCESS_WORKER: Dict[str, Any] = {}
 
 
 def _process_initializer(payload: bytes, check_types: bool,
-                         collect_modes: bool) -> None:
+                         collect_modes: bool,
+                         backend: str = "auto") -> None:
     component = pickle.loads(payload)
     _PROCESS_WORKER["simulator"] = CompiledSimulator(component,
-                                                     check_types=check_types)
+                                                     check_types=check_types,
+                                                     backend=backend)
     _PROCESS_WORKER["collect_modes"] = collect_modes
 
 
@@ -161,7 +193,9 @@ def _process_run_one(scenario: Scenario) -> ScenarioResult:
 
 
 def _process_run_chunk(chunk: List[Scenario]) -> List[ScenarioResult]:
-    return [_process_run_one(scenario) for scenario in chunk]
+    return execute_batch(_PROCESS_WORKER["simulator"], chunk,
+                         _PROCESS_WORKER["collect_modes"],
+                         worker=f"pid-{os.getpid()}")
 
 
 # --------------------------------------------------------------------------
@@ -201,14 +235,22 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
                 max_workers: Optional[int] = None, executor: str = "process",
                 check_types: bool = False, collect_modes: bool = False,
                 chunk_size: Optional[int] = None,
-                on_result: Optional[ResultCallback] = None
-                ) -> List[ScenarioResult]:
+                on_result: Optional[ResultCallback] = None,
+                backend: str = "auto") -> List[ScenarioResult]:
     """Run a scenario batch sharded across a worker pool.
 
     Results are returned in scenario order regardless of completion order;
     ``on_result`` observes them in completion order for streaming
     consumption.  ``chunk_size`` groups scenarios per task to amortize
     inter-process transfer for very large batches of cheap scenarios.
+
+    *backend* selects the worker simulators' schedule backend (forwarded
+    to :class:`~repro.simulation.compiled.CompiledSimulator`).  With
+    ``backend="batch"`` every shard executes as one vectorized sweep: the
+    serial executor sweeps the whole batch, pools dispatch one
+    :func:`shard_scenarios` shard per worker by default (``chunk_size``
+    still overrides the grouping) -- traces, error strings and result
+    order stay byte-identical to the per-scenario path.
     """
     if executor not in _EXECUTORS:
         raise SimulationError(
@@ -224,23 +266,23 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
         raise SimulationError("chunk_size must be >= 1")
 
     if executor == "serial":
-        simulator = CompiledSimulator(component, check_types=check_types)
-        results = []
-        for scenario in batch:
-            result = execute_scenario(simulator, scenario, collect_modes)
-            if on_result is not None:
+        simulator = CompiledSimulator(component, check_types=check_types,
+                                      backend=backend)
+        results = execute_batch(simulator, batch, collect_modes)
+        if on_result is not None:
+            for result in results:
                 on_result(result)
-            results.append(result)
         return results
 
     workers = max_workers or min(len(batch), os.cpu_count() or 1)
     workers = max(1, min(workers, len(batch)))
+    batched = backend == "batch"
 
     if executor == "process":
         payload = _pickle_model(component)
         pool: Executor = ProcessPoolExecutor(
             max_workers=workers, initializer=_process_initializer,
-            initargs=(payload, check_types, collect_modes))
+            initargs=(payload, check_types, collect_modes, backend))
         run_one: Callable[[Scenario], ScenarioResult] = _process_run_one
         run_chunk: Callable[[List[Scenario]], List[ScenarioResult]] = \
             _process_run_chunk
@@ -249,21 +291,29 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
 
         def _thread_initializer() -> None:
             local.simulator = CompiledSimulator(component,
-                                                check_types=check_types)
+                                                check_types=check_types,
+                                                backend=backend)
 
         def run_one(scenario: Scenario) -> ScenarioResult:
             return execute_scenario(local.simulator, scenario, collect_modes,
                                     worker=threading.current_thread().name)
 
         def run_chunk(chunk: List[Scenario]) -> List[ScenarioResult]:
-            return [run_one(scenario) for scenario in chunk]
+            return execute_batch(local.simulator, chunk, collect_modes,
+                                 worker=threading.current_thread().name)
 
         pool = ThreadPoolExecutor(max_workers=workers,
                                   initializer=_thread_initializer)
 
     by_name: Dict[str, ScenarioResult] = {}
     with pool:
-        if chunk_size is None:
+        if chunk_size is None and batched:
+            # whole shards as single sweeps: one contiguous near-equal
+            # shard per worker (shard_scenarios drops empty shards, so
+            # workers > len(batch) degenerates to singleton sweeps)
+            futures = {pool.submit(run_chunk, shard): shard
+                       for shard in shard_scenarios(batch, workers)}
+        elif chunk_size is None:
             futures = {pool.submit(run_one, scenario): [scenario]
                        for scenario in batch}
         else:

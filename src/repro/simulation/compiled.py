@@ -471,7 +471,7 @@ def _compile_std(component: StateTransitionDiagram) -> CompiledSchedule:
 
 
 #: Schedule backends accepted by :class:`CompiledSimulator`.
-_BACKENDS = ("auto", "flat", "nested")
+_BACKENDS = ("auto", "flat", "nested", "batch")
 
 
 class CompiledSimulator:
@@ -486,6 +486,12 @@ class CompiledSimulator:
     the flat schedule IR whenever the component is flattenable and the
     nested path otherwise; ``"flat"`` / ``"nested"`` force one of the two
     (``"flat"`` raises :class:`SimulationError` for unflattenable roots).
+    ``"batch"`` additionally lowers the flat program onto the vectorized
+    battery backend (:mod:`repro.simulation.batch_ir`, requires NumPy and a
+    flattenable root): single runs go through a one-lane sweep, and batch-
+    aware callers (:class:`ScenarioSuite`,
+    :func:`repro.scenarios.runner.run_sharded`) execute whole batteries as
+    single sweeps via :attr:`batch_schedule`.
     """
 
     def __init__(self, component: Component, check_types: bool = False,
@@ -501,17 +507,31 @@ class CompiledSimulator:
         self.component = component
         self.check_types = check_types
         self.backend = backend
+        self.batch_schedule = None
         if backend == "auto":
             self.schedule = compile_component(component)
         elif backend == "flat":
             from .schedule_ir import compile_flat
             self.schedule = compile_flat(component)
+        elif backend == "batch":
+            from .schedule_ir import compile_flat
+            try:
+                from .batch_ir import BatchSchedule
+            except ImportError as exc:
+                raise SimulationError(
+                    "backend 'batch' requires numpy, which is not "
+                    "installed") from exc
+            self.schedule = compile_flat(component)
+            self.batch_schedule = BatchSchedule(self.schedule)
         else:
             self.schedule = compile_nested(component)
 
     def run(self, stimuli: Optional[Mapping[str, StimulusSpec]] = None,
             ticks: int = 10) -> SimulationTrace:
         """Simulate for *ticks* ticks and return the recorded trace."""
+        if self.batch_schedule is not None:
+            return self.batch_schedule.run_one(stimuli, ticks,
+                                               self.check_types)
         return run_stepped(self.component, self.schedule.step, stimuli,
                            ticks, self.check_types,
                            initial_state=self.schedule.initial_state())
@@ -546,10 +566,17 @@ class ScenarioSuite:
     This is the scenario-diversity axis of validation: sweep engine-mode
     sequences, event storms or randomized stimulus sets against the same
     model while paying the compilation cost once.
+
+    *backend* is forwarded to :class:`CompiledSimulator`; with
+    ``backend="batch"`` :meth:`run_all` executes the whole suite as one
+    vectorized sweep instead of one run per scenario (identical traces,
+    identical first-error propagation).
     """
 
-    def __init__(self, component: Component, check_types: bool = False):
-        self.simulator = CompiledSimulator(component, check_types=check_types)
+    def __init__(self, component: Component, check_types: bool = False,
+                 backend: str = "auto"):
+        self.simulator = CompiledSimulator(component, check_types=check_types,
+                                           backend=backend)
         self._scenarios: List[Tuple[str, Optional[Mapping[str, StimulusSpec]],
                                     int]] = []
 
@@ -581,7 +608,20 @@ class ScenarioSuite:
         return len(self._scenarios)
 
     def run_all(self) -> Dict[str, SimulationTrace]:
-        """Run every scenario against the compiled schedule."""
+        """Run every scenario against the compiled schedule.
+
+        With the batch backend the whole suite is one vectorized sweep; the
+        first failing scenario (in registration order) re-raises its
+        original exception, mirroring the serial loop.
+        """
+        if self.simulator.batch_schedule is not None:
+            traces: Dict[str, SimulationTrace] = {}
+            for outcome in self.simulator.batch_schedule.run_battery(
+                    self._scenarios, check_types=self.simulator.check_types):
+                if outcome.exception is not None:
+                    raise outcome.exception
+                traces[outcome.name] = outcome.trace
+            return traces
         return {name: self.simulator.run(stimuli, ticks)
                 for name, stimuli, ticks in self._scenarios}
 
@@ -600,7 +640,8 @@ class ScenarioSuite:
         from ..scenarios.runner import run_sharded
         results = run_sharded(self.simulator.component, self.scenarios(),
                               max_workers=max_workers, executor=executor,
-                              check_types=self.simulator.check_types)
+                              check_types=self.simulator.check_types,
+                              backend=self.simulator.backend)
         traces: Dict[str, SimulationTrace] = {}
         for result in results:
             if result.error is not None:

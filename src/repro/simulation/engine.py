@@ -59,6 +59,38 @@ def normalize_stimulus(spec: StimulusSpec, ticks: int) -> Callable[[int], Any]:
     return lambda tick: spec
 
 
+def prepare_feeds(component: Component,
+                  stimuli: Optional[Mapping[str, StimulusSpec]],
+                  ticks: int) -> "tuple[tuple[str, Optional[Callable[[int], Any]]], ...]":
+    """Validate *ticks*/*stimuli* against *component* and normalize feeds.
+
+    The entry validation of :func:`run_stepped`, shared with the batch
+    backend (:mod:`repro.simulation.batch_ir`) so every engine rejects bad
+    tick counts and unknown stimulus ports with identical messages and
+    materializes generators identically.  Returns one
+    ``(port name, tick -> value | None)`` pair per input port, in
+    ``input_names()`` order.
+    """
+    # bool is an int subclass: ticks=True would silently mean one tick, so
+    # reject it the way ScenarioSuite.add does -- every entry point (run,
+    # run_stepped, compiled runs, scenario batches) agrees on validation.
+    if isinstance(ticks, bool) or not isinstance(ticks, int):
+        raise SimulationError(
+            f"tick count must be an integer number of ticks, got {ticks!r}")
+    if ticks < 0:
+        raise SimulationError("tick count must be non-negative")
+    stimuli = dict(stimuli or {})
+    input_names = component.input_names()
+    unknown = set(stimuli) - set(input_names)
+    if unknown:
+        raise SimulationError(
+            f"stimuli refer to unknown input ports {sorted(unknown)} of "
+            f"component {component.name!r}")
+    generators = {name: normalize_stimulus(spec, ticks)
+                  for name, spec in stimuli.items()}
+    return tuple((name, generators.get(name)) for name in input_names)
+
+
 def run_stepped(component: Component,
                 step: Callable[[Mapping[str, Any], Any, int],
                                "tuple[Dict[str, Any], Any]"],
@@ -80,24 +112,7 @@ def run_stepped(component: Component,
     keeps very deep hierarchies runnable, where the recursive
     ``initial_state()`` walk would hit the Python recursion limit.
     """
-    # bool is an int subclass: ticks=True would silently mean one tick, so
-    # reject it the way ScenarioSuite.add does -- every entry point (run,
-    # run_stepped, compiled runs, scenario batches) agrees on validation.
-    if isinstance(ticks, bool) or not isinstance(ticks, int):
-        raise SimulationError(
-            f"tick count must be an integer number of ticks, got {ticks!r}")
-    if ticks < 0:
-        raise SimulationError("tick count must be non-negative")
-    stimuli = dict(stimuli or {})
-    input_names = component.input_names()
-    unknown = set(stimuli) - set(input_names)
-    if unknown:
-        raise SimulationError(
-            f"stimuli refer to unknown input ports {sorted(unknown)} of "
-            f"component {component.name!r}")
-    generators = {name: normalize_stimulus(spec, ticks)
-                  for name, spec in stimuli.items()}
-    feeds = tuple((name, generators.get(name)) for name in input_names)
+    feeds = prepare_feeds(component, stimuli, ticks)
 
     trace = SimulationTrace(component.name)
     state = component.initial_state() if initial_state is None else initial_state

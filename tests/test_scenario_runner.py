@@ -250,3 +250,116 @@ def test_scenario_suite_scenarios_accessor(engine_modes_mtd):
     assert scenarios[0].name == "a"
     assert scenarios[0].ticks == 7
     assert scenarios[0].stimuli == {"n": 100.0}
+
+
+# -- satellite: batched dispatch (backend="batch") --------------------------
+
+
+def _flattenable_engine():
+    """The engine-mode MTD wrapped in a composite so the root flattens
+    (batch backend requirement); the MTD itself stays a nested leaf."""
+    import pytest as _pytest
+    _pytest.importorskip("numpy")
+    from repro.casestudy import build_engine_modes_mtd
+    from repro.notations.dfd import DataFlowDiagram
+
+    dfd = DataFlowDiagram("EngineSystem")
+    mtd = build_engine_modes_mtd()
+    dfd.add_subcomponent(mtd)
+    for port in ("n", "ped", "t_eng"):
+        dfd.add_input(port)
+        dfd.connect(port, f"EngineOperationModes.{port}")
+    for port in ("fuel_factor", "mode"):
+        dfd.add_output(port)
+        dfd.connect(f"EngineOperationModes.{port}", port)
+    return dfd
+
+
+def test_batch_backend_serial_matches_per_scenario(engine_modes_mtd):
+    model = _flattenable_engine()
+    batch = _engine_batch(8, ticks=30)
+    per_scenario = run_sharded(model, batch, executor="serial",
+                               collect_modes=True)
+    batched = run_sharded(model, batch, executor="serial", backend="batch",
+                          collect_modes=True)
+    _assert_same_traces(per_scenario, batched)
+    for expected, actual in zip(per_scenario, batched):
+        assert expected.mode_paths == actual.mode_paths
+
+
+def test_batch_backend_thread_whole_shard_sweeps():
+    model = _flattenable_engine()
+    batch = _engine_batch(10, ticks=25)
+    serial = run_sharded(model, batch, executor="serial")
+    batched = run_sharded(model, batch, executor="thread", backend="batch",
+                          max_workers=3)
+    _assert_same_traces(serial, batched)
+    # more workers than scenarios: shard_scenarios degenerates to
+    # singleton sweeps, order and traces unchanged
+    small = run_sharded(model, batch[:2], executor="thread", backend="batch",
+                        max_workers=16)
+    _assert_same_traces(serial[:2], small)
+
+
+def test_batch_backend_isolates_failing_lane_in_shard():
+    def exploding(tick):
+        if tick >= 3:
+            raise ValueError("sensor model exploded")
+        return 0.0
+
+    model = _flattenable_engine()
+    batch = _engine_batch(4, ticks=20)
+    batch.insert(2, Scenario("boom", {"n": exploding}, ticks=20))
+    results = run_sharded(model, batch, executor="serial", backend="batch")
+    assert [r.name for r in results] \
+        == ["drive0", "drive1", "boom", "drive2", "drive3"]
+    failed = results[2]
+    assert not failed.ok and "sensor model exploded" in failed.error
+    assert failed.trace is None
+    assert all(r.ok for r in results if r.name != "boom")
+    # identical error string to the per-scenario path
+    reference = run_sharded(model, batch, executor="serial")
+    assert reference[2].error == failed.error
+
+
+def test_batch_backend_empty_battery_and_chunk_override():
+    model = _flattenable_engine()
+    assert run_sharded(model, [], executor="serial", backend="batch") == []
+    batch = _engine_batch(7, ticks=10)
+    serial = run_sharded(model, batch, executor="serial")
+    chunked = run_sharded(model, batch, executor="thread", backend="batch",
+                          max_workers=2, chunk_size=3)
+    _assert_same_traces(serial, chunked)
+
+
+def test_batch_backend_rejects_unflattenable_root(engine_modes_mtd):
+    import pytest as _pytest
+    _pytest.importorskip("numpy")
+    batch = _engine_batch(2, ticks=5)
+    with pytest.raises(SimulationError, match="not flattenable"):
+        run_sharded(engine_modes_mtd, batch, executor="serial",
+                    backend="batch")
+
+
+def test_execute_batch_falls_back_without_batch_schedule(engine_modes_mtd):
+    from repro.scenarios import execute_batch
+    from repro.simulation import CompiledSimulator
+    simulator = CompiledSimulator(engine_modes_mtd)
+    batch = _engine_batch(3, ticks=10)
+    results = execute_batch(simulator, batch)
+    reference = [r for r in run_sharded(engine_modes_mtd, batch,
+                                        executor="serial")]
+    _assert_same_traces(reference, results)
+
+
+@pytest.mark.parallel
+def test_batch_backend_process_matches_serial():
+    model = _flattenable_engine()
+    batch = _engine_batch(8, ticks=30)
+    serial = run_sharded(model, batch, executor="serial",
+                         collect_modes=True)
+    sharded = run_sharded(model, batch, executor="process", backend="batch",
+                          max_workers=2, collect_modes=True)
+    _assert_same_traces(serial, sharded)
+    for expected, actual in zip(serial, sharded):
+        assert expected.mode_paths == actual.mode_paths
