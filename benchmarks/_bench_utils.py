@@ -46,13 +46,22 @@ def time_median(runner, repeats: int = 5) -> float:
     return statistics.median(durations)
 
 
-def write_bench_json(name: str, payload: dict) -> str:
+def write_bench_json(name: str, payload: dict, telemetry=None) -> str:
     """Write ``BENCH_<name>.json``, the machine-readable benchmark artefact.
 
     The file lands in the current working directory unless ``BENCH_OUT_DIR``
     redirects it.  Keys are sorted so diffs between two uploads are stable.
-    Returns the written path.
+    When *telemetry* (a :class:`repro.obs.Telemetry`) is given, its metrics
+    and span tree are embedded under an ``"observability"`` key, so one
+    artefact carries both the gate verdicts and the telemetry that explains
+    them.  Returns the written path.
     """
+    if telemetry is not None:
+        payload = dict(payload)
+        payload["observability"] = {
+            "metrics": telemetry.registry.to_json_dict(),
+            "spans": telemetry.tracer.to_json_dict(),
+        }
     out_dir = os.environ.get("BENCH_OUT_DIR", ".")
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")

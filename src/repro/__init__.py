@@ -17,6 +17,6 @@ paper figures to benchmarks.
 
 __version__ = "1.0.0"
 
-from . import core
+from . import core, obs
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "obs", "__version__"]

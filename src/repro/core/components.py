@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple)
 
+from ..obs.context import current_registry
 from .channels import Channel, ChannelEnd, connect
 from .clocks import BASE_CLOCK, Clock
 from .errors import (CausalityError, ModelError, NameConflictError,
@@ -695,7 +696,12 @@ class CompositeComponent(Component):
         """
         token = self.structure_token() if _token is None else _token
         plan = self._plan_cache
-        if plan is None or plan.token != token:
+        hit = plan is not None and plan.token == token
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("compile.plan_cache.hit" if hit
+                             else "compile.plan_cache.miss").inc()
+        if not hit:
             plan = self._build_execution_plan(token, _deps_cache)
             self._plan_cache = plan
         return plan

@@ -1,0 +1,35 @@
+"""``repro.obs``: zero-overhead-when-off telemetry for the engine stack.
+
+Three primitives and one switch:
+
+* :class:`MetricsRegistry` -- counters, gauges and deterministic
+  fixed-bucket histograms with order-insensitive :meth:`~MetricsRegistry.merge`
+  (the cross-process aggregation contract of the sharded runner);
+* :class:`Tracer` -- nested spans over an injectable clock, exported as a
+  span-tree JSON or Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``);
+* :class:`OpProfile` -- op-level attribution of flat-IR step programs
+  (per-op counts/times, gate skip rates, correction re-runs,
+  nested-fallback and batch scalar-fallback activity), rendered by
+  :func:`format_profile` / :func:`format_backend_comparison`;
+* :func:`enable` / :func:`disable` / :func:`session` -- the process-global
+  switch.  While off (the default), the engines run their untouched step
+  closures and every probe is one global read; see
+  :mod:`repro.obs.context` for the contract and
+  ``benchmarks/bench_obs_overhead.py`` for the gate.
+"""
+
+from .context import (Telemetry, active, current_registry, current_tracer,
+                      disable, enable, is_enabled, maybe_span, session)
+from .metrics import (DURATION_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry)
+from .profile import OpProfile, format_backend_comparison, format_profile
+from .tracing import Span, Tracer, span_from_json_dict
+
+__all__ = [
+    "Counter", "DURATION_BUCKETS", "Gauge", "Histogram", "MetricsRegistry",
+    "OpProfile", "Span", "Telemetry", "Tracer", "active", "current_registry",
+    "current_tracer", "disable", "enable", "format_backend_comparison",
+    "format_profile", "is_enabled", "maybe_span", "session",
+    "span_from_json_dict",
+]

@@ -1,0 +1,266 @@
+"""Deterministic metrics primitives: counters, gauges, histograms, registry.
+
+The observability substrate of the engine stack is built on one rule: a
+metric fold must be **order-insensitive and shard-insensitive**, exactly
+like :meth:`repro.scenarios.report.BatchReport.merge`.  Counters add,
+gauges keep the maximum, histogram bucket counts add -- so merging the
+registries of N pool workers (in any completion order) yields the same
+registry as one serial pass over the same work.  That is what lets the
+sharded runner return worker-local registries alongside its
+:class:`~repro.scenarios.runner.ScenarioResult` batches and fold them in
+the parent without a synchronization protocol.
+
+Histograms use **fixed, declared bucket bounds** (no adaptive resizing):
+two histograms observing the same values always have identical bucket
+counts, regardless of observation order, which keeps the JSON export
+byte-comparable across runs and hosts.
+
+Everything here is picklable (plain attributes, no closures), so a
+registry can cross a process-pool boundary as-is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default bucket upper bounds (seconds) for duration histograms: spans six
+#: decades, from sub-100us op batches to multi-minute campaign sweeps.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing sum (ints or floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))")
+        self.value += amount
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value!r})"
+
+
+class Gauge:
+    """A last-written value; merges keep the maximum (order-insensitive)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Optional[float] = None):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value!r})"
+
+
+class Histogram:
+    """A fixed-bucket histogram: deterministic counts, mergeable.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; one
+    overflow bucket catches everything above the last bound.  ``counts``
+    has ``len(bounds) + 1`` entries.  ``sum`` and ``count`` track the
+    classic totals; ``min``/``max`` the observed extremes.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DURATION_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name!r} needs sorted, non-empty bucket bounds")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} "
+                f"(bounds {other.bounds}) into {self.name!r} "
+                f"(bounds {self.bounds})")
+        self.count += other.count
+        self.sum += other.sum
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            self.min = bound if self.min is None else min(self.min, bound)
+            self.max = bound if self.max is None else max(self.max, bound)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"sum={self.sum:g})")
+
+
+class MetricsRegistry:
+    """A named pool of counters, gauges and histograms with JSON export.
+
+    Instruments are created on first access (``registry.counter("x")``)
+    and identified by name; re-requesting a name returns the same
+    instrument.  :meth:`merge` folds another registry in element-wise
+    (counters add, gauges keep the max, histograms add bucket-wise), which
+    is the cross-process aggregation contract: merging worker registries
+    in any order equals one serial registry over the same observations.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DURATION_BUCKETS) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # -- aggregation -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other* into this registry (see class docstring)."""
+        for name, counter in other.counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other.gauges.items():
+            if gauge.value is None:
+                continue
+            mine = self.gauge(name)
+            mine.value = gauge.value if mine.value is None \
+                else max(mine.value, gauge.value)
+        for name, histogram in other.histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+        return self
+
+    def counter_values(self, prefix: str = "") -> Dict[str, float]:
+        """Counter name -> value, optionally restricted to a name prefix.
+
+        The executor-equivalence tests compare this projection: counters
+        under ``runner.scenario.`` are per-scenario facts and therefore
+        identical across serial / thread / process execution, while
+        sweep- and shard-level instruments legitimately depend on the
+        sharding.
+        """
+        return {name: counter.value
+                for name, counter in sorted(self.counters.items())
+                if name.startswith(prefix)}
+
+    # -- export ------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": [self.counters[name].to_json_dict()
+                         for name in sorted(self.counters)],
+            "gauges": [self.gauges[name].to_json_dict()
+                       for name in sorted(self.gauges)],
+            "histograms": [self.histograms[name].to_json_dict()
+                           for name in sorted(self.histograms)],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_json_dict` output (round-trip)."""
+        registry = cls()
+        for entry in data.get("counters", ()):
+            registry.counter(entry["name"]).value = entry["value"]
+        for entry in data.get("gauges", ()):
+            registry.gauge(entry["name"]).value = entry["value"]
+        for entry in data.get("histograms", ()):
+            histogram = registry.histogram(entry["name"],
+                                           tuple(entry["bounds"]))
+            histogram.counts = list(entry["counts"])
+            histogram.count = entry["count"]
+            histogram.sum = entry["sum"]
+            histogram.min = entry["min"]
+            histogram.max = entry["max"]
+        return registry
+
+    def format_summary(self) -> str:
+        """Human-readable one-line-per-instrument rendering."""
+        lines: List[str] = ["metrics:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name} = {self.counters[name].value:g}")
+        for name in sorted(self.gauges):
+            value = self.gauges[name].value
+            rendered = "unset" if value is None else f"{value:g}"
+            lines.append(f"  {name} = {rendered} (gauge)")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            if histogram.count:
+                lines.append(
+                    f"  {name}: n={histogram.count} sum={histogram.sum:.6f} "
+                    f"mean={histogram.mean():.6f} "
+                    f"[{histogram.min:.6f} .. {histogram.max:.6f}]")
+            else:
+                lines.append(f"  {name}: n=0")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)}, "
+                f"histograms={len(self.histograms)})")

@@ -39,6 +39,8 @@ from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
 
 from ..core.components import Component
 from ..core.errors import SimulationError
+from ..obs.context import current_registry, maybe_span
+from ..obs.metrics import MetricsRegistry
 from ..simulation.compiled import CompiledSimulator
 from ..simulation.engine import run_stepped
 from ..simulation.trace import SimulationTrace
@@ -51,7 +53,13 @@ ResultCallback = Callable[["ScenarioResult"], None]
 
 @dataclass
 class ScenarioResult:
-    """Outcome of one scenario: a trace or an isolated error."""
+    """Outcome of one scenario: a trace or an isolated error.
+
+    *amortized* marks durations that are an even share of a vectorized
+    sweep's wall time rather than a per-scenario measurement; the true
+    sweep duration lands in the metrics registry (``runner.sweep.*``)
+    when observability is on.
+    """
 
     name: str
     trace: Optional[SimulationTrace] = None
@@ -59,6 +67,7 @@ class ScenarioResult:
     duration: float = 0.0
     worker: str = ""
     mode_paths: Optional[Dict[str, List[Any]]] = None
+    amortized: bool = False
 
     @property
     def ok(self) -> bool:
@@ -90,9 +99,28 @@ def shard_scenarios(scenarios: Sequence[Scenario],
 # scenario execution shared by every executor kind
 # --------------------------------------------------------------------------
 
+def _record_scenario(registry: MetricsRegistry, result: ScenarioResult,
+                     ticks: int) -> None:
+    """Scenario counters: the executor-invariant telemetry projection.
+
+    ``runner.scenario.*`` counters depend only on the batch (which
+    scenarios ran, with what outcome) -- never on sharding, executor kind
+    or chunking -- so serial, thread and process runs agree exactly
+    (``MetricsRegistry.counter_values("runner.scenario.")``).  The duration
+    histogram is timing and therefore outside that projection.
+    """
+    registry.counter("runner.scenario.total").inc()
+    registry.counter(
+        "runner.scenario.ok" if result.ok else "runner.scenario.failed").inc()
+    registry.counter("runner.scenario.ticks").inc(ticks)
+    registry.histogram("runner.scenario.duration_s").observe(result.duration)
+
+
 def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
                      collect_modes: bool = False,
-                     worker: str = "local") -> ScenarioResult:
+                     worker: str = "local",
+                     registry: Optional[MetricsRegistry] = None
+                     ) -> ScenarioResult:
     """Run one scenario against a compiled simulator with error isolation.
 
     Mode collection is schedule-aware: flat schedules expose their active
@@ -101,7 +129,14 @@ def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
     paths and values as :func:`~repro.scenarios.report.active_mode_paths`
     on a nested state tree), so sharded batches and coverage-guided search
     get the flat engine's speed without losing coverage observability.
+
+    *registry* receives ``runner.scenario.*`` telemetry; when ``None`` the
+    ambient registry (:func:`repro.obs.current_registry`) is consulted
+    once -- worker pools pass explicit worker-local registries instead,
+    because the ambient one is not shared safely across threads.
     """
+    if registry is None:
+        registry = current_registry()
     start = time.perf_counter()
     try:
         schedule = simulator.schedule
@@ -128,74 +163,127 @@ def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
         else:
             trace = simulator.run(scenario.stimuli, scenario.ticks)
             mode_paths = None
-        return ScenarioResult(scenario.name, trace=trace,
-                              duration=time.perf_counter() - start,
-                              worker=worker, mode_paths=mode_paths)
+        result = ScenarioResult(scenario.name, trace=trace,
+                                duration=time.perf_counter() - start,
+                                worker=worker, mode_paths=mode_paths)
     except Exception as exc:  # noqa: BLE001 - isolation is the contract
         detail = traceback.format_exc(limit=3).strip().splitlines()[-1]
         error = f"{type(exc).__name__}: {exc}" if str(exc) else detail
-        return ScenarioResult(scenario.name, error=error,
-                              duration=time.perf_counter() - start,
-                              worker=worker)
+        result = ScenarioResult(scenario.name, error=error,
+                                duration=time.perf_counter() - start,
+                                worker=worker)
+    if registry is not None:
+        _record_scenario(registry, result, scenario.ticks)
+    return result
 
 
 def execute_batch(simulator: CompiledSimulator, scenarios: Sequence[Scenario],
                   collect_modes: bool = False,
-                  worker: str = "local") -> List[ScenarioResult]:
+                  worker: str = "local",
+                  registry: Optional[MetricsRegistry] = None
+                  ) -> List[ScenarioResult]:
     """Run a whole shard of scenarios against one compiled simulator.
 
     With a batch-capable simulator (``backend="batch"``) the shard executes
     as ONE vectorized sweep over the scenario axis
     (:meth:`~repro.simulation.batch_ir.BatchSchedule.run_battery`); results
     are identical to :func:`execute_scenario` per scenario -- traces,
-    error strings, isolation -- with the sweep's wall time attributed
-    evenly across the shard.  Any other simulator falls back to the
-    per-scenario loop, so every executor can dispatch chunks through this
-    one entry point.
+    error strings, isolation.  Sweep wall time is a property of the shard,
+    not of any one scenario: each result carries an even share of it with
+    ``amortized=True``, and the TRUE sweep duration and lane count land in
+    the registry (``runner.sweep.count`` / ``runner.sweep.lanes`` counters,
+    ``runner.sweep.duration_s`` histogram).  Any other simulator falls back
+    to the per-scenario loop, so every executor can dispatch chunks through
+    this one entry point.
     """
+    if registry is None:
+        registry = current_registry()
     batch_schedule = getattr(simulator, "batch_schedule", None)
     if batch_schedule is None:
-        return [execute_scenario(simulator, scenario, collect_modes, worker)
+        return [execute_scenario(simulator, scenario, collect_modes, worker,
+                                 registry=registry)
                 for scenario in scenarios]
     start = time.perf_counter()
     outcomes = batch_schedule.run_battery(
         [(scenario.name, scenario.stimuli, scenario.ticks)
          for scenario in scenarios],
         check_types=simulator.check_types, collect_modes=collect_modes)
-    duration = (time.perf_counter() - start) / max(1, len(outcomes))
-    return [ScenarioResult(outcome.name, trace=outcome.trace,
-                           error=outcome.error, duration=duration,
-                           worker=worker, mode_paths=outcome.mode_paths)
-            for outcome in outcomes]
+    sweep_duration = time.perf_counter() - start
+    amortized = sweep_duration / max(1, len(outcomes))
+    results = [ScenarioResult(outcome.name, trace=outcome.trace,
+                              error=outcome.error, duration=amortized,
+                              worker=worker, mode_paths=outcome.mode_paths,
+                              amortized=True)
+               for outcome in outcomes]
+    if registry is not None:
+        registry.counter("runner.sweep.count").inc()
+        registry.counter("runner.sweep.lanes").inc(len(results))
+        registry.histogram("runner.sweep.duration_s").observe(sweep_duration)
+        for result, scenario in zip(results, scenarios):
+            _record_scenario(registry, result, scenario.ticks)
+    return results
 
 
 # --------------------------------------------------------------------------
 # process-pool workers (module level: must be picklable by reference)
 # --------------------------------------------------------------------------
 
+class _ShardOutcome:
+    """Worker return envelope when telemetry is on: results plus the
+    worker-local registry, merged into the parent's registry on receipt.
+
+    Workers never talk to the parent's (ambient) registry directly --
+    process workers can't see it, thread workers could but would race on
+    it -- so each task builds a fresh :class:`MetricsRegistry`, and the
+    order-insensitive :meth:`~MetricsRegistry.merge` makes the aggregate
+    independent of sharding and completion order.
+    """
+
+    __slots__ = ("results", "registry")
+
+    def __init__(self, results: List[ScenarioResult],
+                 registry: MetricsRegistry):
+        self.results = results
+        self.registry = registry
+
+
 _PROCESS_WORKER: Dict[str, Any] = {}
 
 
 def _process_initializer(payload: bytes, check_types: bool,
                          collect_modes: bool,
-                         backend: str = "auto") -> None:
+                         backend: str = "auto",
+                         observe: bool = False) -> None:
     component = pickle.loads(payload)
     _PROCESS_WORKER["simulator"] = CompiledSimulator(component,
                                                      check_types=check_types,
                                                      backend=backend)
     _PROCESS_WORKER["collect_modes"] = collect_modes
+    _PROCESS_WORKER["observe"] = observe
 
 
-def _process_run_one(scenario: Scenario) -> ScenarioResult:
-    return execute_scenario(_PROCESS_WORKER["simulator"], scenario,
+def _process_run_one(scenario: Scenario) -> Any:
+    if not _PROCESS_WORKER.get("observe"):
+        return execute_scenario(_PROCESS_WORKER["simulator"], scenario,
+                                _PROCESS_WORKER["collect_modes"],
+                                worker=f"pid-{os.getpid()}")
+    registry = MetricsRegistry()
+    result = execute_scenario(_PROCESS_WORKER["simulator"], scenario,
+                              _PROCESS_WORKER["collect_modes"],
+                              worker=f"pid-{os.getpid()}", registry=registry)
+    return _ShardOutcome([result], registry)
+
+
+def _process_run_chunk(chunk: List[Scenario]) -> Any:
+    if not _PROCESS_WORKER.get("observe"):
+        return execute_batch(_PROCESS_WORKER["simulator"], chunk,
+                             _PROCESS_WORKER["collect_modes"],
+                             worker=f"pid-{os.getpid()}")
+    registry = MetricsRegistry()
+    results = execute_batch(_PROCESS_WORKER["simulator"], chunk,
                             _PROCESS_WORKER["collect_modes"],
-                            worker=f"pid-{os.getpid()}")
-
-
-def _process_run_chunk(chunk: List[Scenario]) -> List[ScenarioResult]:
-    return execute_batch(_PROCESS_WORKER["simulator"], chunk,
-                         _PROCESS_WORKER["collect_modes"],
-                         worker=f"pid-{os.getpid()}")
+                            worker=f"pid-{os.getpid()}", registry=registry)
+    return _ShardOutcome(results, registry)
 
 
 # --------------------------------------------------------------------------
@@ -265,10 +353,16 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
     if chunk_size is not None and chunk_size < 1:
         raise SimulationError("chunk_size must be >= 1")
 
+    parent_registry = current_registry()
+    observe = parent_registry is not None
+
     if executor == "serial":
-        simulator = CompiledSimulator(component, check_types=check_types,
-                                      backend=backend)
-        results = execute_batch(simulator, batch, collect_modes)
+        with maybe_span("runner.run_sharded", scenarios=len(batch),
+                        executor=executor, backend=backend):
+            simulator = CompiledSimulator(component, check_types=check_types,
+                                          backend=backend)
+            results = execute_batch(simulator, batch, collect_modes,
+                                    registry=parent_registry)
         if on_result is not None:
             for result in results:
                 on_result(result)
@@ -282,10 +376,9 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
         payload = _pickle_model(component)
         pool: Executor = ProcessPoolExecutor(
             max_workers=workers, initializer=_process_initializer,
-            initargs=(payload, check_types, collect_modes, backend))
-        run_one: Callable[[Scenario], ScenarioResult] = _process_run_one
-        run_chunk: Callable[[List[Scenario]], List[ScenarioResult]] = \
-            _process_run_chunk
+            initargs=(payload, check_types, collect_modes, backend, observe))
+        run_one: Callable[[Scenario], Any] = _process_run_one
+        run_chunk: Callable[[List[Scenario]], Any] = _process_run_chunk
     else:  # thread pool: per-thread compilation, no pickling
         local = threading.local()
 
@@ -294,19 +387,38 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
                                                 check_types=check_types,
                                                 backend=backend)
 
-        def run_one(scenario: Scenario) -> ScenarioResult:
-            return execute_scenario(local.simulator, scenario, collect_modes,
-                                    worker=threading.current_thread().name)
+        # thread workers mirror the process protocol: a fresh per-task
+        # registry rather than the shared ambient one, which is not
+        # synchronized and would race under concurrent increments
+        def run_one(scenario: Scenario) -> Any:
+            if not observe:
+                return execute_scenario(
+                    local.simulator, scenario, collect_modes,
+                    worker=threading.current_thread().name)
+            registry = MetricsRegistry()
+            result = execute_scenario(
+                local.simulator, scenario, collect_modes,
+                worker=threading.current_thread().name, registry=registry)
+            return _ShardOutcome([result], registry)
 
-        def run_chunk(chunk: List[Scenario]) -> List[ScenarioResult]:
-            return execute_batch(local.simulator, chunk, collect_modes,
-                                 worker=threading.current_thread().name)
+        def run_chunk(chunk: List[Scenario]) -> Any:
+            if not observe:
+                return execute_batch(
+                    local.simulator, chunk, collect_modes,
+                    worker=threading.current_thread().name)
+            registry = MetricsRegistry()
+            results = execute_batch(
+                local.simulator, chunk, collect_modes,
+                worker=threading.current_thread().name, registry=registry)
+            return _ShardOutcome(results, registry)
 
         pool = ThreadPoolExecutor(max_workers=workers,
                                   initializer=_thread_initializer)
 
     by_name: Dict[str, ScenarioResult] = {}
-    with pool:
+    with pool, maybe_span("runner.run_sharded", scenarios=len(batch),
+                          executor=executor, backend=backend,
+                          workers=workers):
         if chunk_size is None and batched:
             # whole shards as single sweeps: one contiguous near-equal
             # shard per worker (shard_scenarios drops empty shards, so
@@ -333,6 +445,10 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
                     for scenario in submitted]
             else:
                 outcome = future.result()
+                if isinstance(outcome, _ShardOutcome):
+                    if parent_registry is not None:
+                        parent_registry.merge(outcome.registry)
+                    outcome = outcome.results
                 completed = outcome if isinstance(outcome, list) else [outcome]
             for result in completed:
                 by_name[result.name] = result

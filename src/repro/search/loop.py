@@ -42,6 +42,7 @@ from ..core.components import Component
 from ..core.errors import SimulationError
 from ..core.expr_eval import ExpressionEvaluator
 from ..core.values import is_present
+from ..obs.context import current_registry, maybe_span
 from ..scenarios.generators import Scenario
 from ..scenarios.report import BatchReport
 from ..scenarios.runner import run_sharded
@@ -112,10 +113,10 @@ class RoundStats:
     mode_coverage: float
     transition_coverage: float
     corpus_size: int
-    duration_s: float = 0.0  # informational; excluded from the JSON export
+    duration_s: float = 0.0  # excluded from the default (deterministic) JSON
 
-    def to_json_dict(self) -> Dict[str, Any]:
-        return {
+    def to_json_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        data = {
             "round": self.index,
             "evaluated": self.evaluated,
             "failed": self.failed,
@@ -126,6 +127,9 @@ class RoundStats:
             "transition_coverage": self.transition_coverage,
             "corpus_size": self.corpus_size,
         }
+        if include_timing:
+            data["duration_s"] = self.duration_s
+        return data
 
 
 def _spec_repr(spec: Any) -> str:
@@ -195,7 +199,8 @@ class SearchReport:
                 f"    round {stats.index}: {stats.evaluated} evaluated, "
                 f"{stats.earned} earned, +{stats.new_transitions} "
                 f"transitions -> "
-                f"{100.0 * stats.transition_coverage:.0f}%")
+                f"{100.0 * stats.transition_coverage:.0f}% "
+                f"({stats.duration_s:.3f}s)")
         untaken = self.untaken_transitions()
         if untaken:
             lines.append("  still untaken:")
@@ -209,13 +214,21 @@ class SearchReport:
         return "\n".join(lines)
 
     # -- export ------------------------------------------------------------
-    def to_json_dict(self) -> Dict[str, Any]:
-        return {
+    def to_json_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        """The JSON export.
+
+        Deterministic by default: byte-identical across runs and executors
+        for a fixed seed.  ``include_timing=True`` opts into wall-clock
+        data -- total and per-round ``duration_s`` -- trading determinism
+        for profiling detail.
+        """
+        data = {
             "component": self.component_name,
             "seed": self.seed,
             "stop_reason": self.stop_reason,
             "evaluations": self.evaluations,
-            "rounds": [stats.to_json_dict() for stats in self.rounds],
+            "rounds": [stats.to_json_dict(include_timing)
+                       for stats in self.rounds],
             "coverage": {
                 "overall_mode_coverage": self.mode_coverage(),
                 "overall_transition_coverage": self.transition_coverage(),
@@ -232,10 +245,13 @@ class SearchReport:
                 "dropped": list(self.dropped),
             },
         }
+        if include_timing:
+            data["timing"] = {"total_duration_s": self.duration_s}
+        return data
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True,
-                          default=str)
+    def to_json(self, indent: int = 2, include_timing: bool = False) -> str:
+        return json.dumps(self.to_json_dict(include_timing), indent=indent,
+                          sort_keys=True, default=str)
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
@@ -402,12 +418,18 @@ def search_coverage(component: Component,
                 break
             pending = pending[:headroom]
         round_started = time.perf_counter()
-        results = run_sharded(component, pending,
-                              executor=config.executor,
-                              max_workers=config.max_workers,
-                              chunk_size=config.chunk_size,
-                              collect_modes=True)
+        with maybe_span("search.round", round=round_index,
+                        candidates=len(pending)):
+            results = run_sharded(component, pending,
+                                  executor=config.executor,
+                                  max_workers=config.max_workers,
+                                  chunk_size=config.chunk_size,
+                                  collect_modes=True)
         evaluations += len(results)
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("search.rounds").inc()
+            registry.counter("search.evaluations").inc(len(results))
         for result in results:  # incremental: no re-scan of prior rounds
             batch_report.observe_result(result)
 

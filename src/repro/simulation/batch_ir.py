@@ -49,6 +49,7 @@ re-materializes generators per worker -- observe no difference.
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,6 +58,8 @@ import numpy as np
 from ..core.expr_batch import compile_batch_expression
 from ..core.types import check_value
 from ..core.values import ABSENT, Stream, is_absent
+from ..obs.context import active as _obs_active
+from ..obs.context import maybe_span
 from .engine import StimulusSpec, prepare_feeds
 from .schedule_ir import (OP_BUF_READ, OP_BUF_WRITE, OP_COPY, OP_CORRECT,
                           OP_EXPR, OP_GATE, OP_RUN, FlatSchedule, FlatState)
@@ -115,10 +118,20 @@ class BatchSchedule:
     """A :class:`~repro.simulation.schedule_ir.FlatSchedule` widened to
     execute whole scenario batteries as single vectorized sweeps."""
 
+    kind = "batch"
+
     def __init__(self, flat: FlatSchedule):
         self.flat = flat
         self.component = flat.component
-        self._program = self._lower(flat)
+        with maybe_span("compile.batch_lower",
+                        component=flat.component.name,
+                        ops=len(flat.program)):
+            self._program = self._lower(flat)
+
+    def op_labels(self) -> List[Tuple[str, str, bool]]:
+        """Op descriptors for :class:`repro.obs.profile.OpProfile` -- the
+        batch program is index-identical to the flat one."""
+        return self.flat.op_labels()
 
     # -- lowering ----------------------------------------------------------
 
@@ -172,7 +185,27 @@ class BatchSchedule:
         Returns one :class:`LaneOutcome` per item, in battery order.  Every
         trace, error message, failure tick and mode history is identical to
         running the items one by one through the scalar engines.
+
+        With observability enabled (:mod:`repro.obs`) the sweep is wrapped
+        in a ``batch.sweep`` span, sweep-level counters (lanes, vectorized
+        ticks, scalar-fallback activity, duration) land in the active
+        registry, and -- under ``profile_ops`` -- the op program runs
+        through a profiled variant feeding an op-level
+        :class:`~repro.obs.profile.OpProfile`.  Disabled, the sweep binds
+        the uninstrumented program loop once and pays nothing per tick.
         """
+        telemetry = _obs_active()
+        if telemetry is None:
+            return self._run_battery(items, check_types, collect_modes, None)
+        with telemetry.tracer.span("batch.sweep",
+                                   component=self.component.name,
+                                   lanes=len(items)):
+            return self._run_battery(items, check_types, collect_modes,
+                                     telemetry)
+
+    def _run_battery(self, items: Sequence[BatteryItem], check_types: bool,
+                     collect_modes: bool,
+                     telemetry: Optional[Any]) -> List[LaneOutcome]:
         flat = self.flat
         component = self.component
         lanes = len(items)
@@ -248,6 +281,21 @@ class BatchSchedule:
         histories: Optional[List[Dict[str, List[Any]]]] = \
             [{} for _ in range(lanes)] if collect_modes else None
 
+        # telemetry: bound ONCE per sweep -- the disabled path binds the
+        # uninstrumented program loop and never consults the context again
+        profile = telemetry.profile_for(self) if telemetry is not None \
+            else None
+        registry = telemetry.registry if telemetry is not None else None
+        if profile is None:
+            run_program = self._run_program
+        else:
+            def run_program(*args: Any) -> None:
+                self._run_program_profiled(profile, *args)
+        vector_ticks = 0
+        scalar_fallback_ticks = 0
+        scalar_fallback_events = 0
+        sweep_started = time.perf_counter() if registry is not None else 0.0
+
         for tick in range(horizon):
             active = live & (tick < horizons)
             if not active.any():
@@ -260,14 +308,19 @@ class BatchSchedule:
             next_buffers = buffers.copy()
             scratch: List[Any] = [None] * n_scratch
             try:
-                self._run_program(values, active, indices, tick, states,
-                                  next_states, buffers, next_buffers, scratch)
+                run_program(values, active, indices, tick, states,
+                            next_states, buffers, next_buffers, scratch)
             except Exception:  # noqa: BLE001 - some lane needs the scalar path
+                scalar_fallback_events += 1
+                scalar_fallback_ticks += len(indices)
+                if profile is not None:
+                    profile.scalar_fallback_ticks += len(indices)
                 self._scalar_tick(tick, indices, in_rows, out_rows, states,
                                   next_states, buffers, next_buffers,
                                   input_names, output_spec, live, errors,
                                   exceptions, n_buffers)
             else:
+                vector_ticks += 1
                 for name, slot in output_spec:
                     out_rows[name][tick] = values[slot]
             if histories is not None:
@@ -296,6 +349,18 @@ class BatchSchedule:
                         live[index] = False
             states = next_states
             buffers = next_buffers
+
+        if registry is not None:
+            registry.counter("batch.sweeps").inc()
+            registry.counter("batch.lanes").inc(lanes)
+            registry.counter("batch.vector_ticks").inc(vector_ticks)
+            if scalar_fallback_events:
+                registry.counter("batch.scalar_fallback_events").inc(
+                    scalar_fallback_events)
+                registry.counter("batch.scalar_fallback_ticks").inc(
+                    scalar_fallback_ticks)
+            registry.histogram("batch.sweep.duration_s").observe(
+                time.perf_counter() - sweep_started)
 
         outcomes: List[LaneOutcome] = []
         for index, (name, _stimuli, _ticks) in enumerate(items):
@@ -394,6 +459,92 @@ class BatchSchedule:
                         if final != lane_inputs[lane]:
                             _, corrected = fn(final, prev_row[lane], tick)
                             next_row[lane] = corrected
+
+    def _run_program_profiled(self, profile: Any, values: np.ndarray,
+                              active: np.ndarray, indices: List[int],
+                              tick: int, prev_states: List[List[Any]],
+                              next_states: List[List[Any]],
+                              prev_buffers: np.ndarray,
+                              next_buffers: np.ndarray,
+                              scratch: List[Any],
+                              clock: Any = time.perf_counter) -> None:
+        """``_run_program`` with per-op attribution into *profile*.
+
+        An exact mirror of :meth:`_run_program` -- any semantic change there
+        MUST be replicated here (``tests/test_obs.py`` checks trace
+        equivalence between the two).  Bound only under ``profile_ops``; the
+        default sweep never routes through this method.
+        """
+        program = self._program
+        n_ops = len(program)
+        counts = profile.counts
+        times = profile.times
+        gate_skips = profile.gate_skips
+        tick_started = clock()
+        pc = 0
+        while pc < n_ops:
+            op = program[pc]
+            index = pc
+            pc += 1
+            code = op[0]
+            op_started = clock()
+            if code == OP_EXPR:
+                _, _leaf, in_spec, items, post = op
+                env = {name: values[slot] for name, slot in in_spec}
+                for slot, fn in items:
+                    if slot >= 0:
+                        values[slot] = fn(env, active)
+                    else:
+                        fn(env, active)
+                for src, dst in post:
+                    values[dst] = values[src]
+            elif code == OP_RUN:
+                _, leaf_index, fn, in_spec, out_spec, post, si = op
+                prev_row = prev_states[leaf_index]
+                next_row = next_states[leaf_index]
+                lane_inputs = None
+                if si >= 0:
+                    lane_inputs = scratch[si] = {}
+                for lane in indices:
+                    sub_inputs = {name: values[slot, lane]
+                                  for name, slot in in_spec}
+                    outputs, new_state = fn(sub_inputs, prev_row[lane], tick)
+                    next_row[lane] = new_state
+                    for name, slot in out_spec:
+                        values[slot, lane] = outputs.get(name, ABSENT)
+                    if lane_inputs is not None:
+                        lane_inputs[lane] = sub_inputs
+                for src, dst in post:
+                    values[dst] = values[src]
+            elif code == OP_COPY:
+                for src, dst in op[1]:
+                    values[dst] = values[src]
+            elif code == OP_BUF_READ:
+                for index_, dst in op[1]:
+                    values[dst] = prev_buffers[index_]
+            elif code == OP_GATE:
+                if not op[1](tick):
+                    pc = op[2]
+                    gate_skips[index] += 1
+            elif code == OP_BUF_WRITE:
+                for src, index_ in op[1]:
+                    next_buffers[index_] = values[src]
+            else:  # OP_CORRECT
+                for si, leaf_index, fn, in_spec in op[1]:
+                    lane_inputs = scratch[si]
+                    prev_row = prev_states[leaf_index]
+                    next_row = next_states[leaf_index]
+                    for lane in indices:
+                        final = {name: values[slot, lane]
+                                 for name, slot in in_spec}
+                        if final != lane_inputs[lane]:
+                            _, corrected = fn(final, prev_row[lane], tick)
+                            next_row[lane] = corrected
+                            profile.correction_reruns += 1
+            times[index] += clock() - op_started
+            counts[index] += 1
+        profile.ticks += 1
+        profile.total_time_s += clock() - tick_started
 
     # -- the scalar fallback tick -------------------------------------------
 

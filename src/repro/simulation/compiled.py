@@ -57,6 +57,8 @@ from ..core.components import (Component, CompositeComponent,
                                ExpressionComponent)
 from ..core.errors import ModelError, SimulationError
 from ..core.values import ABSENT, is_present
+from ..obs.context import active as _obs_active
+from ..obs.context import maybe_span
 from ..notations.ccd import ClusterCommunicationDiagram
 from ..notations.mtd import ModeTransitionDiagram
 from ..notations.std import StateTransitionDiagram
@@ -125,7 +127,8 @@ def compile_component(component: Component):
     from .schedule_ir import compile_flat, is_flattenable
     if is_flattenable(component):
         return compile_flat(component)
-    return compile_nested(component)
+    with maybe_span("compile.nested", component=component.name):
+        return compile_nested(component)
 
 
 def compile_nested(component: Component) -> CompiledSchedule:
@@ -508,33 +511,55 @@ class CompiledSimulator:
         self.check_types = check_types
         self.backend = backend
         self.batch_schedule = None
-        if backend == "auto":
-            self.schedule = compile_component(component)
-        elif backend == "flat":
-            from .schedule_ir import compile_flat
-            self.schedule = compile_flat(component)
-        elif backend == "batch":
-            from .schedule_ir import compile_flat
-            try:
-                from .batch_ir import BatchSchedule
-            except ImportError as exc:
-                raise SimulationError(
-                    "backend 'batch' requires numpy, which is not "
-                    "installed") from exc
-            self.schedule = compile_flat(component)
-            self.batch_schedule = BatchSchedule(self.schedule)
-        else:
-            self.schedule = compile_nested(component)
+        with maybe_span("compile.component", component=component.name,
+                        backend=backend) as span:
+            if backend == "auto":
+                self.schedule = compile_component(component)
+            elif backend == "flat":
+                from .schedule_ir import compile_flat
+                self.schedule = compile_flat(component)
+            elif backend == "batch":
+                from .schedule_ir import compile_flat
+                try:
+                    from .batch_ir import BatchSchedule
+                except ImportError as exc:
+                    raise SimulationError(
+                        "backend 'batch' requires numpy, which is not "
+                        "installed") from exc
+                self.schedule = compile_flat(component)
+                self.batch_schedule = BatchSchedule(self.schedule)
+            else:
+                self.schedule = compile_nested(component)
+            if span is not None:
+                span.attributes["kind"] = self.schedule.kind
 
     def run(self, stimuli: Optional[Mapping[str, StimulusSpec]] = None,
             ticks: int = 10) -> SimulationTrace:
-        """Simulate for *ticks* ticks and return the recorded trace."""
+        """Simulate for *ticks* ticks and return the recorded trace.
+
+        With observability enabled (:mod:`repro.obs`) the run is wrapped in
+        a tracing span, and -- when the session asked for ``profile_ops``
+        and the schedule is a flat program -- executed through an
+        instrumented step variant accumulating an op-level profile.  The
+        default path is untouched: ``schedule.step`` is the same closure
+        whether or not :mod:`repro.obs` was ever enabled.
+        """
         if self.batch_schedule is not None:
             return self.batch_schedule.run_one(stimuli, ticks,
                                                self.check_types)
-        return run_stepped(self.component, self.schedule.step, stimuli,
-                           ticks, self.check_types,
-                           initial_state=self.schedule.initial_state())
+        telemetry = _obs_active()
+        if telemetry is None:
+            return run_stepped(self.component, self.schedule.step, stimuli,
+                               ticks, self.check_types,
+                               initial_state=self.schedule.initial_state())
+        step = telemetry.instrumented_step(self.schedule) \
+            or self.schedule.step
+        with telemetry.tracer.span("run", component=self.component.name,
+                                   backend=self.backend, ticks=ticks,
+                                   kind=self.schedule.kind):
+            return run_stepped(self.component, step, stimuli, ticks,
+                               self.check_types,
+                               initial_state=self.schedule.initial_state())
 
 
 def simulate_compiled(component: Component,

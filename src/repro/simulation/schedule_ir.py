@@ -61,6 +61,7 @@ initial state for.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..core.components import (Component, CompositeComponent,
@@ -68,6 +69,7 @@ from ..core.components import (Component, CompositeComponent,
                                subtree_structure_tokens)
 from ..core.errors import SimulationError
 from ..core.values import ABSENT
+from ..obs.context import maybe_span
 from .engine import ClockGatedComponent
 
 #: Opcodes of the flat program (tuple-encoded, dispatched by one loop).
@@ -542,6 +544,137 @@ class FlatSchedule:
 
         return step
 
+    # -- instrumentation ---------------------------------------------------
+
+    def op_labels(self) -> List[Tuple[str, str, bool]]:
+        """Per-op descriptors for :class:`repro.obs.profile.OpProfile`:
+        ``(kind name, human label, runs-on-nested-fallback)``.
+
+        Labels match :meth:`ops_summary`; the nested flag marks ``run`` ops
+        whose leaf executes on the nested-compiled fallback path, so
+        profiles can report fallback activity without re-deriving it.
+        """
+        labels: List[Tuple[str, str, bool]] = []
+        for op in self.program:
+            code = op[0]
+            kind = _OP_NAMES[code]
+            nested = False
+            if code in (OP_RUN, OP_EXPR):
+                leaf = self.leaves[op[1]]
+                label = (f"{leaf.steps_prefix}/{leaf.component.name} "
+                         f"[{leaf.run_kind}]")
+                nested = leaf.run_kind == "nested"
+            elif code == OP_GATE:
+                label = f"gate -> {op[2]}"
+            elif code == OP_CORRECT:
+                label = f"correction barrier ({len(op[1])})"
+            else:
+                label = f"{kind} ({len(op[1])} pairs)"
+            labels.append((kind, label, nested))
+        return labels
+
+    def instrumented_step(self, profile: Any,
+                          clock: Any = time.perf_counter):
+        """An instrumented variant of :attr:`step` recording into *profile*.
+
+        Mirrors :meth:`_make_step` op for op (any semantic change there
+        MUST be replicated here -- the equivalence test in
+        ``tests/test_obs.py`` pins identical traces) and adds, per op
+        executed: execution count and wall time; per gate: skip counts;
+        per correction barrier: re-run counts; per tick: total step time.
+        The default :attr:`step` closure is left untouched -- swapping the
+        step function in and out is the whole zero-overhead-when-off
+        mechanism, there is no profiling branch on the uninstrumented
+        path.
+        """
+        program = self.program
+        n_ops = len(program)
+        n_slots = self.n_slots
+        n_scratch = self._scratch_count
+        input_spec = self._input_spec
+        output_spec = self._output_spec
+        convert = self._convert_state
+        absent = ABSENT
+        counts = profile.counts
+        times = profile.times
+        gate_skips = profile.gate_skips
+
+        def step(inputs: Mapping[str, Any], state: Any,
+                 tick: int) -> Tuple[Dict[str, Any], Any]:
+            tick_started = clock()
+            if type(state) is not FlatState:
+                state = convert(state)
+            prev_states = state.leaf_states
+            prev_buffers = state.buffers
+            next_states = prev_states[:]
+            next_buffers = prev_buffers[:]
+            values = [absent] * n_slots
+            for name, slot in input_spec:
+                values[slot] = inputs.get(name, absent)
+            scratch: List[Any] = [None] * n_scratch if n_scratch else []
+            pc = 0
+            while pc < n_ops:
+                index = pc
+                op = program[pc]
+                pc += 1
+                code = op[0]
+                op_started = clock()
+                if code == OP_RUN:
+                    _, leaf_index, fn, in_spec, out_spec, post, si = op
+                    sub_inputs = {name: values[slot]
+                                  for name, slot in in_spec}
+                    outputs, new_state = fn(sub_inputs,
+                                            prev_states[leaf_index], tick)
+                    next_states[leaf_index] = new_state
+                    for name, slot in out_spec:
+                        values[slot] = outputs.get(name, absent)
+                    for src, dst in post:
+                        values[dst] = values[src]
+                    if si >= 0:
+                        scratch[si] = sub_inputs
+                elif code == OP_EXPR:
+                    _, _leaf, in_spec, items, post = op
+                    env = {name: values[slot] for name, slot in in_spec}
+                    for slot, fn in items:
+                        if slot >= 0:
+                            values[slot] = fn(env)
+                        else:
+                            fn(env)
+                    for src, dst in post:
+                        values[dst] = values[src]
+                elif code == OP_COPY:
+                    for src, dst in op[1]:
+                        values[dst] = values[src]
+                elif code == OP_BUF_READ:
+                    for index_, dst in op[1]:
+                        values[dst] = prev_buffers[index_]
+                elif code == OP_GATE:
+                    if not op[1](tick):
+                        pc = op[2]
+                        gate_skips[index] += 1
+                elif code == OP_BUF_WRITE:
+                    for src, index_ in op[1]:
+                        next_buffers[index_] = values[src]
+                else:  # OP_CORRECT
+                    for si, leaf_index, fn, in_spec in op[1]:
+                        final = {name: values[slot]
+                                 for name, slot in in_spec}
+                        if final != scratch[si]:
+                            _, corrected = fn(final, prev_states[leaf_index],
+                                              tick)
+                            next_states[leaf_index] = corrected
+                            profile.correction_reruns += 1
+                times[index] += clock() - op_started
+                counts[index] += 1
+            outputs = {}
+            for name, slot in output_spec:
+                outputs[name] = values[slot]
+            profile.ticks += 1
+            profile.total_time_s += clock() - tick_started
+            return outputs, FlatState(next_states, next_buffers)
+
+        return step
+
     # -- introspection -----------------------------------------------------
 
     def linear_steps(self, prefix: str = "") -> List[Tuple[str, str]]:
@@ -625,4 +758,11 @@ def compile_flat(component: Component) -> FlatSchedule:
             "not flattenable: the flat schedule IR requires a composite "
             "hierarchy (or clock-gated composite) with the default "
             "synchronous react")
-    return _Flattener(component).flatten()
+    with maybe_span("compile.flatten", component=component.name) as span:
+        schedule = _Flattener(component).flatten()
+        if span is not None:
+            span.attributes.update(ops=len(schedule.program),
+                                   slots=schedule.n_slots,
+                                   leaves=len(schedule.leaves),
+                                   fallbacks=len(schedule.fallback_paths))
+    return schedule

@@ -1,0 +1,385 @@
+"""The observability subsystem: metrics, tracing, op profiles, wiring.
+
+Pins the contracts of :mod:`repro.obs`:
+
+* metric folds are order- and shard-insensitive (merge of worker
+  registries == one serial registry over the same work);
+* tracer exports (span tree and Chrome trace-event JSON) are
+  **byte-stable** under a fake clock, and round-trip;
+* the instrumented flat step is trace-equivalent to the default step and
+  its profile counts are deterministic;
+* zero overhead when off is *structural*: the default step closure is the
+  same object whether or not observability was ever enabled;
+* the sharded runner's ``runner.scenario.*`` counters agree exactly
+  across serial / thread / process executors (worker-local registries
+  merged in the parent).
+
+Process-pool tests are marked ``parallel``, matching the runner suite.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.clocks import every
+from repro.core.components import ExpressionComponent
+from repro.notations.blocks import Gain, UnitDelay
+from repro.notations.dfd import DataFlowDiagram
+from repro.obs import (MetricsRegistry, OpProfile, Tracer, format_profile,
+                       span_from_json_dict)
+from repro.scenarios import RandomWalk, Scenario, run_sharded
+from repro.simulation import (ClockGatedComponent, CompiledSimulator,
+                              first_difference)
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    """A deterministic monotonic clock: 0.0, 0.25, 0.5, ..."""
+
+    def __init__(self, step=0.25):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# -- models -----------------------------------------------------------------
+
+
+def gated_accumulator():
+    """A flattenable hierarchy with a clock gate and a delay buffer."""
+    inner = DataFlowDiagram("Inner")
+    inner.add_input("u")
+    inner.add_output("y")
+    add = ExpressionComponent("ADD", {"out": "a + b"})
+    add.declare_interface_from_expressions()
+    delay = UnitDelay("Z", initial=0)
+    inner.add(add, delay)
+    inner.connect("u", "ADD.a")
+    inner.connect("Z.out", "ADD.b")
+    inner.connect("ADD.out", "Z.in1")
+    inner.connect("ADD.out", "y")
+    gated = ClockGatedComponent(inner, every(2), name="Slow")
+
+    outer = DataFlowDiagram("Outer")
+    outer.add_input("u")
+    outer.add_output("y")
+    gain = Gain("G", 2.0)
+    outer.add(gated, gain)
+    outer.connect("u", "Slow.u")
+    outer.connect("Slow.y", "G.in1")
+    outer.connect("G.out", "y")
+    return outer
+
+
+def _engine_batch(count=6, ticks=30):
+    return [Scenario(f"drive{index}", {
+        "n": RandomWalk(seed=index, start=0.0, step=500.0,
+                        low=0.0, high=6000.0),
+        "ped": RandomWalk(seed=100 + index, start=0.0, step=25.0,
+                          low=0.0, high=100.0),
+        "t_eng": 15.0 + 5.0 * index,
+    }, ticks=ticks) for index in range(count)]
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def test_counter_monotonic():
+    registry = MetricsRegistry()
+    counter = registry.counter("x")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("x") is counter
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_histogram_fixed_buckets_are_order_insensitive():
+    values = [0.00005, 0.005, 0.005, 0.5, 2.0, 100.0]
+    first = MetricsRegistry().histogram("d")
+    second = MetricsRegistry().histogram("d")
+    for value in values:
+        first.observe(value)
+    for value in reversed(values):
+        second.observe(value)
+    assert first.counts == second.counts
+    assert first.count == len(values)
+    assert first.sum == pytest.approx(second.sum)
+    assert (first.min, first.max) == (0.00005, 100.0)
+    assert first.counts[-1] == 1  # the overflow bucket caught 100.0
+
+
+def test_registry_merge_equals_serial_and_is_order_insensitive():
+    def record(registry, values):
+        for value in values:
+            registry.counter("runs").inc()
+            registry.histogram("d").observe(value)
+            registry.gauge("peak").set(value)
+
+    serial = MetricsRegistry()
+    record(serial, [0.1, 0.2, 0.3, 0.4])
+    shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+    record(shard_a, [0.1, 0.2])
+    record(shard_b, [0.3, 0.4])
+
+    ab = MetricsRegistry().merge(shard_a).merge(shard_b)
+    ba = MetricsRegistry().merge(shard_b).merge(shard_a)
+    assert ab.to_json() == ba.to_json() == serial.to_json()
+    assert ab.gauge("peak").value == 0.4  # gauges keep the max
+
+
+def test_registry_json_round_trip_and_counter_projection():
+    registry = MetricsRegistry()
+    registry.counter("runner.scenario.total").inc(3)
+    registry.counter("batch.sweeps").inc()
+    registry.gauge("g").set(7.0)
+    registry.histogram("d").observe(0.05)
+    rebuilt = MetricsRegistry.from_json_dict(
+        json.loads(registry.to_json()))
+    assert rebuilt.to_json() == registry.to_json()
+    assert registry.counter_values("runner.scenario.") \
+        == {"runner.scenario.total": 3}
+    assert "runner.scenario.total = 3" in registry.format_summary()
+
+
+def test_histogram_merge_rejects_different_bounds():
+    from repro.obs import Histogram
+    with pytest.raises(ValueError):
+        Histogram("a", (1.0, 2.0)).merge(Histogram("a", (1.0, 3.0)))
+
+
+# -- tracing ----------------------------------------------------------------
+
+
+def _fake_trace():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("compile", component="M") as span:
+        span.attributes["ops"] = 12
+        with tracer.span("flatten"):
+            pass
+    with tracer.span("run", ticks=100):
+        pass
+    return tracer
+
+
+def test_tracer_exports_are_byte_stable_under_fake_clock():
+    first, second = _fake_trace(), _fake_trace()
+    assert first.to_json() == second.to_json()
+    assert first.to_chrome_json() == second.to_chrome_json()
+
+    roots = [span.name for span in first.roots]
+    assert roots == ["compile", "run"]
+    compile_span = first.roots[0]
+    assert [child.name for child in compile_span.children] == ["flatten"]
+    assert compile_span.duration() > 0
+
+
+def test_span_tree_round_trips_through_json():
+    tracer = _fake_trace()
+    data = json.loads(tracer.to_json())
+    rebuilt = Tracer(clock=FakeClock())
+    for entry in data["spans"]:
+        rebuilt.adopt(span_from_json_dict(entry))
+    assert rebuilt.to_json() == tracer.to_json()
+
+
+def test_chrome_trace_shape():
+    trace = _fake_trace().to_chrome_trace()
+    events = trace["traceEvents"]
+    assert events[0]["ph"] == "M"  # process_name metadata
+    complete = [event for event in events if event["ph"] == "X"]
+    assert [event["name"] for event in complete] \
+        == ["compile", "flatten", "run"]
+    for event in complete:
+        assert isinstance(event["ts"], int)
+        assert isinstance(event["dur"], int)
+        assert event["dur"] >= 0
+    assert min(event["ts"] for event in complete) == 0  # epoch-relative
+    assert complete[0]["args"]["ops"] == 12
+
+
+def test_span_records_errors():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("nope")
+    span = tracer.roots[0]
+    assert span.end is not None
+    assert span.attributes["error"] == "RuntimeError: nope"
+
+
+# -- the op-level flat profiler ----------------------------------------------
+
+
+def test_instrumented_flat_step_is_trace_equivalent():
+    model = gated_accumulator()
+    stimuli = {"u": [float(value) for value in range(20)]}
+
+    reference = CompiledSimulator(model, backend="flat").run(stimuli, 20)
+    with obs.session(profile_ops=True) as telemetry:
+        simulator = CompiledSimulator(model, backend="flat")
+        observed = simulator.run(stimuli, 20)
+    assert first_difference(reference, observed) is None
+
+    (profile,) = telemetry.profiles.values()
+    assert profile.ticks == 20
+    assert profile.total_time_s > 0
+    assert 0 < profile.op_time_s() <= profile.total_time_s
+    # every op position was visited a deterministic number of times
+    assert all(count <= 20 for count in profile.counts)
+    checks, skips = profile.gate_stats()
+    assert checks == 20  # one gate op, evaluated every tick
+    assert skips == 10   # every(2) silences every other tick
+    assert max(profile.counts) == 20
+    rendered = format_profile(profile)
+    assert "op profile:" in rendered and "gates:" in rendered
+
+
+def test_default_step_is_untouched_by_enable_disable():
+    simulator = CompiledSimulator(gated_accumulator(), backend="flat")
+    original_step = simulator.schedule.step
+    stimuli = {"u": [1.0] * 8}
+    with obs.session(profile_ops=True):
+        simulator.run(stimuli, 8)
+    assert simulator.schedule.step is original_step
+    assert obs.active() is None
+    trace = simulator.run(stimuli, 8)
+    assert trace.ticks == 8
+
+
+def test_compile_spans_and_plan_cache_counters():
+    with obs.session() as telemetry:
+        CompiledSimulator(gated_accumulator(), backend="flat")
+    names = [span.name for span in telemetry.tracer.walk()]
+    assert names[0] == "compile.component"
+    assert "compile.flatten" in names
+    counters = telemetry.registry.counter_values("compile.plan_cache.")
+    assert sum(counters.values()) > 0
+
+
+def test_op_profile_merge_requires_same_shape():
+    labels = [("expr", "a", False), ("gate", "g", False)]
+    first = OpProfile("m[flat]", labels)
+    second = OpProfile("m[flat]", labels)
+    first.counts[0] = 3
+    second.counts[0] = 4
+    second.gate_skips[1] = 2
+    first.merge(second)
+    assert first.counts[0] == 7
+    assert first.gate_skips[1] == 2
+    with pytest.raises(ValueError):
+        first.merge(OpProfile("other", [("expr", "a", False)]))
+
+
+def _flattenable_engine(engine_modes_mtd):
+    """The engine-mode MTD wrapped in a composite so the root flattens
+    (batch backend requirement); the MTD itself stays a nested leaf."""
+    dfd = DataFlowDiagram("EngineSystem")
+    dfd.add_subcomponent(engine_modes_mtd)
+    for port in ("n", "ped", "t_eng"):
+        dfd.add_input(port)
+        dfd.connect(port, f"EngineOperationModes.{port}")
+    for port in ("fuel_factor", "mode"):
+        dfd.add_output(port)
+        dfd.connect(f"EngineOperationModes.{port}", port)
+    return dfd
+
+
+def test_batch_sweep_profile_and_counters(engine_modes_mtd):
+    pytest.importorskip("numpy")
+    model = _flattenable_engine(engine_modes_mtd)
+    batch = _engine_batch()
+    reference = run_sharded(model, batch, executor="serial",
+                            backend="batch")
+    with obs.session(profile_ops=True) as telemetry:
+        observed = run_sharded(model, batch, executor="serial",
+                               backend="batch")
+    for expected, actual in zip(reference, observed):
+        assert actual.ok and actual.amortized
+        assert first_difference(expected.trace, actual.trace) is None
+
+    registry = telemetry.registry
+    assert registry.counter("batch.sweeps").value == 1
+    assert registry.counter("batch.lanes").value == len(batch)
+    assert registry.counter("runner.sweep.count").value == 1
+    assert registry.counter("runner.sweep.lanes").value == len(batch)
+    assert registry.histogram("runner.sweep.duration_s").count == 1
+    assert registry.counter_values("runner.scenario.") == {
+        "runner.scenario.total": len(batch),
+        "runner.scenario.ok": len(batch),
+        "runner.scenario.ticks": sum(s.ticks for s in batch),
+    }
+    span_names = [span.name for span in telemetry.tracer.walk()]
+    assert "runner.run_sharded" in span_names
+    assert "batch.sweep" in span_names
+    profiles = telemetry.named_profiles()
+    (profile,) = [profiles[name] for name in profiles if "[batch]" in name]
+    assert profile.ticks > 0
+
+
+# -- executor equivalence of runner telemetry --------------------------------
+
+
+def _scenario_counters(engine_modes_mtd, executor, **kwargs):
+    with obs.session() as telemetry:
+        results = run_sharded(engine_modes_mtd, _engine_batch(),
+                              executor=executor, **kwargs)
+    assert all(result.ok for result in results)
+    return telemetry.registry.counter_values("runner.scenario.")
+
+
+def test_runner_counters_serial_equals_thread(engine_modes_mtd):
+    serial = _scenario_counters(engine_modes_mtd, "serial")
+    threaded = _scenario_counters(engine_modes_mtd, "thread", max_workers=3)
+    chunked = _scenario_counters(engine_modes_mtd, "thread", max_workers=3,
+                                 chunk_size=2)
+    assert serial == threaded == chunked
+    assert serial["runner.scenario.total"] == 6
+
+
+@pytest.mark.parallel
+def test_runner_counters_serial_equals_process(engine_modes_mtd):
+    serial = _scenario_counters(engine_modes_mtd, "serial")
+    processed = _scenario_counters(engine_modes_mtd, "process",
+                                   max_workers=2, chunk_size=2)
+    assert serial == processed
+
+
+def test_runner_records_nothing_when_disabled(engine_modes_mtd):
+    results = run_sharded(engine_modes_mtd, _engine_batch(count=2),
+                          executor="serial")
+    assert all(result.ok and not result.amortized for result in results)
+    assert obs.current_registry() is None
+
+
+# -- search loop telemetry ----------------------------------------------------
+
+
+def test_search_rounds_feed_registry_and_spans(engine_modes_mtd):
+    from repro.search import SearchConfig, search_coverage
+    with obs.session() as telemetry:
+        report = search_coverage(engine_modes_mtd,
+                                 config=SearchConfig(seed=3, max_rounds=2,
+                                                     population=4,
+                                                     minimize=False))
+    registry = telemetry.registry
+    assert registry.counter("search.rounds").value == len(report.rounds)
+    assert registry.counter("search.evaluations").value == report.evaluations
+    round_spans = [span for span in telemetry.tracer.walk()
+                   if span.name == "search.round"]
+    assert len(round_spans) == len(report.rounds)
+    assert all(span.children for span in round_spans)  # runner span nested
+    assert all(stats.duration_s > 0 for stats in report.rounds)

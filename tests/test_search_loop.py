@@ -181,8 +181,13 @@ def test_search_report_json_round_trip(engine_modes_mtd, tmp_path):
     assert len(data["rounds"]) == len(report.rounds)
     assert [entry["name"] for entry in data["corpus"]["scenarios"]] \
         == report.corpus_names()
-    # wall-clock timing never leaks into the (deterministic) export
+    # wall-clock timing never leaks into the (deterministic) default
+    # export; include_timing=True opts into it explicitly
     assert "duration" not in json.dumps(data)
+    timed = json.loads(report.to_json(include_timing=True))
+    assert timed["timing"]["total_duration_s"] == report.duration_s
+    assert [entry["duration_s"] for entry in timed["rounds"]] \
+        == [stats.duration_s for stats in report.rounds]
 
     target = tmp_path / "search.json"
     report.save(str(target))
