@@ -54,7 +54,10 @@ def write_bench_json(name: str, payload: dict, telemetry=None) -> str:
     When *telemetry* (a :class:`repro.obs.Telemetry`) is given, its metrics
     and span tree are embedded under an ``"observability"`` key, so one
     artefact carries both the gate verdicts and the telemetry that explains
-    them.  Returns the written path.
+    them.  With ``BENCH_HISTORY`` set, the payload's gated metrics are also
+    appended to that :class:`repro.obs.regress.BenchHistory` file, so local
+    benchmark runs build the same regression series CI tracks.  Returns the
+    written path.
     """
     if telemetry is not None:
         payload = dict(payload)
@@ -68,4 +71,10 @@ def write_bench_json(name: str, payload: dict, telemetry=None) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    history_path = os.environ.get("BENCH_HISTORY")
+    if history_path:
+        from repro.obs.regress import BenchHistory, flatten_numeric
+        history = BenchHistory(history_path)
+        history.record_run({name: flatten_numeric(payload)})
+        history.save()
     return path

@@ -18,10 +18,15 @@ the deep gated-controller workload of ``bench_flatten``.
 * **Aggregation**: merging process-pool worker registries must equal the
   serial registry on the executor-invariant ``runner.scenario.*``
   projection (multi-core hosts; single-CPU hosts verify serial==thread).
+* **Forensics**: with ``flight_recording`` on, a scenario failing inside
+  an op must dump a post-mortem bundle naming the exact failing tick --
+  and the default step closure must STILL be the same object afterwards
+  (the recorder, like the profiler, lives in a swapped-in step variant).
 
 Artifacts: ``BENCH_obs_overhead.json`` (gate numbers plus the embedded
-telemetry), ``OBS_trace.json`` (Chrome trace, loadable in Perfetto) and
-``OBS_metrics.json`` -- all under ``BENCH_OUT_DIR``; CI uploads them.
+telemetry), ``OBS_trace.json`` (Chrome trace, loadable in Perfetto),
+``OBS_metrics.json`` and the forensics ``POSTMORTEM_*.json`` -- all under
+``BENCH_OUT_DIR``; CI uploads them.
 """
 
 import json
@@ -30,6 +35,7 @@ import os
 import pytest
 
 from repro import obs
+from repro.obs import read_bundle
 from repro.scenarios import RandomWalk, Scenario, run_sharded
 from repro.simulation import CompiledSimulator, first_difference
 from repro.simulation.engine import run_stepped
@@ -135,6 +141,34 @@ def test_p8_obs_overhead_gate():
         f"merged {pooled_executor} worker registries diverge from serial: "
         f"{pooled_counters} != {serial_counters}")
 
+    # -- forensics: flight recorder present, default path untouched ----------
+    def poisoned(tick):
+        # a string reaching "in1 + 1" raises INSIDE the expression op
+        return "boom" if tick == 40 else 1.0
+
+    forensic_batch = _controller_batch(count=3, ticks=80)
+    forensic_batch.insert(1, Scenario("boom", {"u": poisoned}, ticks=80))
+    postmortem_dir = _out_path("postmortems")
+    with obs.session(flight_recording=True, ring_ticks=8,
+                     postmortem_dir=postmortem_dir) as forensic_session:
+        forensic_results = run_sharded(model, forensic_batch,
+                                       executor="serial")
+        bundles = list(forensic_session.bundles)
+    assert [result.ok for result in forensic_results] \
+        == [True, False, True, True]
+    assert len(bundles) == 1 and os.path.exists(bundles[0])
+    bundle = read_bundle(bundles[0])
+    failing_tick = bundle["failing"]["tick"]
+    assert failing_tick == 40, (
+        f"post-mortem bundle names tick {failing_tick}, expected the "
+        "poisoned tick 40")
+    assert bundle["ring"], "post-mortem ring is empty"
+    # the recorder ran in a swapped-in step variant; the default closure
+    # of the simulator compiled OUTSIDE the session is still the same
+    # object, and a fresh compile produces an untouched one too
+    assert simulator.schedule.step is original_step
+    assert obs.active() is None
+
     # -- artifacts -----------------------------------------------------------
     trace_path = _out_path("OBS_trace.json")
     telemetry.tracer.save_chrome_trace(trace_path)
@@ -166,6 +200,12 @@ def test_p8_obs_overhead_gate():
             "executor": pooled_executor,
             "scenario_counters": serial_counters,
         },
+        "forensics": {
+            "bundles": len(bundles),
+            "ring_ticks": len(bundle["ring"]),
+            "failing_tick": failing_tick,
+            "failing_op": bundle["failing"]["op_label"],
+        },
     }, telemetry=telemetry)
 
     report("P8", "\n".join([
@@ -178,7 +218,10 @@ def test_p8_obs_overhead_gate():
         f"gates {skips}/{checks} silent",
         f"  aggregation: serial == {pooled_executor} on "
         f"{len(serial_counters)} runner.scenario.* counters",
-        f"  artifacts: {path}, {trace_path}, {metrics_path}",
+        f"  forensics: {len(bundles)} bundle(s), failing tick "
+        f"{failing_tick}, ring {len(bundle['ring'])} tick(s), "
+        f"default step untouched",
+        f"  artifacts: {path}, {trace_path}, {metrics_path}, {bundles[0]}",
     ]))
 
     assert off_ratio <= OVERHEAD_CEILING, (

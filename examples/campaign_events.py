@@ -1,0 +1,112 @@
+"""Campaign flight recorder: event log, live progress, failure forensics.
+
+A scenario campaign is a stream of facts -- started, shards dispatched,
+scenarios finished or failed, finished.  This example runs a small sharded
+campaign with one deliberately poisoned scenario and shows the three
+flight-recorder layers of :mod:`repro.obs`:
+
+1. the **event log**: every campaign fact lands in a crash-safe JSONL
+   file with monotonic sequence numbers and a watermark; tailing the file
+   replays exactly what a monitoring process would see live,
+2. **live progress**: :class:`~repro.obs.CampaignProgress` folds the
+   stream (plus the metrics registry's duration quantiles) into a
+   progress bar with a failure roll-up,
+3. **failure forensics**: the failing scenario dumps a post-mortem bundle
+   -- the last ticks of the flat slot environment with decoded slot
+   names, the exact failing op and tick, the stimulus -- enough to replay
+   the crash without re-running the campaign.
+
+Run with:  python examples/campaign_events.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro import obs
+from repro.core.components import ExpressionComponent
+from repro.notations.blocks import Gain
+from repro.notations.dfd import DataFlowDiagram
+from repro.obs import CampaignProgress, EventLog, read_bundle, tail_events
+from repro.scenarios import RandomWalk, Scenario, run_sharded
+
+
+def build_plant() -> DataFlowDiagram:
+    """A small flattenable plant whose DIV op fails when ``d`` hits 0."""
+    plant = DataFlowDiagram("Plant")
+    plant.add_input("u")
+    plant.add_input("d")
+    plant.add_output("y")
+    div = ExpressionComponent("DIV", {"out": "a / b"})
+    div.declare_interface_from_expressions()
+    gain = Gain("G", 2.0)
+    plant.add(div, gain)
+    plant.connect("u", "DIV.a")
+    plant.connect("d", "DIV.b")
+    plant.connect("DIV.out", "G.in1")
+    plant.connect("G.out", "y")
+    return plant
+
+
+def build_battery(count: int = 6, ticks: int = 40) -> list:
+    battery = [Scenario(f"sweep{index}", {
+        "u": RandomWalk(seed=index, start=1.0, step=0.5, low=-5.0, high=5.0),
+        "d": 1.0 + 0.25 * index,
+    }, ticks=ticks) for index in range(count)]
+    # the poison pill: d crosses zero at tick 25
+    battery.insert(3, Scenario("poisoned", {
+        "u": 1.0, "d": lambda tick: 0.0 if tick == 25 else 1.0,
+    }, ticks=ticks))
+    return battery
+
+
+def main() -> None:
+    plant = build_plant()
+    battery = build_battery()
+    workdir = tempfile.mkdtemp(prefix="campaign_")
+    log_path = os.path.join(workdir, "campaign_events.jsonl")
+
+    # one telemetry session: events to a crash-safe JSONL file, flight
+    # recording on (8-tick forensic window), bundles next to the log
+    with obs.session(events=EventLog(path=log_path), flight_recording=True,
+                     ring_ticks=8, postmortem_dir=workdir) as telemetry:
+        results = run_sharded(plant, battery, executor="thread",
+                              max_workers=3)
+        registry = telemetry.registry
+        bundles = list(telemetry.bundles)
+
+    failed = [result for result in results if not result.ok]
+    print(f"campaign: {len(results)} scenarios, {len(failed)} failed "
+          f"({', '.join(result.name for result in failed)})\n")
+
+    # 1. the event log: tail the file like a monitoring process would
+    events = tail_events(log_path)
+    print(f"event log {log_path}: {len(events)} events, "
+          f"watermark #{events[-1].seq}")
+    for event in events[:4]:
+        print(f"  #{event.seq:<3} {event.type:<18} "
+              f"{json.dumps(event.data, sort_keys=True, default=str)[:68]}")
+    print("  ...\n")
+
+    # 2. live progress: fold the stream + duration quantiles
+    progress = CampaignProgress.from_events(events)
+    print(progress.format_progress(registry=registry))
+    print()
+
+    # 3. failure forensics: the post-mortem bundle of the poisoned run
+    bundle = read_bundle(bundles[0])
+    failing = bundle["failing"]
+    print(f"post-mortem {bundles[0]}:")
+    print(f"  scenario {bundle['scenario']!r} died at tick "
+          f"{failing['tick']} in {failing['op_label']}: {failing['error']}")
+    print("  slots at the moment of the raise:")
+    for name, value in sorted(failing["partial_slots"].items()):
+        print(f"    {name:<16} = {value}")
+    window = [snapshot["tick"] for snapshot in bundle["ring"]]
+    print(f"  forensic window: ticks {window[0]}..{window[-1]} "
+          f"({len(window)} snapshots, ring capacity "
+          f"{bundle['ring_capacity']})")
+
+
+if __name__ == "__main__":
+    main()

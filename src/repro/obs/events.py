@@ -1,0 +1,422 @@
+"""The campaign flight log: typed, schema-versioned, crash-safe events.
+
+A scenario campaign (one :func:`~repro.scenarios.runner.run_sharded`
+batch, one :func:`~repro.search.loop.search_coverage` run) is a stream of
+facts: it started, shards went out, scenarios finished or failed, search
+rounds advanced coverage, it finished.  :class:`EventLog` records that
+stream as typed :class:`CampaignEvent` records with **monotonic sequence
+numbers** and a **watermark** (the last durably appended sequence number
+-- the checkpoint/resume primitive of the distributed-campaign roadmap
+item): everything at or below the watermark survived, everything above it
+must be re-run.
+
+Three properties carry the design:
+
+* **Crash-safe JSONL append.**  With a ``path``, every event is one
+  ``json.dumps(..., sort_keys=True)`` line, written and flushed before
+  :meth:`EventLog.emit` returns.  A crash can lose at most the line being
+  written; :func:`read_events` skips a truncated trailing line with a
+  warning and returns the watermark of the surviving prefix.
+  :meth:`EventLog.resume` reopens a log at its watermark, which is how an
+  interrupted campaign continues instead of restarting.
+* **Byte-stable exports.**  The clock is injectable; under a fake clock
+  :meth:`EventLog.to_jsonl` is byte-identical across runs (keys sorted,
+  sequence numbers deterministic), mirroring the tracer contract.
+* **Executor-invariant normalization.**  Pool workers buffer events
+  locally (shipped back in the runner's ``_ShardOutcome`` envelopes, like
+  the worker metrics registries) and the parent re-sequences them in
+  completion order -- which is nondeterministic.  :func:`normalized_stream`
+  projects the stream onto its executor-invariant core (scenario- and
+  round-level facts, volatile keys scrubbed, canonically sorted), on which
+  serial == thread == process holds exactly; the executor-equivalence
+  tests pin this, the same way ``counter_values("runner.scenario.")``
+  pins the metrics projection.
+
+:class:`CampaignProgress` folds a stream (or a tailed file) into live
+progress -- scenario counts, failure roll-ups by exception type, search
+coverage -- rendered by :meth:`CampaignProgress.format_progress` together
+with the duration quantiles of a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+#: Version stamped into every record; readers reject lines from the future.
+SCHEMA_VERSION = 1
+
+#: The closed vocabulary of campaign event types.
+EVENT_TYPES = frozenset({
+    "campaign_started",
+    "shard_dispatched",
+    "scenario_finished",
+    "scenario_error",
+    "search_round",
+    "campaign_finished",
+})
+
+#: Event types whose data depends only on the batch, never on sharding,
+#: executor kind or completion order -- the normalization projection.
+INVARIANT_TYPES = frozenset({
+    "campaign_started",
+    "scenario_finished",
+    "scenario_error",
+    "search_round",
+    "campaign_finished",
+})
+
+#: Data keys scrubbed by :func:`normalized_stream`: timing, worker
+#: identity, pool shape and backend choice are execution strategy, not
+#: campaign facts, and legitimately differ across equivalent runs.
+VOLATILE_KEYS = frozenset({
+    "worker", "workers", "executor", "backend", "duration_s", "bundle",
+    "shard",
+})
+
+
+class EventLogError(Exception):
+    """A corrupt or incompatible event log (non-trailing damage)."""
+
+
+class CampaignEvent:
+    """One typed, sequenced campaign fact.
+
+    Plain slots, picklable: worker-local event buffers cross process-pool
+    boundaries inside the runner's result envelopes.
+    """
+
+    __slots__ = ("seq", "type", "time", "data")
+
+    def __init__(self, seq: int, type: str, time: float,
+                 data: Dict[str, Any]):
+        self.seq = seq
+        self.type = type
+        self.time = time
+        self.data = data
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "v": SCHEMA_VERSION,
+            "seq": self.seq,
+            "type": self.type,
+            "time": self.time,
+            "data": {key: self.data[key] for key in sorted(self.data)},
+        }
+
+    @classmethod
+    def from_json_dict(cls, record: Dict[str, Any]) -> "CampaignEvent":
+        version = record.get("v")
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise EventLogError(
+                f"event record has schema version {version!r}; this reader "
+                f"understands <= {SCHEMA_VERSION}")
+        return cls(record["seq"], record["type"], record["time"],
+                   dict(record.get("data", {})))
+
+    def __repr__(self) -> str:
+        return f"CampaignEvent(#{self.seq} {self.type} {self.data!r})"
+
+
+class EventLog:
+    """An append-only, watermarked stream of :class:`CampaignEvent`.
+
+    ``clock`` is injectable (tests use a fake for byte-stable exports).
+    With a ``path`` every emit appends one JSONL line and flushes -- the
+    crash-safety contract.  ``buffer=False`` drops the in-memory copy
+    (sequence numbers and the file keep advancing), for campaigns whose
+    event volume should live on disk only; worker-local logs keep the
+    default buffering because their events ship back in result envelopes.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time,
+                 path: Optional[str] = None, buffer: bool = True,
+                 _start_seq: int = 0):
+        self._clock = clock
+        self.path = path
+        self.buffer = buffer
+        self.events: List[CampaignEvent] = []
+        self._seq = _start_seq
+        self._handle = None
+        if path is not None:
+            self._handle = open(path, "a", encoding="utf-8")
+
+    # -- the write side ----------------------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """Sequence number of the last appended (and flushed) event."""
+        return self._seq
+
+    def emit(self, event_type: str, **data: Any) -> CampaignEvent:
+        """Append one event of a known type; returns the sequenced record."""
+        if event_type not in EVENT_TYPES:
+            raise EventLogError(
+                f"unknown campaign event type {event_type!r} "
+                f"(choose from {sorted(EVENT_TYPES)})")
+        return self._append(event_type, self._clock(), data)
+
+    def adopt(self, event: CampaignEvent,
+              worker: str = "") -> CampaignEvent:
+        """Re-sequence an event recorded elsewhere (a worker-local buffer).
+
+        The worker's timestamp is preserved; the sequence number is this
+        log's own (merge + resequence), and *worker* is recorded so merged
+        streams keep their provenance.
+        """
+        data = dict(event.data)
+        if worker:
+            data.setdefault("worker", worker)
+        return self._append(event.type, event.time, data)
+
+    def adopt_all(self, events: Iterable[CampaignEvent],
+                  worker: str = "") -> None:
+        for event in events:
+            self.adopt(event, worker=worker)
+
+    def _append(self, event_type: str, timestamp: float,
+                data: Dict[str, Any]) -> CampaignEvent:
+        self._seq += 1
+        event = CampaignEvent(self._seq, event_type, timestamp, data)
+        if self.buffer:
+            self.events.append(event)
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(event.to_json_dict(), sort_keys=True,
+                           default=str))
+            self._handle.write("\n")
+            self._handle.flush()
+        return event
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> bool:
+        self.close()
+        return False
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The buffered stream as JSONL (byte-stable under a fake clock)."""
+        return "".join(
+            json.dumps(event.to_json_dict(), sort_keys=True, default=str)
+            + "\n"
+            for event in self.events)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    # -- resume ------------------------------------------------------------
+
+    @classmethod
+    def resume(cls, path: str,
+               clock: Callable[[], float] = time.time,
+               buffer: bool = True) -> "EventLog":
+        """Reopen *path* for appending, continuing from its watermark.
+
+        Only the watermark is recovered (the buffer starts empty): a
+        resumed 10M-scenario campaign must not reload its whole history
+        into memory to continue it.  Use :func:`read_events` to replay.
+        """
+        try:
+            _, watermark = read_events(path)
+        except FileNotFoundError:
+            watermark = 0
+        return cls(clock=clock, path=path, buffer=buffer,
+                   _start_seq=watermark)
+
+    def __repr__(self) -> str:
+        return (f"EventLog(watermark={self._seq}, "
+                f"buffered={len(self.events)}, path={self.path!r})")
+
+
+# --------------------------------------------------------------------------
+# readers
+# --------------------------------------------------------------------------
+
+def read_events(path: str) -> Tuple[List[CampaignEvent], int]:
+    """Replay a JSONL event log: ``(events, watermark)``.
+
+    Crash-safety contract: a truncated or half-written **trailing** line
+    (the one a crash can produce) is skipped with a :class:`UserWarning`;
+    damage anywhere else raises :class:`EventLogError`, because a hole in
+    the middle means lost history, not an interrupted append.
+    """
+    with open(path, encoding="utf-8") as handle:
+        content = handle.read()
+    events: List[CampaignEvent] = []
+    lines = content.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+            event = CampaignEvent.from_json_dict(record)
+        except EventLogError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - malformed line
+            if index == len(lines) - 1:
+                warnings.warn(
+                    f"event log {path!r}: skipping truncated trailing line "
+                    f"{index + 1} ({type(exc).__name__}); the campaign "
+                    "crashed mid-append and resumes from the watermark",
+                    stacklevel=2)
+                break
+            raise EventLogError(
+                f"event log {path!r} is corrupt at line {index + 1} "
+                f"(not the trailing line): {line[:80]!r}") from exc
+        events.append(event)
+    return events, events[-1].seq if events else 0
+
+
+def tail_events(path: str, after: int = 0) -> List[CampaignEvent]:
+    """Events with ``seq > after`` -- the incremental (tail) read.
+
+    A live consumer remembers the last watermark it processed and calls
+    this with it; repeated tails over a growing file see every event
+    exactly once.
+    """
+    events, _ = read_events(path)
+    return [event for event in events if event.seq > after]
+
+
+def normalized_stream(
+        events: Iterable[CampaignEvent],
+        invariant_types: frozenset = INVARIANT_TYPES,
+        volatile_keys: frozenset = VOLATILE_KEYS) -> List[Dict[str, Any]]:
+    """The executor-invariant projection of an event stream.
+
+    Keeps only event types whose data is a property of the batch, scrubs
+    volatile keys (worker identity, pool shape, wall-clock durations) and
+    sorts canonically -- after which serial, thread and process runs of
+    the same batch produce **equal** streams, completion order and
+    sharding notwithstanding.
+    """
+    normalized = []
+    for event in events:
+        if event.type not in invariant_types:
+            continue
+        data = {key: value for key, value in event.data.items()
+                if key not in volatile_keys}
+        normalized.append({"type": event.type, "data": data})
+    normalized.sort(key=lambda entry: (
+        entry["type"], json.dumps(entry["data"], sort_keys=True,
+                                  default=str)))
+    return normalized
+
+
+# --------------------------------------------------------------------------
+# live progress
+# --------------------------------------------------------------------------
+
+class CampaignProgress:
+    """Folds an event stream into live campaign progress.
+
+    Feed it events as they arrive (:meth:`observe`, or :meth:`observe_all`
+    over a :func:`tail_events` batch); :meth:`format_progress` renders the
+    current picture.  The fold is incremental -- tailing a growing log and
+    replaying a finished one produce the same state.
+    """
+
+    def __init__(self) -> None:
+        self.campaigns_started = 0
+        self.campaigns_finished = 0
+        self.expected = 0
+        self.finished = 0
+        self.failed = 0
+        self.ticks = 0
+        self.errors_by_kind: Dict[str, int] = {}
+        self.last_round: Optional[Dict[str, Any]] = None
+        self.watermark = 0
+
+    def observe(self, event: CampaignEvent) -> None:
+        self.watermark = max(self.watermark, event.seq)
+        data = event.data
+        if event.type == "campaign_started":
+            self.campaigns_started += 1
+            self.expected += int(data.get("scenarios", 0))
+        elif event.type == "campaign_finished":
+            self.campaigns_finished += 1
+        elif event.type == "scenario_finished":
+            self.finished += 1
+            self.ticks += int(data.get("ticks", 0))
+        elif event.type == "scenario_error":
+            self.finished += 1
+            self.failed += 1
+            self.ticks += int(data.get("ticks", 0))
+            kind = data.get("exc", "Unknown")
+            self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+        elif event.type == "search_round":
+            self.last_round = dict(data)
+
+    def observe_all(self, events: Iterable[CampaignEvent]) -> None:
+        for event in events:
+            self.observe(event)
+
+    @classmethod
+    def from_events(cls,
+                    events: Iterable[CampaignEvent]) -> "CampaignProgress":
+        progress = cls()
+        progress.observe_all(events)
+        return progress
+
+    def format_progress(self, registry: Any = None, width: int = 30) -> str:
+        """Human-readable progress: bar, counts, failures, coverage.
+
+        With a :class:`~repro.obs.metrics.MetricsRegistry` the scenario
+        duration quantiles (p50/p90/p99 via
+        :meth:`~repro.obs.metrics.MetricsRegistry.histogram_quantiles`)
+        and the ``runner.*`` instrument table
+        (:func:`~repro.obs.metrics.format_metrics`) are appended.
+        """
+        lines: List[str] = []
+        total = max(self.expected, self.finished)
+        fraction = (self.finished / total) if total else 0.0
+        filled = int(round(fraction * width))
+        bar = "#" * filled + "-" * (width - filled)
+        lines.append(
+            f"campaign progress [{bar}] {self.finished}/{total} scenarios "
+            f"({100.0 * fraction:.0f}%), {self.failed} failed, "
+            f"{self.ticks} ticks, watermark #{self.watermark}")
+        if self.campaigns_started:
+            lines.append(
+                f"  campaigns: {self.campaigns_finished}/"
+                f"{self.campaigns_started} finished")
+        if self.errors_by_kind:
+            roll = ", ".join(f"{kind} x{count}" for kind, count
+                             in sorted(self.errors_by_kind.items()))
+            lines.append(f"  failures: {roll}")
+        if self.last_round is not None:
+            stats = self.last_round
+            lines.append(
+                f"  search round {stats.get('round')}: "
+                f"{100.0 * float(stats.get('transition_coverage', 0)):.0f}% "
+                f"transitions, "
+                f"{100.0 * float(stats.get('mode_coverage', 0)):.0f}% modes, "
+                f"corpus {stats.get('corpus_size')}")
+        if registry is not None:
+            quantiles = registry.histogram_quantiles(
+                "runner.scenario.duration_s", (0.5, 0.9, 0.99))
+            if quantiles[0] is not None:
+                p50, p90, p99 = quantiles
+                lines.append(
+                    f"  scenario duration: p50 {p50:.6f}s  p90 {p90:.6f}s  "
+                    f"p99 {p99:.6f}s")
+            from .metrics import format_metrics
+            lines.append(format_metrics(registry, prefix="runner."))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"CampaignProgress({self.finished}/{self.expected}, "
+                f"failed={self.failed})")

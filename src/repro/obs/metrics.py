@@ -109,6 +109,37 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """A deterministic quantile estimate from the fixed buckets.
+
+        Linear interpolation within the bucket holding the q-th
+        observation, with the observed ``min``/``max`` tightening the
+        first and overflow buckets.  Estimates depend only on the bucket
+        counts and extremes -- identical for any observation order and
+        for merged registries, like every other fold here.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = q * self.count
+        cumulative = 0.0
+        lower = self.min
+        for index, count in enumerate(self.counts):
+            upper = self.bounds[index] if index < len(self.bounds) \
+                else self.max
+            upper = min(upper, self.max)
+            if count:
+                if cumulative + count >= target:
+                    fraction = (target - cumulative) / count
+                    value = lower + fraction * (upper - lower)
+                    return min(max(value, self.min), self.max)
+                cumulative += count
+                lower = upper
+            elif index < len(self.bounds):
+                lower = max(lower, min(self.bounds[index], self.max))
+        return self.max
+
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError(
@@ -194,6 +225,20 @@ class MetricsRegistry:
             self.histogram(name, histogram.bounds).merge(histogram)
         return self
 
+    def histogram_quantiles(
+            self, name: str,
+            qs: Sequence[float]) -> List[Optional[float]]:
+        """Quantile estimates of histogram *name*, one per entry of *qs*.
+
+        ``[None, ...]`` when the histogram does not exist or is empty, so
+        renderers can probe without pre-checking.  Estimates come from
+        :meth:`Histogram.quantile` and are deterministic under merge.
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None or histogram.count == 0:
+            return [None] * len(qs)
+        return [histogram.quantile(q) for q in qs]
+
     def counter_values(self, prefix: str = "") -> Dict[str, float]:
         """Counter name -> value, optionally restricted to a name prefix.
 
@@ -264,3 +309,49 @@ class MetricsRegistry:
         return (f"MetricsRegistry(counters={len(self.counters)}, "
                 f"gauges={len(self.gauges)}, "
                 f"histograms={len(self.histograms)})")
+
+
+def format_metrics(registry: MetricsRegistry, prefix: str = "",
+                   quantiles: Sequence[float] = (0.5, 0.9, 0.99)) -> str:
+    """An aligned text table of a registry's instruments.
+
+    Counters and gauges render name/value; histograms add count, mean,
+    the requested quantiles (via :meth:`Histogram.quantile`) and max.
+    *prefix* restricts the table to one instrument family (the progress
+    renderer shows ``runner.``).  Empty sections are omitted.
+    """
+    def rows_of(names: Sequence[str]) -> List[str]:
+        return [name for name in sorted(names) if name.startswith(prefix)]
+
+    counter_names = rows_of(registry.counters)
+    gauge_names = rows_of(registry.gauges)
+    histogram_names = rows_of(registry.histograms)
+    width = max((len(name) for name
+                 in counter_names + gauge_names + histogram_names),
+                default=0)
+    lines: List[str] = []
+    if counter_names or gauge_names:
+        lines.append(f"  {'instrument':<{width}}  value")
+        for name in counter_names:
+            lines.append(
+                f"  {name:<{width}}  {registry.counters[name].value:g}")
+        for name in gauge_names:
+            value = registry.gauges[name].value
+            rendered = "unset" if value is None else f"{value:g}"
+            lines.append(f"  {name:<{width}}  {rendered} (gauge)")
+    if histogram_names:
+        header = "".join(f"  {f'p{100 * q:g}':>10}" for q in quantiles)
+        lines.append(f"  {'histogram':<{width}}  {'n':>6}  {'mean':>10}"
+                     f"{header}  {'max':>10}")
+        for name in histogram_names:
+            histogram = registry.histograms[name]
+            if not histogram.count:
+                lines.append(f"  {name:<{width}}  {0:>6}")
+                continue
+            cells = "".join(f"  {histogram.quantile(q):>10.6f}"
+                            for q in quantiles)
+            lines.append(
+                f"  {name:<{width}}  {histogram.count:>6}  "
+                f"{histogram.mean():>10.6f}{cells}  "
+                f"{histogram.max:>10.6f}")
+    return "\n".join(lines) if lines else "  (no instruments)"

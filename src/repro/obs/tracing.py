@@ -129,6 +129,14 @@ class Tracer:
         for root in self.roots:
             yield from root.walk()
 
+    def active_path(self) -> List[str]:
+        """Names of the currently open spans, outermost first.
+
+        The "where were we" of a post-mortem bundle: the span stack at the
+        moment a scenario error was dumped.
+        """
+        return [span.name for span in self._stack]
+
     # -- export ------------------------------------------------------------
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -145,13 +153,36 @@ class Tracer:
         ``ts``/``dur`` relative to the earliest span start.  ``pid``/``tid``
         default to 0 so the export stays byte-stable under a fake clock;
         pass ``os.getpid()`` for real multi-process traces.
+
+        Spans carrying a ``worker`` attribute (trees the sharded runner
+        adopted from pool workers) are assigned a distinct ``tid`` per
+        worker -- in sorted worker order, so numbering is deterministic --
+        and the tid is inherited by their subtrees.  Each worker track is
+        named via a ``thread_name`` metadata event, so merged
+        multi-process traces render as parallel Perfetto tracks instead
+        of collapsing onto one.
         """
         events: List[Dict[str, Any]] = [{
             "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": process_name},
         }]
+        workers = sorted({span.attributes["worker"] for span in self.walk()
+                          if "worker" in span.attributes})
+        worker_tids = {worker: tid + 1 + index
+                       for index, worker in enumerate(workers)}
+        for worker in workers:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": worker_tids[worker],
+                "args": {"name": f"worker {worker}"},
+            })
         epoch = min((span.start for span in self.walk()), default=0.0)
-        for span in self.walk():
+        stack = [(root, tid) for root in reversed(self.roots)]
+        while stack:
+            span, span_tid = stack.pop()
+            worker = span.attributes.get("worker")
+            if worker is not None:
+                span_tid = worker_tids[worker]
             end = span.end if span.end is not None else span.start
             events.append({
                 "name": span.name,
@@ -159,10 +190,12 @@ class Tracer:
                 "ts": int(round((span.start - epoch) * 1_000_000)),
                 "dur": int(round((end - span.start) * 1_000_000)),
                 "pid": pid,
-                "tid": tid,
+                "tid": span_tid,
                 "args": {key: _json_safe(value)
                          for key, value in sorted(span.attributes.items())},
             })
+            stack.extend((child, span_tid)
+                         for child in reversed(span.children))
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def to_chrome_json(self, pid: int = 0, tid: int = 0,

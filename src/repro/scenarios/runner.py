@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import threading
 import time
 import traceback
@@ -39,7 +40,9 @@ from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
 
 from ..core.components import Component
 from ..core.errors import SimulationError
-from ..obs.context import current_registry, maybe_span
+from ..obs.context import active as _obs_active
+from ..obs.context import current_events, current_registry, maybe_span
+from ..obs.events import CampaignEvent, EventLog
 from ..obs.metrics import MetricsRegistry
 from ..simulation.compiled import CompiledSimulator
 from ..simulation.engine import run_stepped
@@ -99,6 +102,15 @@ def shard_scenarios(scenarios: Sequence[Scenario],
 # scenario execution shared by every executor kind
 # --------------------------------------------------------------------------
 
+_ERROR_KIND = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def _error_kind(error: Optional[str]) -> str:
+    """The exception type name leading an isolated error string."""
+    match = _ERROR_KIND.match(error or "")
+    return match.group(0) if match else "Unknown"
+
+
 def _record_scenario(registry: MetricsRegistry, result: ScenarioResult,
                      ticks: int) -> None:
     """Scenario counters: the executor-invariant telemetry projection.
@@ -107,20 +119,74 @@ def _record_scenario(registry: MetricsRegistry, result: ScenarioResult,
     scenarios ran, with what outcome) -- never on sharding, executor kind
     or chunking -- so serial, thread and process runs agree exactly
     (``MetricsRegistry.counter_values("runner.scenario.")``).  The duration
-    histogram is timing and therefore outside that projection.
+    histogram is timing and therefore outside that projection.  Failures
+    are additionally counted by exception type
+    (``runner.scenario.error.<ExcName>``), so failure roll-ups survive
+    registry merges, not just :class:`~repro.scenarios.report.BatchReport`.
     """
     registry.counter("runner.scenario.total").inc()
     registry.counter(
         "runner.scenario.ok" if result.ok else "runner.scenario.failed").inc()
+    if not result.ok:
+        registry.counter(
+            f"runner.scenario.error.{_error_kind(result.error)}").inc()
     registry.counter("runner.scenario.ticks").inc(ticks)
     registry.histogram("runner.scenario.duration_s").observe(result.duration)
+
+
+def _emit_scenario_event(events: EventLog, result: ScenarioResult,
+                         ticks: int, bundle: Optional[str] = None) -> None:
+    """One ``scenario_finished`` / ``scenario_error`` event per result.
+
+    Event data mirrors the counter projection: name, outcome and tick
+    count are batch facts (executor-invariant); worker, duration and the
+    post-mortem bundle path are volatile and scrubbed by
+    :func:`~repro.obs.events.normalized_stream`.
+    """
+    if result.ok:
+        events.emit("scenario_finished", name=result.name, ticks=ticks,
+                    worker=result.worker, duration_s=result.duration)
+        return
+    data: Dict[str, Any] = {"name": result.name, "ticks": ticks,
+                            "error": result.error,
+                            "exc": _error_kind(result.error),
+                            "worker": result.worker,
+                            "duration_s": result.duration}
+    if bundle is not None:
+        data["bundle"] = bundle
+    events.emit("scenario_error", **data)
+
+
+def _dump_postmortem(simulator: CompiledSimulator, scenario: Scenario,
+                     result: ScenarioResult) -> Optional[str]:
+    """Write a flight-recorder post-mortem bundle for a failed scenario.
+
+    Only fires when the active telemetry session has flight recording on
+    AND the failing simulator's schedule ran through a recording step
+    (flat backend); the bundle path is collected on the session
+    (``telemetry.bundles``) and returned for the scenario_error event.
+    """
+    telemetry = _obs_active()
+    if telemetry is None or not telemetry.flight_recording:
+        return None
+    recorder = telemetry.recorders.get(id(simulator.schedule))
+    if recorder is None \
+            or (recorder.failure is None and not recorder.snapshots):
+        return None
+    path = recorder.dump_bundle(
+        telemetry.resolved_postmortem_dir(), scenario=scenario.name,
+        error=result.error or "", stimuli=scenario.stimuli,
+        span_path=telemetry.tracer.active_path(),
+        registry=telemetry.registry)
+    telemetry.bundles.append(path)
+    return path
 
 
 def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
                      collect_modes: bool = False,
                      worker: str = "local",
-                     registry: Optional[MetricsRegistry] = None
-                     ) -> ScenarioResult:
+                     registry: Optional[MetricsRegistry] = None,
+                     events: Optional[EventLog] = None) -> ScenarioResult:
     """Run one scenario against a compiled simulator with error isolation.
 
     Mode collection is schedule-aware: flat schedules expose their active
@@ -130,19 +196,25 @@ def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
     on a nested state tree), so sharded batches and coverage-guided search
     get the flat engine's speed without losing coverage observability.
 
-    *registry* receives ``runner.scenario.*`` telemetry; when ``None`` the
-    ambient registry (:func:`repro.obs.current_registry`) is consulted
-    once -- worker pools pass explicit worker-local registries instead,
-    because the ambient one is not shared safely across threads.
+    *registry* receives ``runner.scenario.*`` telemetry and *events* the
+    ``scenario_finished`` / ``scenario_error`` campaign events; when
+    ``None`` the ambient ones (:func:`repro.obs.current_registry` /
+    :func:`repro.obs.current_events`) are consulted once -- worker pools
+    pass explicit worker-local instances instead, because the ambient
+    ones are not shared safely across threads.
     """
     if registry is None:
         registry = current_registry()
+    if events is None:
+        events = current_events()
     start = time.perf_counter()
     try:
         schedule = simulator.schedule
         if collect_modes:
             component = simulator.component
-            step = schedule.step
+            telemetry = _obs_active()
+            step = (telemetry.step_for(schedule)
+                    if telemetry is not None else None) or schedule.step
             extract_modes = getattr(schedule, "mode_paths", None)
             if extract_modes is None:
                 extract_modes = lambda state: active_mode_paths(component,
@@ -172,15 +244,20 @@ def execute_scenario(simulator: CompiledSimulator, scenario: Scenario,
         result = ScenarioResult(scenario.name, error=error,
                                 duration=time.perf_counter() - start,
                                 worker=worker)
+    bundle = None if result.ok \
+        else _dump_postmortem(simulator, scenario, result)
     if registry is not None:
         _record_scenario(registry, result, scenario.ticks)
+    if events is not None:
+        _emit_scenario_event(events, result, scenario.ticks, bundle)
     return result
 
 
 def execute_batch(simulator: CompiledSimulator, scenarios: Sequence[Scenario],
                   collect_modes: bool = False,
                   worker: str = "local",
-                  registry: Optional[MetricsRegistry] = None
+                  registry: Optional[MetricsRegistry] = None,
+                  events: Optional[EventLog] = None
                   ) -> List[ScenarioResult]:
     """Run a whole shard of scenarios against one compiled simulator.
 
@@ -198,10 +275,20 @@ def execute_batch(simulator: CompiledSimulator, scenarios: Sequence[Scenario],
     """
     if registry is None:
         registry = current_registry()
+    if events is None:
+        events = current_events()
     batch_schedule = getattr(simulator, "batch_schedule", None)
+    if batch_schedule is not None:
+        telemetry = _obs_active()
+        if (telemetry is not None and telemetry.flight_recording
+                and hasattr(simulator.schedule, "recording_step")):
+            # forensics needs per-tick slot environments: recorded runs
+            # take the per-scenario flat path instead of the vectorized
+            # sweep (matching CompiledSimulator.run)
+            batch_schedule = None
     if batch_schedule is None:
         return [execute_scenario(simulator, scenario, collect_modes, worker,
-                                 registry=registry)
+                                 registry=registry, events=events)
                 for scenario in scenarios]
     start = time.perf_counter()
     outcomes = batch_schedule.run_battery(
@@ -221,6 +308,9 @@ def execute_batch(simulator: CompiledSimulator, scenarios: Sequence[Scenario],
         registry.histogram("runner.sweep.duration_s").observe(sweep_duration)
         for result, scenario in zip(results, scenarios):
             _record_scenario(registry, result, scenario.ticks)
+    if events is not None:
+        for result, scenario in zip(results, scenarios):
+            _emit_scenario_event(events, result, scenario.ticks)
     return results
 
 
@@ -230,21 +320,34 @@ def execute_batch(simulator: CompiledSimulator, scenarios: Sequence[Scenario],
 
 class _ShardOutcome:
     """Worker return envelope when telemetry is on: results plus the
-    worker-local registry, merged into the parent's registry on receipt.
+    worker-local telemetry to merge into the parent on receipt -- the
+    metrics registry, the buffered campaign events (resequenced into the
+    parent's :class:`~repro.obs.events.EventLog`), the worker's span trees
+    (adopted into the parent tracer, tagged with the worker identity) and
+    any post-mortem bundle paths the worker dumped.
 
-    Workers never talk to the parent's (ambient) registry directly --
+    Workers never talk to the parent's (ambient) telemetry directly --
     process workers can't see it, thread workers could but would race on
-    it -- so each task builds a fresh :class:`MetricsRegistry`, and the
-    order-insensitive :meth:`~MetricsRegistry.merge` makes the aggregate
-    independent of sharding and completion order.
+    it -- so each task builds fresh worker-local instruments, and the
+    order-insensitive folds (:meth:`~MetricsRegistry.merge`, event
+    resequencing + :func:`~repro.obs.events.normalized_stream`) make the
+    aggregates independent of sharding and completion order.
     """
 
-    __slots__ = ("results", "registry")
+    __slots__ = ("results", "registry", "events", "spans", "worker",
+                 "bundles")
 
     def __init__(self, results: List[ScenarioResult],
-                 registry: MetricsRegistry):
+                 registry: MetricsRegistry,
+                 events: Sequence[CampaignEvent] = (),
+                 spans: Sequence[Any] = (), worker: str = "",
+                 bundles: Sequence[str] = ()):
         self.results = results
         self.registry = registry
+        self.events = list(events)
+        self.spans = list(spans)
+        self.worker = worker
+        self.bundles = list(bundles)
 
 
 _PROCESS_WORKER: Dict[str, Any] = {}
@@ -253,13 +356,48 @@ _PROCESS_WORKER: Dict[str, Any] = {}
 def _process_initializer(payload: bytes, check_types: bool,
                          collect_modes: bool,
                          backend: str = "auto",
-                         observe: bool = False) -> None:
+                         observe: bool = False,
+                         obs_config: Optional[Dict[str, Any]] = None) -> None:
     component = pickle.loads(payload)
     _PROCESS_WORKER["simulator"] = CompiledSimulator(component,
                                                      check_types=check_types,
                                                      backend=backend)
     _PROCESS_WORKER["collect_modes"] = collect_modes
     _PROCESS_WORKER["observe"] = observe
+    _PROCESS_WORKER["obs_config"] = obs_config or {}
+
+
+def _observed_process_task(run: Callable[..., Any],
+                           argument: Any) -> _ShardOutcome:
+    """Run one observed task inside a worker-local telemetry session.
+
+    The session makes the worker's AMBIENT telemetry the worker-local one
+    for the duration of the task, so every instrumentation site fires --
+    including the batch sweep's ``batch.*`` counters and spans, which an
+    explicit registry alone would miss -- and everything lands in the one
+    registry/tracer/event-log shipped back in the envelope.  The task is
+    wrapped in a ``runner.worker_task`` span carrying the worker identity,
+    which :meth:`~repro.obs.tracing.Tracer.to_chrome_trace` maps to a
+    distinct Perfetto track per worker.
+    """
+    from ..obs.context import session as _obs_session
+    worker = f"pid-{os.getpid()}"
+    config = _PROCESS_WORKER["obs_config"]
+    log = EventLog() if config.get("events") else None
+    with _obs_session(events=log,
+                      flight_recording=config.get("flight_recording", False),
+                      ring_ticks=config.get("ring_ticks", 16),
+                      postmortem_dir=config.get("postmortem_dir")
+                      ) as telemetry:
+        with telemetry.tracer.span("runner.worker_task", worker=worker):
+            out = run(_PROCESS_WORKER["simulator"], argument,
+                      _PROCESS_WORKER["collect_modes"], worker=worker,
+                      registry=telemetry.registry, events=log)
+    results = out if isinstance(out, list) else [out]
+    return _ShardOutcome(results, telemetry.registry,
+                         events=log.events if log is not None else (),
+                         spans=telemetry.tracer.roots, worker=worker,
+                         bundles=telemetry.bundles)
 
 
 def _process_run_one(scenario: Scenario) -> Any:
@@ -267,11 +405,7 @@ def _process_run_one(scenario: Scenario) -> Any:
         return execute_scenario(_PROCESS_WORKER["simulator"], scenario,
                                 _PROCESS_WORKER["collect_modes"],
                                 worker=f"pid-{os.getpid()}")
-    registry = MetricsRegistry()
-    result = execute_scenario(_PROCESS_WORKER["simulator"], scenario,
-                              _PROCESS_WORKER["collect_modes"],
-                              worker=f"pid-{os.getpid()}", registry=registry)
-    return _ShardOutcome([result], registry)
+    return _observed_process_task(execute_scenario, scenario)
 
 
 def _process_run_chunk(chunk: List[Scenario]) -> Any:
@@ -279,11 +413,7 @@ def _process_run_chunk(chunk: List[Scenario]) -> Any:
         return execute_batch(_PROCESS_WORKER["simulator"], chunk,
                              _PROCESS_WORKER["collect_modes"],
                              worker=f"pid-{os.getpid()}")
-    registry = MetricsRegistry()
-    results = execute_batch(_PROCESS_WORKER["simulator"], chunk,
-                            _PROCESS_WORKER["collect_modes"],
-                            worker=f"pid-{os.getpid()}", registry=registry)
-    return _ShardOutcome(results, registry)
+    return _observed_process_task(execute_batch, chunk)
 
 
 # --------------------------------------------------------------------------
@@ -353,16 +483,39 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
     if chunk_size is not None and chunk_size < 1:
         raise SimulationError("chunk_size must be >= 1")
 
+    parent_telemetry = _obs_active()
     parent_registry = current_registry()
+    parent_events = current_events()
     observe = parent_registry is not None
+    obs_config: Optional[Dict[str, Any]] = None
+    if parent_telemetry is not None:
+        obs_config = {
+            "events": parent_telemetry.events is not None,
+            "flight_recording": parent_telemetry.flight_recording,
+            "ring_ticks": parent_telemetry.ring_ticks,
+            "postmortem_dir": parent_telemetry.postmortem_dir,
+        }
+    if parent_events is not None:
+        parent_events.emit("campaign_started", component=component.name,
+                           scenarios=len(batch), executor=executor,
+                           backend=backend, collect_modes=collect_modes)
 
     if executor == "serial":
         with maybe_span("runner.run_sharded", scenarios=len(batch),
                         executor=executor, backend=backend):
+            if parent_events is not None:
+                parent_events.emit("shard_dispatched", shard=0,
+                                   scenarios=len(batch), executor=executor)
             simulator = CompiledSimulator(component, check_types=check_types,
                                           backend=backend)
             results = execute_batch(simulator, batch, collect_modes,
-                                    registry=parent_registry)
+                                    registry=parent_registry,
+                                    events=parent_events)
+        if parent_events is not None:
+            ok = sum(1 for result in results if result.ok)
+            parent_events.emit("campaign_finished", scenarios=len(results),
+                               ok=ok, failed=len(results) - ok,
+                               executor=executor)
         if on_result is not None:
             for result in results:
                 on_result(result)
@@ -376,7 +529,8 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
         payload = _pickle_model(component)
         pool: Executor = ProcessPoolExecutor(
             max_workers=workers, initializer=_process_initializer,
-            initargs=(payload, check_types, collect_modes, backend, observe))
+            initargs=(payload, check_types, collect_modes, backend, observe,
+                      obs_config))
         run_one: Callable[[Scenario], Any] = _process_run_one
         run_chunk: Callable[[List[Scenario]], Any] = _process_run_chunk
     else:  # thread pool: per-thread compilation, no pickling
@@ -387,30 +541,39 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
                                                 check_types=check_types,
                                                 backend=backend)
 
-        # thread workers mirror the process protocol: a fresh per-task
-        # registry rather than the shared ambient one, which is not
-        # synchronized and would race under concurrent increments
+        # thread workers mirror the process protocol: fresh per-task
+        # registry and event buffer rather than the shared ambient ones,
+        # which are not synchronized and would race under concurrent
+        # appends/increments
+        buffer_events = parent_events is not None
+
         def run_one(scenario: Scenario) -> Any:
+            worker = threading.current_thread().name
             if not observe:
                 return execute_scenario(
-                    local.simulator, scenario, collect_modes,
-                    worker=threading.current_thread().name)
+                    local.simulator, scenario, collect_modes, worker=worker)
             registry = MetricsRegistry()
+            log = EventLog() if buffer_events else None
             result = execute_scenario(
                 local.simulator, scenario, collect_modes,
-                worker=threading.current_thread().name, registry=registry)
-            return _ShardOutcome([result], registry)
+                worker=worker, registry=registry, events=log)
+            return _ShardOutcome([result], registry,
+                                 events=log.events if log is not None
+                                 else (), worker=worker)
 
         def run_chunk(chunk: List[Scenario]) -> Any:
+            worker = threading.current_thread().name
             if not observe:
                 return execute_batch(
-                    local.simulator, chunk, collect_modes,
-                    worker=threading.current_thread().name)
+                    local.simulator, chunk, collect_modes, worker=worker)
             registry = MetricsRegistry()
+            log = EventLog() if buffer_events else None
             results = execute_batch(
                 local.simulator, chunk, collect_modes,
-                worker=threading.current_thread().name, registry=registry)
-            return _ShardOutcome(results, registry)
+                worker=worker, registry=registry, events=log)
+            return _ShardOutcome(results, registry,
+                                 events=log.events if log is not None
+                                 else (), worker=worker)
 
         pool = ThreadPoolExecutor(max_workers=workers,
                                   initializer=_thread_initializer)
@@ -423,16 +586,23 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
             # whole shards as single sweeps: one contiguous near-equal
             # shard per worker (shard_scenarios drops empty shards, so
             # workers > len(batch) degenerates to singleton sweeps)
-            futures = {pool.submit(run_chunk, shard): shard
-                       for shard in shard_scenarios(batch, workers)}
+            tasks = shard_scenarios(batch, workers)
+            chunked = True
         elif chunk_size is None:
-            futures = {pool.submit(run_one, scenario): [scenario]
-                       for scenario in batch}
+            tasks = [[scenario] for scenario in batch]
+            chunked = False
         else:
-            chunks = [batch[index:index + chunk_size]
-                      for index in range(0, len(batch), chunk_size)]
-            futures = {pool.submit(run_chunk, chunk): chunk
-                       for chunk in chunks}
+            tasks = [batch[index:index + chunk_size]
+                     for index in range(0, len(batch), chunk_size)]
+            chunked = True
+        futures: Dict[Any, List[Scenario]] = {}
+        for shard_index, task in enumerate(tasks):
+            if parent_events is not None:
+                parent_events.emit("shard_dispatched", shard=shard_index,
+                                   scenarios=len(task), executor=executor)
+            future = pool.submit(run_chunk, task) if chunked \
+                else pool.submit(run_one, task[0])
+            futures[future] = task
         for future in as_completed(futures):
             submitted = futures[future]
             error = future.exception()
@@ -443,15 +613,32 @@ def run_sharded(component: Component, scenarios: Sequence[Scenario], *,
                     ScenarioResult(scenario.name,
                                    error=f"{type(error).__name__}: {error}")
                     for scenario in submitted]
+                if parent_events is not None:
+                    for result in completed:
+                        _emit_scenario_event(parent_events, result, 0)
             else:
                 outcome = future.result()
                 if isinstance(outcome, _ShardOutcome):
                     if parent_registry is not None:
                         parent_registry.merge(outcome.registry)
+                    if parent_events is not None:
+                        parent_events.adopt_all(outcome.events,
+                                                worker=outcome.worker)
+                    if parent_telemetry is not None:
+                        for span in outcome.spans:
+                            span.attributes.setdefault("worker",
+                                                       outcome.worker)
+                            parent_telemetry.tracer.adopt(span)
+                        parent_telemetry.bundles.extend(outcome.bundles)
                     outcome = outcome.results
                 completed = outcome if isinstance(outcome, list) else [outcome]
             for result in completed:
                 by_name[result.name] = result
                 if on_result is not None:
                     on_result(result)
+    if parent_events is not None:
+        ok = sum(1 for result in by_name.values() if result.ok)
+        parent_events.emit("campaign_finished", scenarios=len(by_name),
+                           ok=ok, failed=len(by_name) - ok,
+                           executor=executor)
     return [by_name[scenario.name] for scenario in batch]

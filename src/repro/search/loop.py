@@ -42,7 +42,7 @@ from ..core.components import Component
 from ..core.errors import SimulationError
 from ..core.expr_eval import ExpressionEvaluator
 from ..core.values import is_present
-from ..obs.context import current_registry, maybe_span
+from ..obs.context import current_events, current_registry, maybe_span
 from ..scenarios.generators import Scenario
 from ..scenarios.report import BatchReport
 from ..scenarios.runner import run_sharded
@@ -449,14 +449,20 @@ def search_coverage(component: Component,
             # the transition targeter extends with guard witnesses
             for path, mode in sorted(_final_modes(result).items()):
                 visitors.setdefault((path, mode), by_name[result.name])
-        rounds.append(RoundStats(
+        stats = RoundStats(
             index=round_index, evaluated=len(results), failed=failed,
             earned=earned, new_modes=new_modes,
             new_transitions=new_transitions,
             mode_coverage=frontier.mode_coverage(),
             transition_coverage=frontier.transition_coverage(),
             corpus_size=len(corpus),
-            duration_s=time.perf_counter() - round_started))
+            duration_s=time.perf_counter() - round_started)
+        rounds.append(stats)
+        events = current_events()
+        if events is not None:
+            # the deterministic projection of the round (timing excluded):
+            # byte-equal across executors for a fixed seed, like the report
+            events.emit("search_round", **stats.to_json_dict())
         stale_rounds = 0 if (new_modes or new_transitions) \
             else stale_rounds + 1
 

@@ -539,21 +539,26 @@ class CompiledSimulator:
 
         With observability enabled (:mod:`repro.obs`) the run is wrapped in
         a tracing span, and -- when the session asked for ``profile_ops``
-        and the schedule is a flat program -- executed through an
-        instrumented step variant accumulating an op-level profile.  The
-        default path is untouched: ``schedule.step`` is the same closure
-        whether or not :mod:`repro.obs` was ever enabled.
+        or ``flight_recording`` and the schedule is a flat program --
+        executed through a swapped-in step variant (op-profiling or
+        flight-recording; recording wins when both are on).  Flight
+        recording also overrides the vectorized batch backend: forensics
+        needs per-tick slot environments, so recorded runs take the flat
+        stepped path even when ``backend="batch"``.  The default path is
+        untouched: ``schedule.step`` is the same closure whether or not
+        :mod:`repro.obs` was ever enabled.
         """
-        if self.batch_schedule is not None:
+        telemetry = _obs_active()
+        recording = (telemetry is not None and telemetry.flight_recording
+                     and hasattr(self.schedule, "recording_step"))
+        if self.batch_schedule is not None and not recording:
             return self.batch_schedule.run_one(stimuli, ticks,
                                                self.check_types)
-        telemetry = _obs_active()
         if telemetry is None:
             return run_stepped(self.component, self.schedule.step, stimuli,
                                ticks, self.check_types,
                                initial_state=self.schedule.initial_state())
-        step = telemetry.instrumented_step(self.schedule) \
-            or self.schedule.step
+        step = telemetry.step_for(self.schedule) or self.schedule.step
         with telemetry.tracer.span("run", component=self.component.name,
                                    backend=self.backend, ticks=ticks,
                                    kind=self.schedule.kind):

@@ -159,6 +159,7 @@ class _Flattener:
     def __init__(self, root: Component):
         self.root = root
         self.n_slots = 0
+        self.slot_names: List[str] = []
         self.ops: List[List[Any]] = []
         self.leaves: List[_Leaf] = []
         #: per delayed channel: (initial value, owner state path, channel name)
@@ -171,20 +172,25 @@ class _Flattener:
 
     # -- slot allocation ---------------------------------------------------
 
-    def _new_slot(self) -> int:
+    def _new_slot(self, label: str) -> int:
         slot = self.n_slots
         self.n_slots += 1
+        self.slot_names.append(label)
         return slot
 
-    def _port_slots(self, component: Component) -> Dict[str, int]:
-        return {port.name: self._new_slot() for port in component.ports()}
+    def _port_slots(self, component: Component,
+                    prefix: str) -> Dict[str, int]:
+        return {port.name: self._new_slot(f"{prefix}.{port.name}")
+                for port in component.ports()}
 
     # -- emission ----------------------------------------------------------
 
     def flatten(self) -> "FlatSchedule":
         root = self.root
-        in_slots = {name: self._new_slot() for name in root.input_names()}
-        out_slots = {name: self._new_slot() for name in root.output_names()}
+        in_slots = {name: self._new_slot(f"{root.name}.{name}")
+                    for name in root.input_names()}
+        out_slots = {name: self._new_slot(f"{root.name}.{name}")
+                     for name in root.output_names()}
         stack: List[Iterator[Any]] = [self._emit_node(
             root, in_slots, out_slots, (), root.name, root.name)]
         while stack:
@@ -202,7 +208,7 @@ class _Flattener:
         return FlatSchedule(root, program, self.n_slots, input_spec,
                             output_spec, self.leaves, self.buffer_specs,
                             self.scratch_count, self._linear,
-                            self.fallback_paths)
+                            self.fallback_paths, tuple(self.slot_names))
 
     def _merge_copies(self, ops: List[List[Any]]) -> List[List[Any]]:
         """Peephole pass: fuse adjacent ``copy`` ops into one.
@@ -276,7 +282,8 @@ class _Flattener:
         for entry in plan.entries:
             sub = composite.subcomponent(entry.name)
             subs[entry.name] = sub
-            port_slots[entry.name] = self._port_slots(sub)
+            port_slots[entry.name] = self._port_slots(
+                sub, f"{steps_path}/{entry.name}")
 
         def slot_of(key: Tuple[Optional[str], str]) -> int:
             comp, port = key
@@ -432,13 +439,16 @@ class FlatSchedule:
                  leaves: List[_Leaf],
                  buffer_specs: List[Tuple[Any, Tuple[str, ...], str]],
                  scratch_count: int, linear: List[Tuple[str, str]],
-                 fallback_paths: List[str]):
+                 fallback_paths: List[str],
+                 slot_names: Tuple[str, ...] = ()):
         self.component = component
         self.program = program
         self.n_slots = n_slots
         self.leaves = leaves
         self.buffer_specs = buffer_specs
         self.fallback_paths = fallback_paths
+        #: hierarchical ``path.port`` label per slot (forensics decoding)
+        self.slot_names = slot_names
         self._input_spec = input_spec
         self._output_spec = output_spec
         self._scratch_count = scratch_count
@@ -671,6 +681,109 @@ class FlatSchedule:
                 outputs[name] = values[slot]
             profile.ticks += 1
             profile.total_time_s += clock() - tick_started
+            return outputs, FlatState(next_states, next_buffers)
+
+        return step
+
+    def recording_step(self, recorder: Any):
+        """A flight-recording variant of :attr:`step` feeding *recorder*.
+
+        Mirrors :meth:`_make_step` op for op (any semantic change there
+        MUST be replicated here -- the forensics tests pin identical
+        traces) and adds: at tick 0 the recorder's window is reset (a new
+        scenario owns it); after every completed tick the slot environment
+        is snapshotted into the ring; when an op raises, the failing tick,
+        op index, partial slot environment and inputs are recorded before
+        the exception propagates unchanged.  The default :attr:`step`
+        closure is untouched -- same swap-in discipline as
+        :meth:`instrumented_step`, zero overhead while recording is off.
+        """
+        program = self.program
+        n_ops = len(program)
+        n_slots = self.n_slots
+        n_scratch = self._scratch_count
+        input_spec = self._input_spec
+        output_spec = self._output_spec
+        convert = self._convert_state
+        absent = ABSENT
+        begin_run = recorder.begin_run
+        record_tick = recorder.record_tick
+        record_failure = recorder.record_failure
+
+        def step(inputs: Mapping[str, Any], state: Any,
+                 tick: int) -> Tuple[Dict[str, Any], Any]:
+            if tick == 0:
+                begin_run()
+            if type(state) is not FlatState:
+                state = convert(state)
+            prev_states = state.leaf_states
+            prev_buffers = state.buffers
+            next_states = prev_states[:]
+            next_buffers = prev_buffers[:]
+            values = [absent] * n_slots
+            for name, slot in input_spec:
+                values[slot] = inputs.get(name, absent)
+            scratch: List[Any] = [None] * n_scratch if n_scratch else []
+            pc = 0
+            index = 0
+            try:
+                while pc < n_ops:
+                    index = pc
+                    op = program[pc]
+                    pc += 1
+                    code = op[0]
+                    if code == OP_RUN:
+                        _, leaf_index, fn, in_spec, out_spec, post, si = op
+                        sub_inputs = {name: values[slot]
+                                      for name, slot in in_spec}
+                        outputs, new_state = fn(sub_inputs,
+                                                prev_states[leaf_index],
+                                                tick)
+                        next_states[leaf_index] = new_state
+                        for name, slot in out_spec:
+                            values[slot] = outputs.get(name, absent)
+                        for src, dst in post:
+                            values[dst] = values[src]
+                        if si >= 0:
+                            scratch[si] = sub_inputs
+                    elif code == OP_EXPR:
+                        _, _leaf, in_spec, items, post = op
+                        env = {name: values[slot] for name, slot in in_spec}
+                        for slot, fn in items:
+                            if slot >= 0:
+                                values[slot] = fn(env)
+                            else:
+                                fn(env)
+                        for src, dst in post:
+                            values[dst] = values[src]
+                    elif code == OP_COPY:
+                        for src, dst in op[1]:
+                            values[dst] = values[src]
+                    elif code == OP_BUF_READ:
+                        for index_, dst in op[1]:
+                            values[dst] = prev_buffers[index_]
+                    elif code == OP_GATE:
+                        if not op[1](tick):
+                            pc = op[2]
+                    elif code == OP_BUF_WRITE:
+                        for src, index_ in op[1]:
+                            next_buffers[index_] = values[src]
+                    else:  # OP_CORRECT
+                        for si, leaf_index, fn, in_spec in op[1]:
+                            final = {name: values[slot]
+                                     for name, slot in in_spec}
+                            if final != scratch[si]:
+                                _, corrected = fn(final,
+                                                  prev_states[leaf_index],
+                                                  tick)
+                                next_states[leaf_index] = corrected
+            except Exception as exc:  # noqa: BLE001 - forensics, re-raised
+                record_failure(tick, index, values, inputs, exc)
+                raise
+            outputs = {}
+            for name, slot in output_spec:
+                outputs[name] = values[slot]
+            record_tick(tick, values)
             return outputs, FlatState(next_states, next_buffers)
 
         return step

@@ -161,6 +161,43 @@ def test_histogram_merge_rejects_different_bounds():
         Histogram("a", (1.0, 2.0)).merge(Histogram("a", (1.0, 3.0)))
 
 
+def test_histogram_quantiles_interpolate_monotonically():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("d")
+    for value in (0.001, 0.002, 0.003, 0.004, 0.2, 0.9):
+        histogram.observe(value)
+    p0, p50, p90, p100 = registry.histogram_quantiles(
+        "d", (0.0, 0.5, 0.9, 1.0))
+    assert p0 == 0.001 and p100 == 0.9  # clamped to observed extremes
+    assert p0 <= p50 <= p90 <= p100  # monotone in q
+    with pytest.raises(ValueError):
+        registry.histogram_quantiles("d", (1.5,))
+
+
+def test_histogram_quantiles_missing_or_empty_are_none():
+    registry = MetricsRegistry()
+    assert registry.histogram_quantiles("missing", (0.5, 0.9)) \
+        == [None, None]
+    registry.histogram("empty")
+    assert registry.histogram_quantiles("empty", (0.5,)) == [None]
+
+
+def test_format_metrics_renders_tables_with_prefix_filter():
+    from repro.obs import format_metrics
+    registry = MetricsRegistry()
+    registry.counter("runner.scenario.total").inc(3)
+    registry.gauge("peak").set(4.5)
+    registry.histogram("runner.scenario.duration_s").observe(0.05)
+    text = format_metrics(registry)
+    assert "runner.scenario.total" in text and "3" in text
+    assert "peak" in text and "(gauge)" in text
+    assert "p50" in text and "p99" in text
+    filtered = format_metrics(registry, prefix="runner.")
+    assert "peak" not in filtered
+    assert "runner.scenario.total" in filtered
+    assert format_metrics(MetricsRegistry()).strip() == "(no instruments)"
+
+
 # -- tracing ----------------------------------------------------------------
 
 
@@ -209,6 +246,30 @@ def test_chrome_trace_shape():
         assert event["dur"] >= 0
     assert min(event["ts"] for event in complete) == 0  # epoch-relative
     assert complete[0]["args"]["ops"] == 12
+
+
+def test_chrome_trace_worker_spans_get_their_own_tracks():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("runner.run_sharded", scenarios=4):
+        pass
+    worker = Tracer(clock=FakeClock())
+    with worker.span("runner.worker_task", worker="pid-7"):
+        with worker.span("run"):
+            pass
+    for root in worker.roots:
+        tracer.adopt(root)
+
+    events = tracer.to_chrome_trace()["traceEvents"]
+    metadata = [event for event in events if event["ph"] == "M"]
+    assert any(event["name"] == "thread_name"
+               and event["args"]["name"] == "worker pid-7"
+               for event in metadata)
+    by_name = {event["name"]: event for event in events
+               if event["ph"] == "X"}
+    assert by_name["runner.run_sharded"]["tid"] == 0
+    assert by_name["runner.worker_task"]["tid"] == 1
+    # the worker tid is inherited by the whole adopted subtree
+    assert by_name["run"]["tid"] == 1
 
 
 def test_span_records_errors():
@@ -356,6 +417,23 @@ def test_runner_counters_serial_equals_process(engine_modes_mtd):
     processed = _scenario_counters(engine_modes_mtd, "process",
                                    max_workers=2, chunk_size=2)
     assert serial == processed
+
+
+def test_runner_counts_errors_by_exception_type(engine_modes_mtd):
+    def exploding(tick):
+        if tick >= 3:
+            raise ValueError("sensor model exploded")
+        return 0.0
+
+    batch = _engine_batch(count=3)
+    batch.insert(1, Scenario("boom", {"n": exploding}, ticks=20))
+    with obs.session() as telemetry:
+        results = run_sharded(engine_modes_mtd, batch, executor="serial")
+    assert sum(1 for result in results if not result.ok) == 1
+    counters = telemetry.registry.counter_values("runner.scenario.")
+    assert counters["runner.scenario.failed"] == 1
+    assert counters["runner.scenario.error.ValueError"] == 1
+    assert counters["runner.scenario.ok"] == 3
 
 
 def test_runner_records_nothing_when_disabled(engine_modes_mtd):

@@ -1,0 +1,232 @@
+"""The bench-regression tracker: flatten, gate, history, verdicts, CLI.
+
+Pins the contracts of :mod:`repro.obs.regress`:
+
+* bench payloads flatten to dotted numeric keys with the embedded
+  ``observability`` telemetry skipped; only ``*median*`` keys with an
+  inferable improvement direction gate (everything else is tracked but
+  can never fail CI);
+* the baseline is the median of the last ``window`` recorded runs,
+  computed BEFORE the current run is appended, so one noisy run neither
+  poisons the baseline nor slips past the check;
+* ``main(--check)`` exits 1 exactly when a gated metric degrades beyond
+  tolerance, 0 otherwise (including the empty-directory no-op);
+* ``benchmarks._bench_utils.write_bench_json`` appends to the history
+  named by ``BENCH_HISTORY``, so local runs build the same series CI
+  tracks.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.obs.regress import (BenchHistory, check_regressions,
+                               flatten_numeric, format_trend, gated_metrics,
+                               load_bench_dir, main, metric_direction)
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "benchmarks"))
+from _bench_utils import write_bench_json  # noqa: E402
+
+
+# -- flatten + gate ---------------------------------------------------------
+
+
+def test_flatten_numeric_skips_telemetry_bools_and_lists():
+    payload = {
+        "seconds_median": 1.5,
+        "speedup": 3,
+        "pass": True,
+        "rows": [1, 2, 3],
+        "nested": {"ticks_per_second_median": 100.0},
+        "observability": {"metrics": {"anything": 1.0}},
+    }
+    assert flatten_numeric(payload) == {
+        "seconds_median": 1.5,
+        "speedup": 3.0,
+        "nested.ticks_per_second_median": 100.0,
+    }
+
+
+def test_metric_direction_inference():
+    assert metric_direction("flat_seconds_median") == "lower"
+    assert metric_direction("overhead_median") == "lower"
+    # per_second contains "seconds" as a substring: higher wins the tie
+    assert metric_direction("ticks_per_second_median") == "higher"
+    assert metric_direction("speedup_median") == "higher"
+    assert metric_direction("rows_median") is None
+
+
+def test_gated_metrics_require_median_and_direction():
+    flat = {
+        "seconds_median": 1.0,      # gates (lower)
+        "seconds_best": 0.9,        # no median token
+        "speedup_median": 2.0,      # gates (higher)
+        "lanes_median": 8.0,        # median but no direction
+    }
+    assert gated_metrics(flat) == {"seconds_median": 1.0,
+                                   "speedup_median": 2.0}
+
+
+def test_load_bench_dir_skips_history_file(tmp_path):
+    (tmp_path / "BENCH_flatten.json").write_text(
+        json.dumps({"seconds_median": 1.0}))
+    (tmp_path / "BENCH_history.json").write_text(
+        json.dumps({"schema_version": 1, "runs": []}))
+    (tmp_path / "notes.json").write_text("{}")
+    benches = load_bench_dir(str(tmp_path))
+    assert list(benches) == ["flatten"]
+
+
+# -- history ----------------------------------------------------------------
+
+
+def test_history_records_gated_metrics_and_baselines(tmp_path):
+    path = str(tmp_path / "BENCH_history.json")
+    history = BenchHistory(path)
+    for index, value in enumerate([1.0, 1.1, 0.9, 1.05, 0.95]):
+        history.record_run({"flatten": {"seconds_median": value,
+                                        "rows": 100.0}},
+                           timestamp=float(index))
+    history.save()
+
+    reloaded = BenchHistory(path)
+    assert len(reloaded.runs) == 5
+    # only gated metrics are stored
+    assert "rows" not in reloaded.runs[0]["benches"]["flatten"]
+    assert reloaded.series("flatten", "seconds_median") \
+        == [1.0, 1.1, 0.9, 1.05, 0.95]
+    assert reloaded.baseline("flatten", "seconds_median", window=5) == 1.0
+    assert reloaded.baseline("flatten", "seconds_median", window=2) == 1.0
+    assert reloaded.baseline("flatten", "missing") is None
+
+
+def test_history_rejects_future_schema(tmp_path):
+    path = str(tmp_path / "BENCH_history.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema_version": 99, "runs": []}, handle)
+    with pytest.raises(ValueError):
+        BenchHistory(path)
+
+
+# -- the check --------------------------------------------------------------
+
+
+def test_first_run_never_regresses(tmp_path):
+    history = BenchHistory(str(tmp_path / "BENCH_history.json"))
+    findings = check_regressions(history,
+                                 {"flatten": {"seconds_median": 100.0}})
+    assert len(findings) == 1
+    assert findings[0].baseline is None and not findings[0].regressed
+
+
+def test_regression_detected_beyond_tolerance(tmp_path):
+    history = BenchHistory(str(tmp_path / "BENCH_history.json"))
+    for index in range(3):
+        history.record_run({"flatten": {"seconds_median": 1.0,
+                                        "speedup_median": 4.0}},
+                           timestamp=float(index))
+    # 50% slower AND 50% less speedup: both directions flag
+    findings = check_regressions(
+        history, {"flatten": {"seconds_median": 1.5, "speedup_median": 2.0}},
+        tolerance=0.25)
+    by_metric = {finding.metric: finding for finding in findings}
+    assert by_metric["seconds_median"].regressed
+    assert by_metric["seconds_median"].worse == pytest.approx(0.5)
+    assert by_metric["speedup_median"].regressed
+    assert by_metric["speedup_median"].worse == pytest.approx(0.5)
+    # within tolerance: 10% drift passes
+    calm = check_regressions(
+        history, {"flatten": {"seconds_median": 1.1, "speedup_median": 3.6}},
+        tolerance=0.25)
+    assert not any(finding.regressed for finding in calm)
+    # improvements never regress
+    better = check_regressions(
+        history, {"flatten": {"seconds_median": 0.5, "speedup_median": 8.0}},
+        tolerance=0.25)
+    assert not any(finding.regressed for finding in better)
+
+
+def test_format_trend_marks_regressions(tmp_path):
+    history = BenchHistory(str(tmp_path / "BENCH_history.json"))
+    for index in range(3):
+        history.record_run({"flatten": {"seconds_median": 1.0}},
+                           timestamp=float(index))
+    findings = check_regressions(history,
+                                 {"flatten": {"seconds_median": 2.0}})
+    table = format_trend(history, findings)
+    assert "flatten.seconds_median" in table
+    assert "<< REGRESSED" in table
+    assert format_trend(history, []) \
+        == "no gated bench metrics found (nothing to track)"
+
+
+# -- the CLI ----------------------------------------------------------------
+
+
+def _write_bench(directory, median):
+    with open(os.path.join(directory, "BENCH_demo.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump({"flatten": {"seconds_median": median}}, handle)
+
+
+def test_cli_round_trip_and_exit_codes(tmp_path, capsys):
+    bench_dir = str(tmp_path)
+    history = os.path.join(bench_dir, "BENCH_history.json")
+    base = ["--bench-dir", bench_dir, "--history", history, "--check"]
+    # steady runs build history and pass
+    for index, median in enumerate([1.0, 1.01, 0.99]):
+        _write_bench(bench_dir, median)
+        assert main(base + ["--timestamp", str(float(index))]) == 0
+    assert len(BenchHistory(history).runs) == 3
+    # a 2x slowdown trips the gate; the run is still recorded
+    _write_bench(bench_dir, 2.0)
+    assert main(base + ["--timestamp", "3.0"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert len(BenchHistory(history).runs) == 4
+    # --no-record compares without appending
+    assert main(base + ["--no-record", "--timestamp", "4.0"]) == 1
+    assert len(BenchHistory(history).runs) == 4
+    # without --check a regression reports but exits 0
+    assert main(["--bench-dir", bench_dir, "--history", history,
+                 "--timestamp", "5.0"]) == 0
+
+
+def test_cli_empty_directory_is_a_noop(tmp_path, capsys):
+    assert main(["--bench-dir", str(tmp_path), "--check"]) == 0
+    assert "nothing to check" in capsys.readouterr().out
+
+
+def test_cli_baseline_excludes_current_run(tmp_path):
+    """The gate compares against history, never against itself."""
+    bench_dir = str(tmp_path)
+    history = os.path.join(bench_dir, "BENCH_history.json")
+    base = ["--bench-dir", bench_dir, "--history", history, "--check"]
+    _write_bench(bench_dir, 1.0)
+    assert main(base + ["--timestamp", "0.0"]) == 0
+    _write_bench(bench_dir, 10.0)
+    # if the current run polluted its own baseline this would pass
+    assert main(base + ["--timestamp", "1.0"]) == 1
+
+
+# -- bench harness hook -----------------------------------------------------
+
+
+def test_write_bench_json_appends_to_bench_history(tmp_path, monkeypatch):
+    history_path = str(tmp_path / "BENCH_history.json")
+    monkeypatch.setenv("BENCH_OUT_DIR", str(tmp_path))
+    monkeypatch.setenv("BENCH_HISTORY", history_path)
+    path = write_bench_json("demo", {"seconds_median": 1.25,
+                                     "rows": [1, 2]})
+    assert os.path.exists(path)
+    history = BenchHistory(history_path)
+    assert len(history.runs) == 1
+    assert history.runs[0]["benches"]["demo"]["seconds_median"] == 1.25
+
+    # without BENCH_HISTORY the hook is inert
+    monkeypatch.delenv("BENCH_HISTORY")
+    write_bench_json("demo", {"seconds_median": 1.5})
+    assert len(BenchHistory(history_path).runs) == 1
