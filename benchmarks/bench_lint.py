@@ -1,0 +1,106 @@
+"""[P9] Static verifier throughput (lint-before-tick gate).
+
+Not a paper figure: quantifies the cost of the PR-9 static-analysis engine
+(:mod:`repro.analysis.lint`) on the full case-study portfolio plus a deep
+gated controller cascade.  The point of the verifier is "prove schedules
+safe before a single tick runs" -- that promise only pays off when a full
+model lint (causality + expression abstract interpretation + machine
+checks + IR dataflow verification + batch certification) costs a small,
+bounded multiple of compilation itself, so it can run on every compile
+(``compile_component(..., verify=True)``) and on every CI model.
+
+Gates:
+
+* the whole portfolio (9 case-study builders + the depth-6 cascade) lints
+  in under ``MAX_PORTFOLIO_SECONDS`` wall-clock (generous CI headroom);
+* a full lint of the deep cascade costs at most ``MAX_LINT_OVER_COMPILE``
+  times its flat compilation;
+* the portfolio stays error-free (the same invariant the CI lint-models
+  job gates on).
+
+Median lint rates land in ``BENCH_lint.json`` so the verifier's cost
+trajectory is tracked across PRs like every other engine artefact.
+"""
+
+from repro.analysis.lint import lint_model
+from repro.casestudy.door_lock import (build_comfort_closing,
+                                       build_door_lock_control,
+                                       build_door_lock_faa)
+from repro.casestudy.engine_control import (build_crank_sequencer_std,
+                                            build_engine_ccd,
+                                            build_engine_modes_mtd)
+from repro.casestudy.momentum import (build_closed_loop,
+                                      build_momentum_controller)
+from repro.casestudy.reengineered import build_reengineered_fda
+from repro.simulation.schedule_ir import compile_flat
+
+from _bench_utils import report, time_median, write_bench_json
+from bench_flatten import deep_gated_controller
+
+MAX_PORTFOLIO_SECONDS = 10.0
+MAX_LINT_OVER_COMPILE = 25.0
+
+PORTFOLIO = (
+    ("door-lock-control", build_door_lock_control),
+    ("comfort-closing", build_comfort_closing),
+    ("door-lock-faa", build_door_lock_faa),
+    ("engine-modes", build_engine_modes_mtd),
+    ("crank-sequencer", build_crank_sequencer_std),
+    ("engine-ccd", build_engine_ccd),
+    ("momentum", build_momentum_controller),
+    ("closed-loop", build_closed_loop),
+    ("reengineered-fda", build_reengineered_fda),
+    ("deep-cascade", lambda: deep_gated_controller(6)),
+)
+
+
+def test_p9_lint_portfolio_gate():
+    models = [(name, builder()) for name, builder in PORTFOLIO]
+
+    def lint_all():
+        return [lint_model(model) for _, model in models]
+
+    portfolio_seconds = time_median(lint_all, repeats=3)
+    reports = lint_all()
+    total_findings = sum(len(r.findings) for r in reports)
+    error_count = sum(len(r.errors()) for r in reports)
+
+    cascade = deep_gated_controller(6)
+    compile_seconds = time_median(lambda: compile_flat(cascade), repeats=3)
+    lint_seconds = time_median(lambda: lint_model(cascade), repeats=3)
+    ratio = lint_seconds / compile_seconds if compile_seconds else 0.0
+
+    lines = [f"{'model':>18}  findings  errors"]
+    for (name, _), rep in zip(models, reports):
+        lines.append(f"{name:>18}  {len(rep.findings):>8}  "
+                     f"{len(rep.errors()):>6}")
+    lines.append(f"portfolio lint: {portfolio_seconds * 1e3:.1f} ms "
+                 f"({len(models)} models, {total_findings} findings)")
+    lines.append(f"deep cascade: compile {compile_seconds * 1e3:.1f} ms, "
+                 f"lint {lint_seconds * 1e3:.1f} ms "
+                 f"(lint/compile = {ratio:.1f}x)")
+    report("P9", "\n".join(lines))
+
+    write_bench_json("lint", {
+        "portfolio_seconds": portfolio_seconds,
+        "portfolio_models": len(models),
+        "portfolio_findings": total_findings,
+        "portfolio_errors": error_count,
+        "cascade_compile_seconds": compile_seconds,
+        "cascade_lint_seconds": lint_seconds,
+        "lint_over_compile": ratio,
+        "gates": {
+            "portfolio_under_budget":
+                portfolio_seconds < MAX_PORTFOLIO_SECONDS,
+            "lint_cost_bounded": ratio < MAX_LINT_OVER_COMPILE,
+            "portfolio_error_free": error_count == 0,
+        },
+    })
+
+    assert error_count == 0, [r.describe() for r in reports if r.errors()]
+    assert portfolio_seconds < MAX_PORTFOLIO_SECONDS
+    assert ratio < MAX_LINT_OVER_COMPILE, (lint_seconds, compile_seconds)
+
+
+if __name__ == "__main__":
+    test_p9_lint_portfolio_gate()

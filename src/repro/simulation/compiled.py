@@ -109,7 +109,7 @@ class CompiledSchedule:
                 f"steps={len(self.linear_steps())})")
 
 
-def compile_component(component: Component):
+def compile_component(component: Component, verify: bool = False):
     """Compile *component* into a reusable execution schedule.
 
     Composite hierarchies (and clock-gated wrappers around them) with the
@@ -123,10 +123,23 @@ def compile_component(component: Component):
     flattener embeds for unflattenable children.  Both schedule kinds share
     the ``(inputs, state, tick) -> (outputs, state)`` step contract and the
     ``linear_steps()`` / ``describe()`` naming contract.
+
+    With ``verify=True`` the static-analysis engine
+    (:mod:`repro.analysis.lint`) runs first -- model-level lint of the
+    hierarchy plus, on the flat path, IR dataflow verification of the
+    compiled program -- and any error finding raises
+    :class:`~repro.core.errors.ValidationError` before a schedule is
+    returned.
     """
     from .schedule_ir import compile_flat, is_flattenable
+    if verify:
+        from ..analysis.lint import lint_component, lint_flat_schedule
+        lint_component(component).raise_on_errors()
     if is_flattenable(component):
-        return compile_flat(component)
+        schedule = compile_flat(component)
+        if verify:
+            lint_flat_schedule(schedule).raise_on_errors()
+        return schedule
     with maybe_span("compile.nested", component=component.name):
         return compile_nested(component)
 

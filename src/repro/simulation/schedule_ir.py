@@ -455,6 +455,20 @@ class FlatSchedule:
         self._linear = linear
         self.step = self._make_step()
 
+    # -- boundary specs ----------------------------------------------------
+
+    @property
+    def input_spec(self) -> Tuple[Tuple[str, int], ...]:
+        """``(port_name, slot)`` pairs scattered from the inputs each tick
+        (public for IR passes and the static verifier)."""
+        return self._input_spec
+
+    @property
+    def output_spec(self) -> Tuple[Tuple[str, int], ...]:
+        """``(port_name, slot)`` pairs gathered into the outputs each tick
+        (public for IR passes and the static verifier)."""
+        return self._output_spec
+
     # -- state -------------------------------------------------------------
 
     def initial_state(self) -> FlatState:

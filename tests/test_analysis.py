@@ -233,3 +233,47 @@ class TestConsistency:
         assert ok.is_valid()
         bad = check_la_ta_deployment(ccd, {})
         assert not bad.is_valid()
+
+
+class TestConsistencyFailurePaths:
+    """Failure modes of the cross-level checks beyond the happy paths:
+    direction flips, non-assignable refinements, and their promotion into
+    the unified lint finding schema."""
+
+    def test_refinement_direction_flip_is_error(self):
+        abstract = Component("A")
+        abstract.add_input("n", FLOAT)
+        flipped = Component("A_impl")
+        flipped.add_output("n", FLOAT)
+        report = check_interface_refinement(abstract, flipped)
+        assert not report.is_valid()
+        assert any("direction" in issue.message for issue in report.errors())
+
+    def test_refinement_incompatible_abstract_types_is_error(self):
+        abstract = Component("A")
+        abstract.add_output("y", FLOAT)
+        narrowed = Component("A_impl")
+        narrowed.add_output("y", BOOL)
+        report = check_interface_refinement(abstract, narrowed)
+        assert not report.is_valid()
+        assert any("not" in issue.message and "assignable" in issue.message
+                   for issue in report.errors())
+
+    def test_empty_ccd_leaves_every_component_unallocated(self):
+        fda = SSDComponent("FDA")
+        fda.add(Component("CompA"), Component("CompB"))
+        ccd = ClusterCommunicationDiagram("LA")
+        report = check_fda_la_allocation(fda, ccd)
+        unallocated = {issue.element for issue in report.errors()}
+        assert unallocated == {"CompA", "CompB"}
+
+    def test_consistency_failures_surface_with_registered_rule_ids(self):
+        from repro.analysis.lint import findings_from_report, rule_ids
+        fda = SSDComponent("FDA")
+        fda.add_subcomponent(Component("CompA"))
+        report = check_fda_la_allocation(fda, ClusterCommunicationDiagram("LA"))
+        findings = findings_from_report(report, subject="consistency")
+        errors = [f for f in findings if f.severity.value == "error"]
+        assert errors and all(f.rule == "fda-la-allocation" for f in errors)
+        assert "fda-la-allocation" in rule_ids()
+        assert "interface-refinement" in rule_ids()

@@ -217,3 +217,29 @@ def test_four_backends_agree_on_random_models_and_batteries(seed):
 @pytest.mark.parametrize("seed", range(8, 40))
 def test_four_backend_fuzz_extended(seed):
     test_four_backends_agree_on_random_models_and_batteries(seed)
+
+
+# -- lint-clean property -------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_models_are_lint_clean_and_never_hit_unknown_names(seed):
+    """The static verifier accepts every generator output, and its central
+    promise holds on the same battery the differential loop uses: a
+    lint-clean model never fails with the evaluator's ``unknown name``
+    error (the runtime counterpart of ``expr-unknown-name`` /
+    ``ir-read-before-write``)."""
+    from repro.analysis.lint import lint_model
+
+    rng = random.Random(9000 + seed)
+    model = _build_model(rng, seed)
+    battery = _battery(rng, model, size=rng.randint(3, 8))
+
+    report = lint_model(model)
+    assert not report.errors(), report.describe()
+
+    flat = CompiledSimulator(model, backend="flat")
+    for name, stimuli, ticks in battery:
+        _trace, error = _scalar_outcome(flat.run, stimuli, ticks)
+        if error is not None:
+            assert "unknown name" not in error, (seed, name, error)

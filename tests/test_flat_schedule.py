@@ -508,3 +508,49 @@ def test_scenario_suite_verifies_deep_gated_workload():
     suite.add("gaps", {"u": Stream([1.0, ABSENT] * 15)}, ticks=30)
     differences = suite.verify_against_reference()
     assert all(diff is None for diff in differences.values()), differences
+
+
+# -- introspection alignment (pinned for the static verifier and profiler) --
+
+
+def _introspection_models():
+    from repro.casestudy.engine_control import build_engine_ccd
+    from repro.casestudy.momentum import build_momentum_controller
+    return [build_momentum_controller(), build_engine_ccd(),
+            build_gated_ccd(build_engine_ccd()), _deep_gated_controller(3)]
+
+
+def test_op_labels_align_with_program_and_summary():
+    from repro.simulation.schedule_ir import _OP_NAMES
+    for model in _introspection_models():
+        schedule = compile_flat(model)
+        labels = schedule.op_labels()
+        summary = schedule.ops_summary()
+        assert len(labels) == len(schedule.program) == len(summary)
+        for op, (kind, label, nested), line in zip(schedule.program,
+                                                   labels, summary):
+            assert kind == _OP_NAMES[op[0]]
+            assert label
+            # the summary line for the same op names the same leaf/detail
+            assert f" {kind} " in f" {line} " or kind in line
+            if nested:
+                assert "[nested]" in label
+
+
+def test_describe_matches_linear_steps():
+    for model in _introspection_models():
+        schedule = compile_flat(model)
+        lines = schedule.describe().splitlines()
+        steps = schedule.linear_steps()
+        assert len(lines) == len(steps)
+        for line, (path, kind) in zip(lines, steps):
+            assert path in line and kind in line
+
+
+def test_slot_names_cover_every_slot_and_match_specs():
+    for model in _introspection_models():
+        schedule = compile_flat(model)
+        assert len(schedule.slot_names) == schedule.n_slots
+        for name, slot in schedule.input_spec + schedule.output_spec:
+            assert schedule.slot_names[slot].endswith(f".{name}"), (
+                model.name, name, slot, schedule.slot_names[slot])

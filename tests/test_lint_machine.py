@@ -1,0 +1,194 @@
+"""Machine-level lint: unreachable modes/states, guard overlap, constant
+guards -- each rule fires on a seeded defect and stays silent on the clean
+variants it must not flag.
+"""
+
+import pytest
+
+from repro.analysis.lint import lint_machine, lint_machines
+from repro.core.types import FloatType, IntType
+from repro.core.validation import Severity
+from repro.notations.dfd import DataFlowDiagram
+from repro.notations.mtd import ModeTransitionDiagram
+from repro.notations.std import StateTransitionDiagram
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def _mtd(name="M"):
+    mtd = ModeTransitionDiagram(name)
+    mtd.add_input("n", IntType(0, 100))
+    return mtd
+
+
+# -- reachability ------------------------------------------------------------
+
+
+def test_unreachable_mode_warns():
+    mtd = _mtd()
+    mtd.add_mode("Run", initial=True)
+    mtd.add_mode("Stop")
+    mtd.add_mode("Orphan")
+    mtd.add_transition("Run", "Stop", "n > 50")
+    mtd.add_transition("Stop", "Run", "n <= 50")
+    findings = lint_machine(mtd)
+    unreachable = [f for f in findings if f.rule == "machine-unreachable"]
+    assert len(unreachable) == 1
+    assert "Orphan" in unreachable[0].message
+    assert unreachable[0].severity is Severity.WARNING
+
+
+def test_fully_reachable_mtd_is_silent():
+    mtd = _mtd()
+    mtd.add_mode("Run", initial=True)
+    mtd.add_mode("Stop")
+    mtd.add_transition("Run", "Stop", "n > 50")
+    mtd.add_transition("Stop", "Run", "n <= 50")
+    assert not lint_machine(mtd)
+
+
+def test_unreachable_std_state_warns():
+    std = StateTransitionDiagram("S")
+    std.add_input("go", IntType())
+    std.add_state("Idle", initial=True)
+    std.add_state("Busy")
+    std.add_state("Lost")
+    std.add_transition("Idle", "Busy", "go > 0")
+    std.add_transition("Busy", "Idle", "go <= 0")
+    findings = lint_machine(std)
+    unreachable = [f for f in findings if f.rule == "machine-unreachable"]
+    assert len(unreachable) == 1 and "Lost" in unreachable[0].message
+
+
+# -- guard overlap -----------------------------------------------------------
+
+
+def test_overlapping_same_priority_guards_warn_with_witness():
+    mtd = _mtd()
+    mtd.add_mode("Idle", initial=True)
+    mtd.add_mode("A")
+    mtd.add_mode("B")
+    mtd.add_transition("Idle", "A", "n > 10")
+    mtd.add_transition("Idle", "B", "n > 20")
+    mtd.add_transition("A", "Idle", "n <= 10")
+    mtd.add_transition("B", "Idle", "n <= 20")
+    findings = lint_machine(mtd)
+    overlap = [f for f in findings if f.rule == "machine-guard-overlap"]
+    assert overlap and overlap[0].severity is Severity.WARNING
+    assert overlap[0].location.get("witness")
+
+
+def test_distinct_priorities_do_not_overlap():
+    mtd = _mtd()
+    mtd.add_mode("Idle", initial=True)
+    mtd.add_mode("A")
+    mtd.add_mode("B")
+    mtd.add_transition("Idle", "A", "n > 10", priority=2)
+    mtd.add_transition("Idle", "B", "n > 20", priority=1)
+    mtd.add_transition("A", "Idle", "n <= 10")
+    mtd.add_transition("B", "Idle", "n <= 20")
+    findings = lint_machine(mtd)
+    assert not [f for f in findings if f.rule == "machine-guard-overlap"]
+
+
+def test_exclusive_guards_do_not_overlap():
+    mtd = _mtd()
+    mtd.add_mode("Idle", initial=True)
+    mtd.add_mode("A")
+    mtd.add_mode("B")
+    mtd.add_transition("Idle", "A", "n > 50")
+    mtd.add_transition("Idle", "B", "n <= 50")
+    mtd.add_transition("A", "Idle", "n <= 50")
+    mtd.add_transition("B", "Idle", "n > 50")
+    findings = lint_machine(mtd)
+    assert not [f for f in findings if f.rule == "machine-guard-overlap"]
+
+
+def test_same_target_duplicate_guards_do_not_overlap():
+    # two transitions into the SAME target are not nondeterministic
+    mtd = _mtd()
+    mtd.add_mode("Idle", initial=True)
+    mtd.add_mode("A")
+    mtd.add_transition("Idle", "A", "n > 10")
+    mtd.add_transition("Idle", "A", "n > 5")
+    mtd.add_transition("A", "Idle", "n <= 5")
+    findings = lint_machine(mtd)
+    assert not [f for f in findings if f.rule == "machine-guard-overlap"]
+
+
+# -- constant guards ---------------------------------------------------------
+
+
+def test_constant_false_guard_warns():
+    mtd = _mtd()
+    mtd.add_mode("Run", initial=True)
+    mtd.add_mode("Stop")
+    mtd.add_transition("Run", "Stop", "n > 200")  # n is int[0..100]
+    mtd.add_transition("Stop", "Run", "n <= 50")
+    findings = lint_machine(mtd)
+    constant = [f for f in findings if f.rule == "expr-constant-guard"]
+    assert constant and "false" in constant[0].message
+    assert constant[0].severity is Severity.WARNING
+
+
+def test_constant_true_guard_shadowing_lower_priority_warns():
+    mtd = _mtd()
+    mtd.add_mode("Idle", initial=True)
+    mtd.add_mode("A")
+    mtd.add_mode("B")
+    mtd.add_transition("Idle", "A", "true", priority=2)  # always fires
+    mtd.add_transition("Idle", "B", "n > 50", priority=1)  # never taken
+    mtd.add_transition("A", "Idle", "n <= 50")
+    mtd.add_transition("B", "Idle", "n <= 50")
+    findings = lint_machine(mtd)
+    constant = [f for f in findings if f.rule == "expr-constant-guard"]
+    assert constant and "shadows" in constant[0].message
+
+
+def test_lone_constant_true_guard_is_silent():
+    # "true"-guarded default transition with nothing to shadow is idiomatic
+    mtd = _mtd()
+    mtd.add_mode("Init", initial=True)
+    mtd.add_mode("Run")
+    mtd.add_transition("Init", "Run", "true")
+    mtd.add_transition("Run", "Init", "n > 99")
+    findings = lint_machine(mtd)
+    assert not [f for f in findings if f.rule == "expr-constant-guard"]
+
+
+def test_std_variable_guard_is_not_constant():
+    # count starts at 0 but is reassigned by actions: "count == 3" must NOT
+    # be proven constant-false from the initial value
+    std = StateTransitionDiagram("Counter")
+    std.add_input("tick", IntType())
+    std.add_variable("count", 0)
+    std.add_state("Counting", initial=True)
+    std.add_state("Done")
+    std.add_transition("Counting", "Counting", "count < 3",
+                       actions={"count": "count + 1"})
+    std.add_transition("Counting", "Done", "count == 3")
+    std.add_transition("Done", "Counting", "tick > 0",
+                       actions={"count": "0"})
+    findings = lint_machine(std)
+    assert not [f for f in findings if f.rule == "expr-constant-guard"]
+    assert not [f for f in findings if f.rule == "machine-unreachable"]
+
+
+# -- model traversal ---------------------------------------------------------
+
+
+def test_lint_machines_descends_composites():
+    mtd = _mtd("Inner")
+    mtd.add_mode("Run", initial=True)
+    mtd.add_mode("Orphan")
+    mtd.add_output("mode")
+    dfd = DataFlowDiagram("Top")
+    dfd.add_input("n", IntType(0, 100))
+    dfd.add_subcomponent(mtd)
+    dfd.connect("n", "Inner.n")
+    findings = lint_machines(dfd)
+    unreachable = [f for f in findings if f.rule == "machine-unreachable"]
+    assert unreachable
+    assert "Inner" in unreachable[0].element
