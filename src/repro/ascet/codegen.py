@@ -32,88 +32,20 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.components import Component, CompositeComponent, ExpressionComponent
 from ..core.errors import CodeGenError
-from ..core.expressions import (BinaryOp, Call, Conditional, Expression,
-                                Literal, Present, UnaryOp, Variable)
-from ..core.impl_types import (BOOL8, FixedPointType, ImplementationType,
-                               ImplEnumType, MachineIntType)
-from ..core.types import BoolType, EnumType, FloatType, IntType, Type
+from ..core.expressions import Expression
+from ..core.types import Type
 from ..notations.ccd import Cluster, ClusterCommunicationDiagram
 from ..platform.can import CANBus
 from ..platform.ecu import TechnicalArchitecture
 from .comm_matrix import CommunicationMatrix
 
+# The expression -> C translation is shared with the native simulation
+# backend (repro.simulation.native); the single source of truth lives in
+# repro.ascet.c_expr and is re-exported here for backward compatibility.
+from .c_expr import _C_FUNCTIONS, _C_OPERATORS, c_type_of, expression_to_c
 
-# --------------------------------------------------------------------------
-# expression -> C translation
-# --------------------------------------------------------------------------
-
-_C_OPERATORS = {"and": "&&", "or": "||", "==": "==", "!=": "!=", "<": "<",
-                "<=": "<=", ">": ">", ">=": ">=", "+": "+", "-": "-",
-                "*": "*", "/": "/", "%": "%"}
-
-_C_FUNCTIONS = {"abs": "automode_abs", "min": "automode_min",
-                "max": "automode_max", "limit": "automode_limit",
-                "sqrt": "sqrtf", "floor": "floorf", "ceil": "ceilf",
-                "round": "roundf", "sign": "automode_sign",
-                "interpolate": "automode_interp"}
-
-
-def expression_to_c(expression: Expression) -> str:
-    """Translate a base-language expression to C source."""
-    if isinstance(expression, Literal):
-        value = expression.value
-        if isinstance(value, bool):
-            return "1" if value else "0"
-        if isinstance(value, str):
-            return f"E_{value.upper()}"
-        if isinstance(value, float):
-            return f"{value!r}f"
-        return repr(value)
-    if isinstance(expression, Variable):
-        return expression.name
-    if isinstance(expression, Present):
-        return f"msg_present({expression.channel})"
-    if isinstance(expression, UnaryOp):
-        operand = expression_to_c(expression.operand)
-        if expression.op == "not":
-            return f"(!{operand})"
-        return f"({expression.op}{operand})"
-    if isinstance(expression, BinaryOp):
-        try:
-            operator = _C_OPERATORS[expression.op]
-        except KeyError as exc:
-            raise CodeGenError(f"no C operator for {expression.op!r}") from exc
-        return (f"({expression_to_c(expression.left)} {operator} "
-                f"{expression_to_c(expression.right)})")
-    if isinstance(expression, Conditional):
-        return (f"({expression_to_c(expression.condition)} ? "
-                f"{expression_to_c(expression.then_branch)} : "
-                f"{expression_to_c(expression.else_branch)})")
-    if isinstance(expression, Call):
-        function = _C_FUNCTIONS.get(expression.function, expression.function)
-        arguments = ", ".join(expression_to_c(arg) for arg in expression.arguments)
-        return f"{function}({arguments})"
-    raise CodeGenError(f"cannot translate expression node {expression!r}")
-
-
-def c_type_of(impl_type: Optional[ImplementationType], abstract: Type) -> str:
-    """Pick the C type name for a signal."""
-    if isinstance(impl_type, MachineIntType):
-        prefix = "sint" if impl_type.signed else "uint"
-        return f"{prefix}{impl_type.bits}"
-    if isinstance(impl_type, FixedPointType):
-        return f"sint{impl_type.bits}"
-    if isinstance(impl_type, ImplEnumType):
-        return f"uint{impl_type.bits}"
-    if impl_type is BOOL8 or isinstance(abstract, BoolType):
-        return "boolean"
-    if isinstance(abstract, IntType):
-        return "sint32"
-    if isinstance(abstract, (FloatType,)):
-        return "float32"
-    if isinstance(abstract, EnumType):
-        return "uint8"
-    return "float32"
+__all__ = ["AscetProjectGenerator", "GeneratedProject", "c_type_of",
+           "expression_to_c"]
 
 
 # --------------------------------------------------------------------------

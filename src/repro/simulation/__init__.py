@@ -10,6 +10,9 @@
 * :mod:`repro.simulation.batch_ir` -- the vectorized battery backend:
   the flat program over a ``(slot, scenario)`` NumPy plane, one sweep per
   scenario battery (requires NumPy; gated exports are ``None`` without it)
+* :mod:`repro.simulation.native` -- the native C backend: the flat program
+  lowered to one compiled C step function driven through ctypes (requires
+  a platform C compiler; check :func:`native_available`)
 * :mod:`repro.simulation.trace` -- recorded traces, trace tables, equivalence
 * :mod:`repro.simulation.causality` -- hierarchical instantaneous-loop check
 * :mod:`repro.simulation.multirate` -- stimulus generators and resampling
@@ -32,17 +35,20 @@ except ImportError:  # pragma: no cover - numpy is an install requirement
     compile_batch = None  # type: ignore[assignment]
 from .multirate import (align_lengths, constant, presence_ratio, pulse, ramp,
                         resample, sine, sporadic, step)
+from .native import (NativeLoweringError, NativeSchedule, compile_native,
+                     native_available)
 from .trace import (SimulationTrace, first_difference, streams_equal,
                     traces_equivalent)
 
 __all__ = [
     "BatchSchedule", "CausalityAnalysis", "CausalityResult",
     "ClockGatedComponent", "CompiledSchedule", "CompiledSimulator",
-    "FlatSchedule", "FlatState", "LaneOutcome", "ScenarioSuite",
-    "SimulationTrace", "Simulator", "align_lengths", "analyze_causality",
-    "assert_causal", "build_gated_ccd", "compile_batch", "compile_ccd",
-    "compile_component", "compile_flat", "compile_nested", "constant",
-    "first_difference", "instantaneous_path_exists", "is_flattenable",
+    "FlatSchedule", "FlatState", "LaneOutcome", "NativeLoweringError",
+    "NativeSchedule", "ScenarioSuite", "SimulationTrace", "Simulator",
+    "align_lengths", "analyze_causality", "assert_causal", "build_gated_ccd",
+    "compile_batch", "compile_ccd", "compile_component", "compile_flat",
+    "compile_native", "compile_nested", "constant", "first_difference",
+    "instantaneous_path_exists", "is_flattenable", "native_available",
     "normalize_stimulus", "prepare_feeds", "presence_ratio", "pulse", "ramp",
     "resample", "simulate", "simulate_ccd", "simulate_ccd_compiled",
     "simulate_compiled", "sine", "sporadic", "step", "streams_equal",

@@ -51,6 +51,7 @@ tick-for-tick identical to the reference engine; the differential suite in
 
 from __future__ import annotations
 
+import warnings
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple)
 
 from ..core.components import (Component, CompositeComponent,
@@ -486,8 +487,8 @@ def _compile_std(component: StateTransitionDiagram) -> CompiledSchedule:
     return CompiledSchedule(component, "std", step)
 
 
-#: Schedule backends accepted by :class:`CompiledSimulator`.
-_BACKENDS = ("auto", "flat", "nested", "batch")
+#: Schedule backends accepted by :class:`CompiledSimulator` (sorted).
+_BACKENDS = ("auto", "batch", "flat", "native", "nested")
 
 
 class CompiledSimulator:
@@ -507,7 +508,11 @@ class CompiledSimulator:
     flattenable root): single runs go through a one-lane sweep, and batch-
     aware callers (:class:`ScenarioSuite`,
     :func:`repro.scenarios.runner.run_sharded`) execute whole batteries as
-    single sweeps via :attr:`batch_schedule`.
+    single sweeps via :attr:`batch_schedule`.  ``"native"`` compiles the
+    flat program to a C step function driven through ctypes
+    (:mod:`repro.simulation.native`, requires a flattenable root and a C
+    compiler); hosts without a compiler degrade to the flat interpreter
+    with a warning.
     """
 
     def __init__(self, component: Component, check_types: bool = False,
@@ -541,6 +546,18 @@ class CompiledSimulator:
                         "installed") from exc
                 self.schedule = compile_flat(component)
                 self.batch_schedule = BatchSchedule(self.schedule)
+            elif backend == "native":
+                from .schedule_ir import compile_flat
+                from .native import compile_native, native_available
+                flat_schedule = compile_flat(component)
+                if native_available():
+                    self.schedule = compile_native(flat_schedule)
+                else:
+                    warnings.warn(
+                        "backend 'native' requires a C compiler (cc/gcc/"
+                        "clang); falling back to the flat interpreter",
+                        RuntimeWarning, stacklevel=2)
+                    self.schedule = flat_schedule
             else:
                 self.schedule = compile_nested(component)
             if span is not None:

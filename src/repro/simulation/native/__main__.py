@@ -1,0 +1,52 @@
+"""CLI for the native backend's toolchain state.
+
+``python -m repro.simulation.native --info`` prints the discovered C
+compiler, the shared-object cache directory and the cached entries;
+``--evict`` additionally drops stale entries (older emitter versions and
+anything beyond the retention bound).  Exit status is 0 when a compiler
+is available, 1 otherwise, so CI jobs can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .toolchain import evict_stale, native_info
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simulation.native",
+        description="Report the native backend's compiler and object cache.")
+    parser.add_argument("--info", action="store_true",
+                        help="print compiler and cache state (default)")
+    parser.add_argument("--evict", action="store_true",
+                        help="drop stale cache entries, then print state")
+    arguments = parser.parse_args(argv)
+
+    if arguments.evict:
+        for path in evict_stale():
+            print(f"evicted {path}")
+
+    info = native_info()
+    print(f"available:       {'yes' if info['available'] else 'no'}")
+    print(f"compiler:        {info['compiler'] or '(none found)'}")
+    if info["compiler_banner"]:
+        print(f"compiler banner: {info['compiler_banner']}")
+    print(f"emitter version: {info['emitter_version']}")
+    print(f"cache dir:       {info['cache_dir']}")
+    print(f"cache entries:   {len(info['entries'])} "
+          f"(retention {info['max_cache_entries']})")
+    for entry in info["entries"]:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.localtime(entry["mtime"]))
+        stale = "" if entry["current_version"] else "  [stale version]"
+        print(f"  {entry['name']}  {entry['bytes']} bytes  {stamp}{stale}")
+    return 0 if info["available"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,15 @@
-"""Four-backend differential fuzz: interpreter vs nested vs flat vs batch.
+"""Five-backend differential fuzz: interpreter vs nested vs flat vs batch
+vs native.
 
 Random flattenable models (expression blocks with randomized base-language
 source, delayed feedback, clock-gated subtrees, MTD leaves) crossed with
 random batteries (unequal tick counts, missing stimuli, ABSENT-laced
-streams, huge integers, zero divisors) must agree across all four
+streams, huge integers, zero divisors) must agree across all the
 execution backends: identical traces -- value AND Python type, so an
 int-exact division that decays to ``numpy`` true division or an int64
 wraparound is a failure even when ``==`` would hide it -- and identical
-error strings on failing scenarios.
+error strings on failing scenarios.  The native C backend joins only when
+the host has a compiler (``native_available``).
 
 Every generation step draws from one seeded ``random.Random``, so a
 reported seed reproduces the exact divergence.  The regressions this fuzz
@@ -27,7 +29,9 @@ from repro.notations.blocks import UnitDelay
 from repro.notations.dfd import DataFlowDiagram
 from repro.notations.mtd import ModeTransitionDiagram
 from repro.simulation import (ClockGatedComponent, CompiledSimulator,
-                              Simulator, compile_batch)
+                              Simulator, compile_batch, native_available)
+
+_HAS_NATIVE = native_available()
 
 # -- random model generation ---------------------------------------------------
 
@@ -190,11 +194,15 @@ def test_four_backends_agree_on_random_models_and_batteries(seed):
     nested = CompiledSimulator(model, backend="nested")
     flat = CompiledSimulator(model, backend="flat")
     outcomes = compile_batch(model).run_battery(battery)
+    runners = [("nested", nested.run), ("flat", flat.run)]
+    if _HAS_NATIVE:
+        native = CompiledSimulator(model, backend="native")
+        runners.append(("native", native.run))
 
     for (name, stimuli, ticks), outcome in zip(battery, outcomes):
         expected_trace, expected_error = _scalar_outcome(
             interpreter.run, stimuli, ticks)
-        for label, runner in (("nested", nested.run), ("flat", flat.run)):
+        for label, runner in runners:
             trace, error = _scalar_outcome(runner, stimuli, ticks)
             assert error == expected_error, (seed, name, label)
             if expected_trace is not None:

@@ -1,0 +1,326 @@
+"""Differential and hygiene tests for the native C backend.
+
+The native backend's promise is byte-identical observable behaviour to the
+flat interpreter -- same ``trace_to_json`` output across the case-study
+portfolio, same exception type/message/tick on error paths -- obtained
+from a compiled C step function.  Everything that needs a C compiler is
+skipped cleanly (``native_available``) on compiler-less hosts; the static
+pieces (cache keys, eviction, the ir_verify refusal gate, backend
+validation) run everywhere.
+"""
+
+import os
+
+import pytest
+
+from repro.casestudy import (acceleration_scenario, build_closed_loop,
+                             build_door_lock_control, build_engine_ccd,
+                             build_reengineered_fda, crash_scenario,
+                             driving_scenario)
+from repro.core.clocks import every
+from repro.core.components import ExpressionComponent
+from repro.core.errors import SimulationError
+from repro.core.values import ABSENT, Stream
+from repro.io.json_io import trace_to_json
+from repro.notations.blocks import UnitDelay
+from repro.notations.dfd import DataFlowDiagram
+from repro.simulation import (ClockGatedComponent, CompiledSimulator,
+                              NativeLoweringError, build_gated_ccd,
+                              compile_flat, compile_native, native_available)
+from repro.simulation.native import (EMITTER_VERSION, cache_key, evict_stale,
+                                     lower_program, reset_toolchain_cache)
+from repro.simulation.schedule_ir import OP_GATE
+
+requires_cc = pytest.mark.skipif(not native_available(),
+                                 reason="no C compiler on this host")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Every test compiles into its own throwaway shared-object cache."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "native-cache"))
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _wrapped(component):
+    """A flattenable pass-through composite around an unflattenable root,
+    so MTD/SSD case studies exercise the run-op trampoline path."""
+    dfd = DataFlowDiagram(f"{component.name}Wrap")
+    for name in component.input_names():
+        dfd.add_input(name)
+    for name in component.output_names():
+        dfd.add_output(name)
+    dfd.add_subcomponent(component)
+    for name in component.input_names():
+        dfd.connect(name, f"{component.name}.{name}")
+    for name in component.output_names():
+        dfd.connect(f"{component.name}.{name}", name)
+    return dfd
+
+
+def _filtered(scenario, component):
+    return {name: values for name, values in scenario.items()
+            if name in component.input_names()}
+
+
+def _expression_heavy_model():
+    dfd = DataFlowDiagram("NativeProbe")
+    dfd.add_input("x")
+    dfd.add_input("y")
+    dfd.add_output("out")
+    e1 = ExpressionComponent("E1", {"out": "a + b * 2"})
+    e2 = ExpressionComponent("E2",
+                             {"out": "if a > b then a / (b + 1) else "
+                                     "min(a, b)"})
+    e3 = ExpressionComponent("E3", {"out": "abs(a - b) % (b + 7)"})
+    for block in (e1, e2, e3):
+        block.add_input("a")
+        block.add_input("b")
+        block.add_output("out")
+    inner = DataFlowDiagram("GCore")
+    inner.add_input("a")
+    inner.add_input("b")
+    inner.add_output("out")
+    inner.add_subcomponent(e3)
+    inner.connect("a", "E3.a")
+    inner.connect("b", "E3.b")
+    inner.connect("E3.out", "out")
+    gated = ClockGatedComponent(inner, every(2), name="G")
+    delay = UnitDelay("Z", initial=1)
+    for sub in (e1, e2, gated, delay):
+        dfd.add_subcomponent(sub)
+    dfd.connect("x", "E1.a")
+    dfd.connect("y", "E1.b")
+    dfd.connect("x", "E2.a")
+    dfd.connect("E1.out", "E2.b")
+    dfd.connect("x", "G.a")
+    dfd.connect("E2.out", "G.b")
+    dfd.connect("E2.out", "Z.in1")
+    dfd.connect("E2.out", "out")
+    return dfd
+
+
+def _outcome(runner, stimuli, ticks):
+    try:
+        return runner(stimuli, ticks), None
+    except Exception as exc:  # noqa: BLE001 - the comparison IS the test
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+# -- portfolio byte-identity ---------------------------------------------------
+
+
+_PORTFOLIO = [
+    ("engine_ccd", lambda: build_gated_ccd(build_engine_ccd()),
+     lambda c: _filtered(driving_scenario(120), c), 120),
+    ("door_lock", lambda: _wrapped(build_door_lock_control()),
+     lambda c: _filtered(crash_scenario(8), c), 8),
+    ("reengineered_fda", lambda: _wrapped(build_reengineered_fda()),
+     lambda c: _filtered(driving_scenario(120), c), 120),
+    ("momentum", lambda: build_closed_loop(),
+     lambda c: _filtered(acceleration_scenario(60), c), 60),
+]
+
+
+@requires_cc
+@pytest.mark.parametrize("name,build,stimuli_of,ticks",
+                         _PORTFOLIO, ids=[c[0] for c in _PORTFOLIO])
+def test_native_traces_byte_identical_to_flat_on_portfolio(
+        name, build, stimuli_of, ticks):
+    component = build()
+    stimuli = stimuli_of(component)
+    flat = CompiledSimulator(component, backend="flat")
+    native = CompiledSimulator(component, backend="native")
+    assert native.schedule.kind == "native"
+    flat_trace = flat.run(stimuli, ticks)
+    native_trace = native.run(stimuli, ticks)
+    assert trace_to_json(native_trace) == trace_to_json(flat_trace)
+    assert native_trace.mode_history == flat_trace.mode_history
+
+
+@requires_cc
+def test_native_error_paths_match_flat_exactly():
+    model = _expression_heavy_model()
+    flat = CompiledSimulator(model, backend="flat")
+    native = CompiledSimulator(model, backend="native")
+    batteries = [
+        # ABSENT laces, huge ints, float mixes
+        ({"x": Stream([1, 2, 3, 1000, ABSENT, -5, 2 ** 70, 0.5]),
+          "y": Stream([4, 0, ABSENT, 2, 7, -1, 3, 2.5])}, 8),
+        # division by zero in E2 (b + 1 == 0)
+        ({"x": Stream([5, 5]), "y": Stream([1, -3])}, 2),
+        # int64 boundary arithmetic
+        ({"x": Stream([2 ** 62, -2 ** 62, 2 ** 63 - 1]),
+          "y": Stream([2 ** 62, 5, 1])}, 3),
+        # modulo error path: b + 7 == 0 inside the gated region
+        ({"x": Stream([1, 1]), "y": Stream([-9, -9])}, 2),
+    ]
+    for stimuli, ticks in batteries:
+        flat_trace, flat_error = _outcome(flat.run, stimuli, ticks)
+        native_trace, native_error = _outcome(native.run, stimuli, ticks)
+        assert native_error == flat_error
+        if flat_trace is not None:
+            assert trace_to_json(native_trace) == trace_to_json(flat_trace)
+
+
+@requires_cc
+def test_native_value_types_are_exact():
+    """int stays int, bool stays bool, floats are bit-exact -- the tagged
+    plane must not decay Python's numeric tower."""
+    model = _expression_heavy_model()
+    flat = CompiledSimulator(model, backend="flat")
+    native = CompiledSimulator(model, backend="native")
+    stimuli = {"x": Stream([4, 6, True, 0.1, 9]),
+               "y": Stream([2, 4, False, 0.2, 3])}
+    flat_trace = flat.run(stimuli, 5)
+    native_trace = native.run(stimuli, 5)
+    for port, stream in flat_trace.outputs.items():
+        expected = [(type(v), v) for v in stream.values()]
+        got = [(type(v), v) for v in native_trace.outputs[port].values()]
+        assert got == expected, port
+
+
+# -- verification gate ---------------------------------------------------------
+
+
+def test_native_lowering_refuses_unverified_schedule():
+    """A schedule whose ir_verify report carries errors must be refused
+    with a typed error before any C is emitted."""
+    model = _expression_heavy_model()
+    flat = compile_flat(model)
+    # doctor the program: point the gate's jump target backwards, which
+    # the static verifier reports as ir-gate-structure (an error)
+    doctored = []
+    for op in flat.program:
+        if op[0] == OP_GATE:
+            op = (OP_GATE, op[1], 0)
+        doctored.append(op)
+    flat.program = tuple(doctored)
+    with pytest.raises(NativeLoweringError) as exc_info:
+        compile_native(flat)
+    assert "ir_verify report" in str(exc_info.value)
+    assert "not clean" in str(exc_info.value)
+
+
+# -- backend table and graceful degradation ------------------------------------
+
+
+def test_backend_validation_lists_sorted_backends_including_native():
+    model = _expression_heavy_model()
+    with pytest.raises(SimulationError) as exc_info:
+        CompiledSimulator(model, backend="turbo")
+    assert ("choose from ('auto', 'batch', 'flat', 'native', 'nested')"
+            in str(exc_info.value))
+
+
+def test_native_backend_degrades_to_flat_without_compiler(monkeypatch):
+    model = _expression_heavy_model()
+    monkeypatch.setenv("CC", "/nonexistent/compiler")
+    monkeypatch.setenv("PATH", "/nonexistent")
+    reset_toolchain_cache()
+    try:
+        assert not native_available()
+        with pytest.warns(RuntimeWarning, match="requires a C compiler"):
+            simulator = CompiledSimulator(model, backend="native")
+        assert simulator.schedule.kind == "flat"
+        with pytest.raises(NativeLoweringError, match="no C compiler"):
+            compile_native(model)
+    finally:
+        reset_toolchain_cache()
+    # the monkeypatched environment is restored by the fixture; make sure
+    # later tests re-probe instead of seeing the poisoned cache
+    monkeypatch.undo()
+    reset_toolchain_cache()
+
+
+# -- cache hygiene -------------------------------------------------------------
+
+
+def test_cache_key_is_deterministic_and_version_prefixed():
+    model = _expression_heavy_model()
+    source_a = lower_program(compile_flat(model), EMITTER_VERSION).source
+    source_b = lower_program(compile_flat(model), EMITTER_VERSION).source
+    assert source_a == source_b
+    assert cache_key(source_a, "cc") == cache_key(source_b, "cc")
+    assert cache_key(source_a, "cc").startswith(f"nv{EMITTER_VERSION}-")
+    assert cache_key(source_a + "\n/* x */", "cc") != cache_key(source_a,
+                                                                "cc")
+
+
+def test_evict_stale_drops_old_versions_and_trims(tmp_path):
+    directory = tmp_path / "cache"
+    directory.mkdir()
+    stale = directory / "nv0-deadbeef.so"
+    stale.write_bytes(b"old")
+    (directory / "nv0-deadbeef.c").write_text("/* old */")
+    fresh = []
+    for index in range(4):
+        path = directory / f"nv{EMITTER_VERSION}-{index:040d}.so"
+        path.write_bytes(b"obj")
+        os.utime(path, (1000 + index, 1000 + index))
+        fresh.append(path)
+    removed = evict_stale(keep=2, directory=str(directory))
+    assert str(stale) in removed
+    assert not stale.exists()
+    assert not (directory / "nv0-deadbeef.c").exists()
+    survivors = sorted(p.name for p in directory.iterdir())
+    # the two newest current-version entries survive
+    assert survivors == [f"nv{EMITTER_VERSION}-{2:040d}.so",
+                         f"nv{EMITTER_VERSION}-{3:040d}.so"]
+
+
+@requires_cc
+def test_compiled_object_cache_hits_on_recompile():
+    from repro.simulation.native import ensure_shared_object
+    model = _expression_heavy_model()
+    source = lower_program(compile_flat(model), EMITTER_VERSION).source
+    path_first, hit_first = ensure_shared_object(source)
+    path_again, hit_again = ensure_shared_object(source)
+    assert path_first == path_again
+    assert not hit_first
+    assert hit_again
+    assert os.path.exists(path_first)
+
+
+@requires_cc
+def test_native_info_reports_compiler_and_cache():
+    from repro.simulation.native import native_info
+    info = native_info()
+    assert info["available"]
+    assert info["compiler"]
+    assert info["emitter_version"] == EMITTER_VERSION
+    assert info["cache_dir"] == os.environ["REPRO_NATIVE_CACHE"]
+
+
+@requires_cc
+def test_native_cli_info_runs():
+    from repro.simulation.native.__main__ import main
+    assert main(["--info"]) == 0
+    assert main(["--evict"]) == 0
+
+
+# -- fallback coverage ---------------------------------------------------------
+
+
+@requires_cc
+def test_trampoline_covers_nested_fallback_and_exact_escapes():
+    """Atomic leaves always trampoline; huge-int arithmetic bails at run
+    time; the lowered fast path never fires the trampoline on plain
+    small-int traffic through expression blocks only."""
+    model = _expression_heavy_model()
+    native = CompiledSimulator(model, backend="native")
+    schedule = native.schedule
+    assert schedule.lowered.lowered_ops  # expression blocks lowered
+    assert schedule.lowered.fallback_ops  # the UnitDelay run op
+
+    before = schedule.trampoline_calls
+    native.run({"x": Stream([1, 2, 3, 4]), "y": Stream([4, 3, 2, 1])}, 4)
+    small_int_calls = schedule.trampoline_calls - before
+    # one UnitDelay replay per tick, nothing else
+    assert small_int_calls == 4
+
+    before = schedule.trampoline_calls
+    native.run({"x": Stream([2 ** 70]), "y": Stream([2 ** 70])}, 1)
+    assert schedule.trampoline_calls - before > 1  # run-time bails fired
